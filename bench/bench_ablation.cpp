@@ -1,0 +1,137 @@
+// Ablation study (DESIGN.md §5, EXPERIMENTS.md): each safety mechanism this
+// reproduction added or interpreted is load-bearing. Re-enable the naive
+// reading and the library's own adversaries refute it with a concrete
+// consistency violation; the shipped configuration survives the same hunt.
+//
+//   1. Figure 2, condition 2 as LITERALLY worded (any processor may decide
+//      the leaders' value) — inconsistent even under a uniformly random
+//      scheduler.
+//   2. Figure 3 with instantaneous unanimity instead of the section-summary
+//      rule (T3) — the adaptive adversary plants a stale pending write and
+//      outruns the frozen deciders.
+//   3. Figure 3 without the parked-conflicting-register guard — two
+//      conflicting decision certificates freeze; the adversary-then-drain
+//      harness lands them both.
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "core/bounded_three.h"
+#include "core/unbounded.h"
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+
+using namespace cil;
+using namespace cil::bench;
+
+namespace {
+
+Value bounded_pref(Word w) {
+  const auto r = BoundedThreeProtocol::unpack(w);
+  return r.started() ? r.pref : kNoValue;
+}
+
+struct HuntResult {
+  std::int64_t runs = 0;
+  std::int64_t violations = 0;
+  std::optional<std::uint64_t> first_seed;
+};
+
+/// Run `make_protocol()` against an adversary phase + round-robin drain for
+/// many seeds; count consistency/nontriviality violations.
+HuntResult hunt(const std::function<std::unique_ptr<Protocol>()>& make_protocol,
+                std::int64_t seeds) {
+  HuntResult out;
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    const auto protocol = make_protocol();
+    std::vector<Value> inputs;
+    for (int i = 0; i < protocol->num_processes(); ++i)
+      inputs.push_back(static_cast<Value>((seed >> i) & 1));
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = 500'000;
+    Simulation sim(*protocol, inputs, options);
+    try {
+      // Adversary phase (alternating kinds), then drain.
+      const long k = 20 + static_cast<long>((seed * 2654435761ULL) % 400);
+      if (seed % 3 == 0) {
+        RandomScheduler sched(seed ^ 0xd00d);
+        for (long i = 0; i < k && sim.step_once(sched); ++i) {
+        }
+      } else if (seed % 3 == 1) {
+        SplitKeepingAdversary sched(
+            seed + 9, protocol->registers().size() == 3 &&
+                              protocol->name().find("bounded") !=
+                                  std::string::npos
+                          ? &bounded_pref
+                          : &UnboundedProtocol::unpack_pref);
+        for (long i = 0; i < k && sim.step_once(sched); ++i) {
+        }
+      } else {
+        DecisionAvoidingAdversary sched(seed + 9);
+        for (long i = 0; i < k && sim.step_once(sched); ++i) {
+        }
+      }
+      RoundRobinScheduler rr;
+      sim.run(rr);
+      ++out.runs;
+    } catch (const CoordinationViolation&) {
+      ++out.runs;
+      ++out.violations;
+      if (!out.first_seed) out.first_seed = seed;
+    }
+  }
+  return out;
+}
+
+void report(const char* label, const HuntResult& r) {
+  row({label, fmt_int(r.runs), fmt_int(r.violations),
+       r.first_seed ? fmt_int(static_cast<std::int64_t>(*r.first_seed))
+                    : "-"},
+      44);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::int64_t kSeeds = 8000;
+
+  header("Ablation: consistency violations under adversary+drain hunts");
+  row({"configuration", "runs", "violations", "first bad seed"}, 44);
+
+  report("Fig 2, leader-only cond 2 (shipped)", hunt([] {
+           return std::make_unique<UnboundedProtocol>(3);
+         },
+         kSeeds));
+  report("Fig 2, LITERAL cond 2 (paper wording)", hunt([] {
+           UnboundedProtocol::Options o;
+           o.literal_condition2 = true;
+           return std::make_unique<UnboundedProtocol>(3, 1, o);
+         },
+         kSeeds));
+
+  report("Fig 3, summary-based T3 (shipped)", hunt([] {
+           return std::make_unique<BoundedThreeProtocol>();
+         },
+         kSeeds));
+  report("Fig 3, instantaneous unanimity", hunt([] {
+           BoundedThreeProtocol::Options o;
+           o.naive_unanimity = true;
+           return std::make_unique<BoundedThreeProtocol>(o);
+         },
+         kSeeds));
+  report("Fig 3, no parked-register guard", hunt([] {
+           BoundedThreeProtocol::Options o;
+           o.no_blocker_guard = true;
+           return std::make_unique<BoundedThreeProtocol>(o);
+         },
+         kSeeds));
+
+  std::printf(
+      "\nEvery row with violations is a reading the extended abstract's text"
+      "\npermits; the shipped rows are the readings that survive. See"
+      "\nEXPERIMENTS.md for the dissected executions.\n\n");
+  return 0;
+}

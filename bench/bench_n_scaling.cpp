@@ -1,0 +1,81 @@
+// Experiment X1 (DESIGN.md §3): the n-processor generalization the paper
+// defers to its full version ("expected run-time is polynomial in n, even
+// in the presence of an adaptive adversary scheduler") and the crash claim
+// ("fail/stop type errors of up to all but one of the system processors").
+//
+// We sweep n and print expected steps per processor under a benign and an
+// adaptive adversary schedule, and with n-1 staggered crashes. The shape to
+// check: growth stays polynomial (the fitted log-log slope is printed).
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/unbounded.h"
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+#include "util/stats.h"
+
+using namespace cil;
+using namespace cil::bench;
+
+int main() {
+  const std::vector<int> sizes = {2, 3, 4, 5, 6, 8};
+
+  header("X1: expected total steps vs n (Figure 2 generalized)");
+  row({"n", "random sched", "adaptive adv", "split-keeping", "crash n-1"},
+      16);
+  std::vector<double> ns, steps_random;
+  for (const int n : sizes) {
+    UnboundedProtocol protocol(n);
+    std::vector<Value> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+
+    const int runs = 3000;
+    RunningStats random_steps, adv_steps, split_steps, crash_steps;
+    for (std::uint64_t seed = 0; seed < runs; ++seed) {
+      {
+        RandomScheduler sched(seed ^ 0x5);
+        random_steps.add(static_cast<double>(
+            run_once(protocol, inputs, sched, seed, 5'000'000).total_steps));
+      }
+      if (seed < 600) {  // the lookahead adversaries are slower; fewer runs
+        DecisionAvoidingAdversary sched(seed + 3);
+        adv_steps.add(static_cast<double>(
+            run_once(protocol, inputs, sched, seed, 5'000'000).total_steps));
+      }
+      if (seed < 600) {
+        SplitKeepingAdversary sched(seed + 7, &UnboundedProtocol::unpack_pref);
+        split_steps.add(static_cast<double>(
+            run_once(protocol, inputs, sched, seed, 5'000'000).total_steps));
+      }
+      {
+        RandomScheduler inner(seed ^ 0x9);
+        std::vector<std::pair<std::int64_t, ProcessId>> plan;
+        for (ProcessId p = 1; p < n; ++p)
+          plan.emplace_back(4 * p + static_cast<std::int64_t>(seed % 7), p);
+        CrashingScheduler sched(inner, plan);
+        crash_steps.add(static_cast<double>(
+            run_once(protocol, inputs, sched, seed, 5'000'000).total_steps));
+      }
+    }
+    ns.push_back(std::log(static_cast<double>(n)));
+    steps_random.push_back(std::log(random_steps.mean()));
+    row({fmt_int(n), fmt(random_steps.mean(), 1), fmt(adv_steps.mean(), 1),
+         fmt(split_steps.mean(), 1), fmt(crash_steps.mean(), 1)},
+        16);
+  }
+
+  // Least-squares slope of log(steps) vs log(n): the polynomial degree.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double m = static_cast<double>(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    sx += ns[i];
+    sy += steps_random[i];
+    sxx += ns[i] * ns[i];
+    sxy += ns[i] * steps_random[i];
+  }
+  const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  std::printf("\nfitted log-log slope (random sched): %.2f  — steps ~ n^%.2f"
+              " (paper: polynomial in n)\n\n",
+              slope, slope);
+  return 0;
+}

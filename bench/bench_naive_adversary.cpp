@@ -1,0 +1,75 @@
+// Experiment N1 (DESIGN.md §3): the §5 opening counterexample.
+//
+// The "natural" protocol (choose at random until everyone agrees) fails
+// against the schedule the paper describes: starve one processor and the
+// unanimity decision rule can never be satisfied — P[undecided after k
+// steps] stays at 1 for every k, violating randomized termination. The
+// paper's own protocol decides quickly under the *same* schedule. We print
+// the survival (undecided) probability as a function of the step budget
+// for both protocols, plus the naive protocol's nontriviality failure rate.
+#include "bench/bench_util.h"
+#include "core/naive.h"
+#include "core/unbounded.h"
+#include "sched/schedulers.h"
+
+using namespace cil;
+using namespace cil::bench;
+
+int main() {
+  constexpr int kRuns = 3000;
+
+  header("N1: survival under the starve-P2 schedule (inputs {a, b, a})");
+  row({"step budget", "naive undecided", "Fig-2 undecided"}, 18);
+  for (const std::int64_t budget : {50, 100, 500, 2000, 10000}) {
+    int naive_undecided = 0;
+    int cil_undecided = 0;
+    for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
+      {
+        NaiveConsensusProtocol naive(3);
+        StarvingScheduler sched({2}, seed);
+        SimOptions options;
+        options.seed = seed;
+        options.max_total_steps = budget;
+        Simulation sim(naive, {0, 1, 0}, options);
+        const auto r = sim.run(sched);
+        naive_undecided += (r.decisions[0] == kNoValue);
+      }
+      {
+        UnboundedProtocol cil(3);
+        StarvingScheduler sched({2}, seed);
+        SimOptions options;
+        options.seed = seed;
+        options.max_total_steps = budget;
+        Simulation sim(cil, {0, 1, 0}, options);
+        const auto r = sim.run(sched);
+        cil_undecided += (r.decisions[0] == kNoValue);
+      }
+    }
+    row({fmt_int(budget), fmt(static_cast<double>(naive_undecided) / kRuns, 4),
+         fmt(static_cast<double>(cil_undecided) / kRuns, 4)},
+        18);
+  }
+
+  header("N1b: the naive protocol also breaks nontriviality (inputs all a)");
+  {
+    int violations = 0;
+    for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
+      NaiveConsensusProtocol naive(3);
+      RandomScheduler sched(seed);
+      SimOptions options;
+      options.seed = seed;
+      options.max_total_steps = 100000;
+      Simulation sim(naive, {0, 0, 0}, options);
+      try {
+        sim.run(sched);
+      } catch (const CoordinationViolation&) {
+        ++violations;  // decided 1, which is nobody's input
+      }
+    }
+    row({"runs", "nontriviality violations"}, 26);
+    row({fmt_int(kRuns), fmt_int(violations)}, 26);
+  }
+
+  std::printf("\n");
+  return 0;
+}

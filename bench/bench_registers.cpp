@@ -1,0 +1,115 @@
+// Experiment X2 (DESIGN.md §3): the register-construction substrate — the
+// paper's "implementable in existing technology" claim, measured.
+//
+// google-benchmark microbenches for every layer of the chain
+// (safe bit → regular bit → regular word → four-slot atomic → SWMR → MWMR)
+// against the raw std::atomic and CAS baselines; this is the price of
+// building atomicity out of 1987 parts instead of using the hardware's.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "registers/constructions.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cil;
+using namespace cil::hw;
+
+void BM_RawAtomicWrite(benchmark::State& state) {
+  std::atomic<std::uint64_t> cell{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) cell.store(++v, std::memory_order_release);
+}
+BENCHMARK(BM_RawAtomicWrite);
+
+void BM_RawAtomicRead(benchmark::State& state) {
+  std::atomic<std::uint64_t> cell{42};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cell.load(std::memory_order_acquire));
+}
+BENCHMARK(BM_RawAtomicRead);
+
+void BM_RawCas(benchmark::State& state) {
+  std::atomic<std::uint64_t> cell{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    std::uint64_t expected = v;
+    cell.compare_exchange_strong(expected, ++v);
+  }
+}
+BENCHMARK(BM_RawCas);
+
+void BM_FlickerSafeBitWrite(benchmark::State& state) {
+  FlickerSafeBit bit;
+  Rng rng(1);
+  bool v = false;
+  for (auto _ : state) bit.write(v = !v, rng);
+}
+BENCHMARK(BM_FlickerSafeBitWrite);
+
+void BM_RegularBitWrite(benchmark::State& state) {
+  RegularBit bit(false, 7);
+  bool v = false;
+  for (auto _ : state) bit.write(v = !v);
+}
+BENCHMARK(BM_RegularBitWrite);
+
+void BM_RegularUnaryWordWrite(benchmark::State& state) {
+  RegularUnaryWord word(16, 0, 3);
+  Rng rng(5);
+  for (auto _ : state) word.write(static_cast<int>(rng.below(16)));
+}
+BENCHMARK(BM_RegularUnaryWordWrite);
+
+void BM_RegularUnaryWordRead(benchmark::State& state) {
+  RegularUnaryWord word(16, 9, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(word.read());
+}
+BENCHMARK(BM_RegularUnaryWordRead);
+
+void BM_FourSlotWrite(benchmark::State& state) {
+  FourSlotAtomic<std::uint64_t> reg(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) reg.write(++v);
+}
+BENCHMARK(BM_FourSlotWrite);
+
+void BM_FourSlotRead(benchmark::State& state) {
+  FourSlotAtomic<std::uint64_t> reg(42);
+  for (auto _ : state) benchmark::DoNotOptimize(reg.read());
+}
+BENCHMARK(BM_FourSlotRead);
+
+void BM_AtomicSwmrWrite(benchmark::State& state) {
+  AtomicSwmr<std::uint64_t> reg(static_cast<int>(state.range(0)), 0);
+  std::uint64_t v = 0;
+  for (auto _ : state) reg.write(++v);
+}
+BENCHMARK(BM_AtomicSwmrWrite)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_AtomicSwmrRead(benchmark::State& state) {
+  AtomicSwmr<std::uint64_t> reg(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) benchmark::DoNotOptimize(reg.read(0));
+}
+BENCHMARK(BM_AtomicSwmrRead)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_AtomicMwmrWrite(benchmark::State& state) {
+  AtomicMwmr<std::uint64_t> reg(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0)), 0);
+  std::uint64_t v = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(reg.write(0, ++v));
+}
+BENCHMARK(BM_AtomicMwmrWrite)->Arg(2)->Arg(3);
+
+void BM_AtomicMwmrRead(benchmark::State& state) {
+  AtomicMwmr<std::uint64_t> reg(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) benchmark::DoNotOptimize(reg.read(0));
+}
+BENCHMARK(BM_AtomicMwmrRead)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

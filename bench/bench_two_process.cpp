@@ -1,0 +1,123 @@
+// Experiment F1/T6/T7/C7 (DESIGN.md §3): the two-processor protocol of
+// Figure 1.
+//
+// Reproduces:
+//   * Theorem 6  — consistency, verified exhaustively over the full
+//                  configuration space (not sampled);
+//   * Theorem 7  — randomized termination against an adaptive adversary,
+//                  with the decision-time tail compared against the bound
+//                  (3/4)^{k/2} implied by the paper's proof (the paper's
+//                  statement prints (1/4)^{k/2}, which contradicts its own
+//                  corollary; see EXPERIMENTS.md);
+//   * Corollary  — E[steps of P_i to decide] <= 10, checked two ways:
+//                  empirically under three scheduler classes, and EXACTLY
+//                  via the worst-case MDP solver (sup over ALL adaptive
+//                  adversaries).
+#include <cmath>
+
+#include "analysis/explorer.h"
+#include "analysis/mdp.h"
+#include "bench/bench_util.h"
+#include "core/two_process.h"
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+#include "util/stats.h"
+
+using namespace cil;
+using namespace cil::bench;
+
+namespace {
+
+constexpr int kRuns = 20000;
+
+SampleSet measure(const TwoProcessProtocol& protocol,
+                  const char* scheduler_name) {
+  SampleSet steps;
+  for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
+    std::unique_ptr<Scheduler> sched;
+    const std::string name = scheduler_name;
+    if (name == "round-robin") {
+      sched = std::make_unique<RoundRobinScheduler>();
+    } else if (name == "random") {
+      sched = std::make_unique<RandomScheduler>(seed ^ 0x1234);
+    } else {
+      sched = std::make_unique<DecisionAvoidingAdversary>(seed + 17);
+    }
+    const auto r = run_once(protocol, {0, 1}, *sched, seed);
+    steps.add(r.steps_per_process[0]);
+    steps.add(r.steps_per_process[1]);
+  }
+  return steps;
+}
+
+}  // namespace
+
+int main() {
+  TwoProcessProtocol protocol;
+
+  header("T6: consistency, exhaustively (full configuration-space closure)");
+  {
+    const auto r = explore(protocol, {0, 1});
+    row({"configs", "transitions", "complete", "consistent", "valid"});
+    row({fmt_int(r.num_configs), fmt_int(r.num_transitions),
+         r.complete ? "yes" : "no", r.consistent ? "yes" : "NO",
+         r.valid ? "yes" : "NO"});
+  }
+
+  header("C7: expected steps per processor (paper bound: <= 10)");
+  row({"scheduler", "mean", "ci95", "p99", "max"});
+  for (const char* s : {"round-robin", "random", "adaptive-adversary"}) {
+    const SampleSet steps = measure(protocol, s);
+    RunningStats rs;
+    for (const auto x : steps.samples()) rs.add(static_cast<double>(x));
+    row({s, fmt(rs.mean()), fmt(rs.ci95_halfwidth()),
+         fmt_int(steps.percentile(0.99)), fmt_int(steps.max())});
+  }
+  {
+    // THE worst case: the argmax policy extracted from the MDP, run live.
+    // Its sample mean converges to the exact supremum of 10 — the paper's
+    // bound is achieved, not just approached.
+    OptimalAdversary adversary(protocol, {0, 1}, /*tracked=*/0);
+    SampleSet steps;
+    for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
+      const auto r = run_once(protocol, {0, 1}, adversary, seed);
+      steps.add(r.steps_per_process[0]);
+    }
+    RunningStats rs;
+    for (const auto x : steps.samples()) rs.add(static_cast<double>(x));
+    row({"OPTIMAL (MDP policy)", fmt(rs.mean()), fmt(rs.ci95_halfwidth()),
+         fmt_int(steps.percentile(0.99)), fmt_int(steps.max())});
+  }
+
+  header("C7 exact: sup over ALL adaptive adversaries (MDP value iteration)");
+  {
+    const auto mdp = worst_case_expected_steps(protocol, {0, 1}, 0);
+    const auto total = worst_case_expected_total_steps(protocol, {0, 1});
+    row({"states", "exact E[steps]", "paper bound", "within bound"});
+    row({fmt_int(mdp.num_states), fmt(mdp.expected_steps, 6), "10",
+         mdp.expected_steps <= 10.0 ? "yes" : "NO"});
+    row({"", "exact E[total]", fmt(total.expected_steps, 6),
+         "(both processors done)"});
+  }
+
+  header("T7: decision-time tail — exact worst case vs measured vs bounds");
+  {
+    const SampleSet steps = measure(protocol, "adaptive-adversary");
+    const auto exact = worst_case_tail(protocol, {0, 1}, 0, 14);
+    row({"own steps k+2", "exact sup", "greedy adv", "(3/4)^{k/2}",
+         "(1/4)^{k/2}"});
+    for (const int k : {2, 4, 6, 8, 10, 12}) {
+      row({fmt_int(k + 2), fmt(exact[k + 2], 5),
+           fmt(steps.tail_at_least(k + 3), 5),
+           fmt(std::pow(0.75, k / 2.0), 5), fmt(std::pow(0.25, k / 2.0), 5)});
+    }
+    std::printf(
+        "The exact supremum EQUALS (3/4)^{k/2}: the proof's bound is tight"
+        "\nand the paper's stated (1/4)^{k/2} is a typo. The greedy adversary"
+        "\n(fit ratio %.3f/step) is measurably weaker than optimal.\n",
+        fit_geometric_tail_ratio(steps, 4));
+  }
+
+  std::printf("\n");
+  return 0;
+}

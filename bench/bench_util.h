@@ -1,0 +1,45 @@
+// Shared helpers for the experiment-reproduction benches: fixed-width table
+// printing and common measurement loops. Each bench binary reproduces one
+// row of DESIGN.md §3 and prints paper-claim vs measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sched/simulation.h"
+
+namespace cil::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+/// Run `protocol` to completion under `sched`; throws CoordinationViolation
+/// on any consistency/nontriviality breach (so a bench that finishes is
+/// itself a correctness certificate for its runs).
+inline SimResult run_once(const Protocol& protocol,
+                          const std::vector<Value>& inputs, Scheduler& sched,
+                          std::uint64_t seed,
+                          std::int64_t max_steps = 1'000'000) {
+  SimOptions options;
+  options.seed = seed;
+  options.max_total_steps = max_steps;
+  Simulation sim(protocol, inputs, options);
+  return sim.run(sched);
+}
+
+}  // namespace cil::bench

@@ -1,0 +1,41 @@
+// Quickstart: two asynchronous processors agree on a value using nothing
+// but single-writer single-reader atomic registers and a fair coin —
+// Figure 1 of Chor-Israeli-Li (PODC 1987).
+//
+//   $ ./examples/quickstart
+//
+// The simulation runs the protocol against a uniformly random scheduler and
+// prints each processor's decision; the engine checks consistency and
+// nontriviality after every step.
+#include <cstdio>
+
+#include "core/two_process.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+int main() {
+  using namespace cil;
+
+  // The protocol: two processors, one SWSR register each.
+  TwoProcessProtocol protocol;
+
+  // Inputs: P0 proposes 0, P1 proposes 1 (the contended case).
+  const std::vector<Value> inputs = {0, 1};
+
+  // An asynchronous environment: steps in uniformly random order.
+  RandomScheduler scheduler(/*seed=*/2026);
+
+  SimOptions options;
+  options.seed = 42;  // all coin flips are reproducible
+  Simulation sim(protocol, inputs, options);
+
+  const SimResult result = sim.run(scheduler);
+
+  std::printf("inputs:    P0=%d P1=%d\n", inputs[0], inputs[1]);
+  std::printf("decisions: P0=%d P1=%d  (agreement!)\n", result.decisions[0],
+              result.decisions[1]);
+  std::printf("steps:     P0 took %lld, P1 took %lld (expected <= 10 each)\n",
+              static_cast<long long>(result.steps_per_process[0]),
+              static_cast<long long>(result.steps_per_process[1]));
+  return 0;
+}

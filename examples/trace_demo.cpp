@@ -1,0 +1,47 @@
+// Execution tracing and model-checker witnesses — the debugging story.
+//
+// Shows (1) a live trace of the two-processor protocol deciding under an
+// adaptive adversary, rendered with the protocol's own register formatter,
+// and (2) the model checker finding a real violation in a deliberately
+// broken protocol and handing back the exact execution that triggers it.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/explorer.h"
+#include "core/naive.h"
+#include "core/two_process.h"
+#include "sched/adversary.h"
+#include "sched/trace.h"
+
+int main() {
+  using namespace cil;
+
+  std::printf("1) Figure 1 under the decision-avoiding adversary, traced:\n\n");
+  {
+    TwoProcessProtocol protocol;
+    SimOptions options;
+    options.seed = 7;
+    Simulation sim(protocol, {0, 1}, options);
+    TraceRecorder trace(sim);
+    DecisionAvoidingAdversary adversary(3);
+    const auto r = trace.run(adversary);
+    std::cout << trace.render();
+    std::printf("\n-> both decided %d in %lld steps\n\n", r.decisions[0],
+                static_cast<long long>(r.total_steps));
+  }
+
+  std::printf(
+      "2) Model-checking the naive protocol (inputs {a,a}) — the checker\n"
+      "   finds a nontriviality violation and returns the execution:\n\n");
+  {
+    NaiveConsensusProtocol naive(2);
+    ExploreOptions options;
+    options.max_depth = 20;
+    const auto result = explore(naive, {0, 0}, options);
+    std::printf("violation: %s\n", result.violation.c_str());
+    std::printf("witness (%zu steps):\n", result.witness.size());
+    std::cout << render_witness(naive, {0, 0}, result.witness);
+    std::printf("\n-> the final step decides 1, which is NOBODY's input.\n");
+  }
+  return 0;
+}

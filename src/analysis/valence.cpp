@@ -1,0 +1,109 @@
+#include "analysis/valence.h"
+
+#include <deque>
+
+#include "sched/branching.h"
+
+namespace cil {
+
+ValenceAnalyzer::ValenceAnalyzer(const Protocol& protocol)
+    : protocol_(protocol), scratch_(protocol.make_registers()) {}
+
+std::set<Value> ValenceAnalyzer::reachable_decisions(const Configuration& c) {
+  const auto root_key = c.key();
+  if (const auto it = memo_.find(root_key); it != memo_.end())
+    return it->second;
+
+  // Forward BFS over the deterministic successor graph.
+  std::set<Value> values;
+  std::set<std::vector<std::int64_t>> seen;
+  std::deque<Configuration> frontier;
+  seen.insert(root_key);
+  frontier.push_back(c.clone());
+
+  while (!frontier.empty()) {
+    Configuration cur = std::move(frontier.front());
+    frontier.pop_front();
+
+    for (const auto& proc : cur.procs)
+      if (proc->decided()) values.insert(proc->decision());
+    if (values.size() >= 2) break;  // bivalent — no need to search further
+
+    for (ProcessId p = 0; p < protocol_.num_processes(); ++p) {
+      if (cur.procs[p]->decided()) continue;
+      scratch_.restore(cur.regs);
+      auto branches = enumerate_step(scratch_, *cur.procs[p], p);
+      CIL_CHECK_MSG(branches.size() == 1,
+                    "valence analysis requires a deterministic protocol");
+      Configuration next;
+      next.regs = std::move(branches[0].regs_after);
+      for (std::size_t q = 0; q < cur.procs.size(); ++q) {
+        next.procs.push_back(static_cast<ProcessId>(q) == p
+                                 ? std::move(branches[0].proc_after)
+                                 : cur.procs[q]->clone());
+      }
+      auto key = next.key();
+      if (seen.insert(std::move(key)).second)
+        frontier.push_back(std::move(next));
+    }
+  }
+
+  memo_.emplace(root_key, values);
+  return values;
+}
+
+ProcessId BivalenceAdversary::pick(const SystemView& view) {
+  ++total_picks_;
+
+  // Materialize the current configuration.
+  Configuration cur;
+  cur.regs = view.regs().snapshot();
+  for (ProcessId p = 0; p < protocol_.num_processes(); ++p)
+    cur.procs.push_back(view.process(p).clone());
+
+  RegisterFile scratch = protocol_.make_registers();
+  ProcessId any_active = -1;
+  ProcessId non_deciding = -1;
+  for (ProcessId p = 0; p < protocol_.num_processes(); ++p) {
+    if (!view.active(p)) continue;
+    if (any_active < 0) any_active = p;
+    scratch.restore(cur.regs);
+    auto branches = enumerate_step(scratch, *cur.procs[p], p);
+    CIL_CHECK_MSG(branches.size() == 1,
+                  "BivalenceAdversary requires a deterministic protocol");
+    const bool decides = branches[0].proc_after->decided();
+    Configuration next;
+    next.regs = std::move(branches[0].regs_after);
+    for (std::size_t q = 0; q < cur.procs.size(); ++q) {
+      next.procs.push_back(static_cast<ProcessId>(q) == p
+                               ? std::move(branches[0].proc_after)
+                               : cur.procs[q]->clone());
+    }
+    if (analyzer_.is_bivalent(next)) {
+      ++bivalent_picks_;
+      return p;
+    }
+    if (!decides && non_deciding < 0) non_deciding = p;
+  }
+
+  // No bivalence-preserving step. For a protocol satisfying termination,
+  // Lemma 3 says this cannot happen while the configuration is bivalent —
+  // but broken protocols (e.g. the "keep" strawman) reach configurations
+  // from which NO decision is reachable at all; any non-deciding step
+  // starves them just as well. Only when every step decides do we concede.
+  if (non_deciding >= 0) return non_deciding;
+  CIL_CHECK_MSG(any_active >= 0, "BivalenceAdversary: no active process");
+  return any_active;
+}
+
+bool starves_forever(const Protocol& protocol, const std::vector<Value>& inputs,
+                     std::int64_t steps) {
+  SimOptions options;
+  options.max_total_steps = steps;
+  Simulation sim(protocol, inputs, options);
+  BivalenceAdversary adversary(protocol);
+  const SimResult r = sim.run(adversary);
+  return !r.decision.has_value();
+}
+
+}  // namespace cil

@@ -1,0 +1,82 @@
+// Valence analysis and the executable Theorem 4 ("proofs as programs",
+// part 2).
+//
+// For a *deterministic* protocol every (configuration, scheduled processor)
+// pair has exactly one successor, so the set of decision values reachable
+// from a configuration is computable by graph search. A configuration is
+// bivalent if both decision values are reachable, univalent if one is.
+//
+// The paper proves (Lemmas 1-3, Theorem 4) that every consistent nontrivial
+// deterministic protocol has a bivalent initial configuration and that from
+// every bivalent configuration some single step leads to another bivalent
+// configuration. BivalenceAdversary turns that proof into a scheduler: it
+// picks, at every step, a successor that remains bivalent — so no processor
+// ever decides, for as long as you care to run it. Running it against the
+// deterministic strawmen is this repository's reproduction of the
+// impossibility result; running the same analysis against the randomized
+// protocol shows why it fails there (the adversary controls the schedule
+// but not the coins, and every coin resolution escapes its trap with
+// probability >= 1/4).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "analysis/explorer.h"
+#include "sched/simulation.h"
+
+namespace cil {
+
+/// Computes, with memoization, the set of decision values reachable from a
+/// configuration of a deterministic protocol under all schedules.
+class ValenceAnalyzer {
+ public:
+  explicit ValenceAnalyzer(const Protocol& protocol);
+
+  /// All decision values appearing in configurations reachable from `c`.
+  /// Precondition: the protocol is deterministic (a step that flips a coin
+  /// trips a contract check).
+  std::set<Value> reachable_decisions(const Configuration& c);
+
+  bool is_bivalent(const Configuration& c) {
+    return reachable_decisions(c).size() >= 2;
+  }
+
+  std::int64_t memo_size() const {
+    return static_cast<std::int64_t>(memo_.size());
+  }
+
+ private:
+  const Protocol& protocol_;
+  RegisterFile scratch_;
+  std::map<std::vector<std::int64_t>, std::set<Value>> memo_;
+};
+
+/// The Theorem 4 adversary: keeps a deterministic protocol bivalent forever.
+/// pick() never schedules a step that leaves the bivalent region; by
+/// Lemma 3 such a step always exists while the configuration is bivalent.
+class BivalenceAdversary final : public Scheduler {
+ public:
+  explicit BivalenceAdversary(const Protocol& protocol)
+      : protocol_(protocol), analyzer_(protocol) {}
+
+  ProcessId pick(const SystemView& view) override;
+
+  /// Number of picks that had a bivalence-preserving choice available.
+  std::int64_t bivalent_picks() const { return bivalent_picks_; }
+  std::int64_t total_picks() const { return total_picks_; }
+
+ private:
+  const Protocol& protocol_;
+  ValenceAnalyzer analyzer_;
+  std::int64_t bivalent_picks_ = 0;
+  std::int64_t total_picks_ = 0;
+};
+
+/// Convenience: run `protocol` (deterministic) from inputs under the
+/// bivalence adversary for `steps` steps; returns true if no processor ever
+/// decided (the Theorem 4 phenomenon).
+bool starves_forever(const Protocol& protocol, const std::vector<Value>& inputs,
+                     std::int64_t steps);
+
+}  // namespace cil

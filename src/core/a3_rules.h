@@ -1,0 +1,73 @@
+// The decision/computation rules of the Figure 2 protocol ("A3"), shared by
+// the 1-writer-(n-1)-reader implementation (unbounded.h) and the 1-writer
+// 1-reader variant (swsr_unbounded.h) so the two cannot drift apart.
+#pragma once
+
+#include <vector>
+
+#include "sched/process.h"
+
+namespace cil::a3 {
+
+struct RegVal {
+  Value pref = kNoValue;  ///< kNoValue encodes ⊥ (not started)
+  std::int64_t num = 0;
+};
+
+struct Outcome {
+  bool decide = false;
+  Value decision = kNoValue;
+  RegVal computed;  ///< the "heads" candidate when not deciding
+};
+
+/// Evaluate one phase: `view[pid]` must hold the processor's own current
+/// register value; the other entries are the values read this phase.
+/// `literal_condition2` enables the paper's literal (non-leader-only)
+/// wording of the second decision condition — unsound, ablation only.
+inline Outcome evaluate_phase(const std::vector<RegVal>& view, int pid,
+                              const RegVal& oldreg, bool literal_condition2) {
+  const RegVal& own = view[pid];
+
+  std::int64_t maxnum = 0;
+  for (const auto& r : view) maxnum = std::max(maxnum, r.num);
+
+  bool all_prefs_same = true;
+  bool leaders_same = true;
+  bool others_two_behind = true;
+  Value leader_pref = kNoValue;
+  for (const auto& r : view) {
+    if (r.pref != view[0].pref) all_prefs_same = false;
+    if (r.num == maxnum) {
+      if (leader_pref == kNoValue) {
+        leader_pref = r.pref;
+      } else if (r.pref != leader_pref) {
+        leaders_same = false;
+      }
+    } else if (r.num > maxnum - 2) {
+      others_two_behind = false;
+    }
+  }
+  // A leading register with pref ⊥ cannot support a decision.
+  if (leader_pref == kNoValue) leaders_same = false;
+
+  Outcome out;
+  if (all_prefs_same && view[0].pref != kNoValue) {
+    out.decide = true;
+    out.decision = view[0].pref;
+    return out;
+  }
+  // Condition 2, leader-only by default (see unbounded.h for why the
+  // literal reading is inconsistent).
+  if (leaders_same && others_two_behind &&
+      (literal_condition2 || own.num == maxnum)) {
+    out.decide = true;
+    out.decision = leader_pref;
+    return out;
+  }
+
+  out.computed.pref = leaders_same ? leader_pref : oldreg.pref;
+  out.computed.num = oldreg.num + 1;
+  return out;
+}
+
+}  // namespace cil::a3

@@ -1,0 +1,126 @@
+// The bounded-register three-processor protocol (paper §6, Figure 3).
+//
+// The extended abstract describes this protocol as prose plus a state
+// diagram; this is a faithful reconstruction of its machinery (the
+// interpretation decisions are catalogued in DESIGN.md §5):
+//
+//   * Each register holds [num, tag] where num ranges over the circle
+//     1..9 ("9 < 1") and the tag is a preference in one of three modes:
+//     val (normal A3 racing), pref (parked at a region boundary, running
+//     the two-processor protocol A2), or dec (decided marker).
+//   * Invariant: all live nums stay within a circular window of span <= 4,
+//     because a processor may advance past a region boundary (3, 6 or 9)
+//     only while the farthest-behind processor is within 1 step; otherwise
+//     the leaders park at the boundary in pref mode and run A2 against each
+//     other until either they agree (decide) or the laggard catches up to
+//     within 1 (unpark, resume A3). The window makes the circular order
+//     well defined — that is the paper's region mechanism ([8..3], [2..6],
+//     [5..9] each span 5 values).
+//   * Terminating rules: T1 — adopt any dec marker seen; T2 — a processor
+//     both of whose peers are >= 2 steps behind writes dec of its own
+//     preference; pair rule — a parked leader whose co-leader holds the same
+//     preference while the laggard is >= 2 behind writes dec; T3 — the
+//     paper's third register field: every boundary crossing (3→4, 6→7, 9→1)
+//     stamps a *section summary* (held only a / only b / both) into the
+//     register, and a processor decides x when all three registers sit in
+//     the same section with pure-x summaries and current preference x.
+//     Instantaneous unanimity alone is UNSOUND here (unlike Figure 2, a
+//     stale pending write can hold a conflicting preference at the same
+//     num and later outrun the frozen deciders — our adversarial tests
+//     found exactly that execution); the summary field is what makes the
+//     unanimity decision safe, which is presumably why the paper carries
+//     it.
+//   * Each phase reads both peers and re-reads the first-read peer if it is
+//     ahead of the second ("the value of the processor ahead is read
+//     last"), then performs one write whose content is chosen by the fair
+//     coin (computed value on heads, old value on tails), exactly as in
+//     Figures 1 and 2.
+//
+// Registers are 9 bits wide — constant, independent of the run length.
+// bench_three_bounded verifies the width claim and measures termination.
+#pragma once
+
+#include <memory>
+
+#include "sched/protocol.h"
+#include "util/bitfield.h"
+
+namespace cil {
+
+class BoundedThreeProtocol final : public Protocol {
+ public:
+  struct Options {
+    /// ABLATION ONLY — decide on instantaneous unanimity of the three
+    /// preferences instead of the section-summary rule (T3). UNSOUND: a
+    /// stale pending write can hold the other preference at the same num
+    /// and outrun the frozen deciders; the summary field exists precisely
+    /// to block that (bench_ablation exhibits the violation).
+    bool naive_unanimity = false;
+    /// ABLATION ONLY — drop the parked-conflicting-register guard on the T2
+    /// and pair decisions. UNSOUND: two conflicting decision certificates
+    /// can then freeze simultaneously (bench_ablation exhibits it via the
+    /// adversary-then-drain harness).
+    bool no_blocker_guard = false;
+  };
+
+  BoundedThreeProtocol();
+  explicit BoundedThreeProtocol(Options options);
+
+  std::string name() const override { return "bounded three-process (Fig 3)"; }
+  int num_processes() const override { return 3; }
+  std::vector<RegisterSpec> registers() const override;
+  std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  std::string describe_word(RegisterId r, Word w) const override;
+
+  enum class Mode : std::int64_t { kVal = 0, kPref = 1, kDec = 2 };
+
+  /// The paper's third register field: when a processor crosses out of a
+  /// section (3→4, 6→7, 9→1) it records which preferences its register held
+  /// while inside: only a, only b, or both ("c" in the paper). kNone means
+  /// no section has been completed yet.
+  enum class Summary : std::int64_t { kNone = 0, kPureA = 1, kPureB = 2, kMixed = 3 };
+
+  struct Reg {
+    int num = 0;       ///< 0 = ⊥ (not started); live values 1..9
+    Mode mode = Mode::kVal;
+    Value pref = 0;    ///< 0 = a, 1 = b (binary protocol; Thm 5 lifts to k)
+    Summary summary = Summary::kNone;
+
+    bool started() const { return num != 0; }
+    friend bool operator==(const Reg&, const Reg&) = default;
+  };
+
+  // Word layout: num 4 bits | mode 2 bits | pref 1 bit | summary 2 bits.
+  static constexpr BitField kNumField{0, 4};
+  static constexpr BitField kModeField{4, 2};
+  static constexpr BitField kPrefField{6, 1};
+  static constexpr BitField kSummaryField{7, 2};
+  static constexpr int kWidthBits = 9;
+
+  /// Section index of a live num: {1,2,3} -> 0, {4,5,6} -> 1, {7,8,9} -> 2.
+  static int section_of(int num) { return (num - 1) / 3; }
+  /// The summary value describing a held-preference mask (bit 0 = a held,
+  /// bit 1 = b held).
+  static Summary summary_of_mask(int mask);
+
+  const Options& options() const { return options_; }
+
+  static Word pack(const Reg& r);
+  static Reg unpack(Word w);
+
+  /// Circular successor on 1..9.
+  static int succ(int num) { return num % 9 + 1; }
+  /// Region boundaries are 3, 6, 9.
+  static bool at_boundary(int num) { return num > 0 && num % 3 == 0; }
+  /// How far `other` trails `me` on the circle: 0 if other is ahead of or
+  /// level with me, else the circular distance (valid under the span-<=4
+  /// window invariant). ⊥ counts as position 0 (see gap_behind).
+  static int gap_behind(const Reg& me, const Reg& other);
+  /// True iff `x` is strictly ahead of `y` on the circle (⊥ is never ahead).
+  static bool ahead_of(const Reg& x, const Reg& y);
+
+ private:
+  Options options_;
+};
+
+}  // namespace cil

@@ -1,0 +1,212 @@
+#include "core/multivalued.h"
+
+#include <sstream>
+
+#include "core/unbounded.h"
+#include "util/bitfield.h"
+
+namespace cil {
+
+namespace {
+
+enum class Pc : std::int64_t { kPublish = 0, kRound = 1, kRescan = 2, kDone = 3 };
+
+/// Bit (pos) of value v.
+int bit_of(Value v, int pos) { return (v >> pos) & 1; }
+
+class MultiValuedProcess final : public Process {
+ public:
+  MultiValuedProcess(const MultiValuedProtocol* parent, ProcessId pid)
+      : parent_(parent), pid_(pid) {
+    published_.assign(parent_->num_processes(), kNoValue);
+  }
+
+  MultiValuedProcess(const MultiValuedProcess& other)
+      : parent_(other.parent_),
+        pid_(other.pid_),
+        pc_(other.pc_),
+        round_(other.round_),
+        candidate_(other.candidate_),
+        agreed_(other.agreed_),
+        scan_idx_(other.scan_idx_),
+        published_(other.published_),
+        input_(other.input_),
+        decision_(other.decision_),
+        sub_(other.sub_ ? other.sub_->clone() : nullptr) {}
+
+  void init(Value input) override {
+    CIL_EXPECTS(input >= 0 && input <= parent_->max_value());
+    input_ = input;
+    candidate_ = input;
+  }
+
+  void step(StepContext& ctx) override {
+    CIL_EXPECTS(!decided());
+    switch (pc_) {
+      case Pc::kPublish:
+        ctx.write(pid_, MultiValuedProtocol::encode_input(input_));
+        start_round(0);
+        break;
+      case Pc::kRound: {
+        OffsetStepContext octx(ctx, parent_->round_offset(round_));
+        sub_->step(octx);
+        if (sub_->decided()) {
+          const Value bit = sub_->decision();
+          CIL_CHECK_MSG(bit == 0 || bit == 1, "binary round decided non-bit");
+          agreed_ = (agreed_ << 1) | bit;
+          if (bit_of(candidate_, pos_of(round_)) == bit) {
+            advance_round();
+          } else {
+            // Candidate no longer matches the agreed prefix: rescan the
+            // published inputs for one that does.
+            pc_ = Pc::kRescan;
+            scan_idx_ = 0;
+          }
+        }
+        break;
+      }
+      case Pc::kRescan: {
+        published_[scan_idx_] =
+            MultiValuedProtocol::decode_input(ctx.read(scan_idx_));
+        ++scan_idx_;
+        if (scan_idx_ == parent_->num_processes()) {
+          adopt_matching_candidate();
+          advance_round();
+        }
+        break;
+      }
+      case Pc::kDone:
+        throw ContractViolation("stepping a decided process");
+    }
+  }
+
+  bool decided() const override { return decision_ != kNoValue; }
+  Value decision() const override {
+    CIL_EXPECTS(decided());
+    return decision_;
+  }
+  Value input() const override { return input_; }
+
+  std::vector<std::int64_t> encode_state() const override {
+    std::vector<std::int64_t> s = {static_cast<std::int64_t>(pc_), round_,
+                                   candidate_, agreed_, scan_idx_, input_,
+                                   decision_};
+    for (const Value v : published_) s.push_back(v);
+    if (sub_) {
+      const auto sub_state = sub_->encode_state();
+      s.insert(s.end(), sub_state.begin(), sub_state.end());
+    }
+    return s;
+  }
+
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<MultiValuedProcess>(*this);
+  }
+
+  std::string debug_string() const override {
+    std::ostringstream os;
+    os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " round=" << round_
+       << " cand=" << candidate_ << " agreed=" << agreed_
+       << " dec=" << decision_ << "}";
+    return os.str();
+  }
+
+ private:
+  /// Bit position handled by round t (most significant first).
+  int pos_of(int t) const { return parent_->rounds() - 1 - t; }
+
+  void start_round(int t) {
+    round_ = t;
+    if (round_ == parent_->rounds()) {
+      decision_ = candidate_;
+      pc_ = Pc::kDone;
+      return;
+    }
+    pc_ = Pc::kRound;
+    sub_ = parent_->round_protocol(round_).make_process(pid_);
+    sub_->init(bit_of(candidate_, pos_of(round_)));
+  }
+
+  void advance_round() { start_round(round_ + 1); }
+
+  void adopt_matching_candidate() {
+    // agreed_ holds the (round_+1) most significant agreed bits.
+    const int settled = round_ + 1;
+    const int shift = parent_->rounds() - settled;
+    for (const Value v : published_) {
+      if (v == kNoValue) continue;
+      if ((v >> shift) == agreed_) {
+        candidate_ = v;
+        return;
+      }
+    }
+    // Guaranteed reachable by the binary protocol's nontriviality (see the
+    // header comment); reaching this line means the binary protocol is
+    // broken.
+    throw ContractViolation("no published input matches the agreed prefix");
+  }
+
+  const MultiValuedProtocol* parent_;
+  ProcessId pid_;
+  Pc pc_ = Pc::kPublish;
+  int round_ = -1;
+  Value candidate_ = kNoValue;
+  std::int64_t agreed_ = 0;  ///< agreed bits so far, MSB first
+  int scan_idx_ = 0;
+  std::vector<Value> published_;
+  Value input_ = kNoValue;
+  Value decision_ = kNoValue;
+  std::unique_ptr<Process> sub_;
+};
+
+}  // namespace
+
+MultiValuedProtocol::MultiValuedProtocol(int num_processes, Value max_value,
+                                         BinaryFactory factory)
+    : n_(num_processes), max_value_(max_value) {
+  CIL_EXPECTS(num_processes >= 2);
+  CIL_EXPECTS(max_value >= 1);
+  bits_ = bit_width_u64(static_cast<Word>(max_value));
+  if (!factory) {
+    factory = [](int n) -> std::unique_ptr<Protocol> {
+      return std::make_unique<UnboundedProtocol>(n, /*max_value=*/1);
+    };
+  }
+  RegisterId offset = n_;  // input registers occupy [0, n)
+  for (int t = 0; t < bits_; ++t) {
+    round_protocols_.push_back(factory(n_));
+    CIL_CHECK_MSG(round_protocols_.back()->num_processes() == n_,
+                  "binary factory produced wrong process count");
+    round_offsets_.push_back(offset);
+    offset += static_cast<RegisterId>(round_protocols_.back()->registers().size());
+  }
+}
+
+std::vector<RegisterSpec> MultiValuedProtocol::registers() const {
+  std::vector<RegisterSpec> specs;
+  const int input_width = bit_width_u64(encode_input(max_value_));
+  for (ProcessId p = 0; p < n_; ++p) {
+    RegisterSpec s;
+    s.name = "input" + std::to_string(p);
+    s.writers = {p};
+    for (ProcessId q = 0; q < n_; ++q) s.readers.push_back(q);
+    s.width_bits = input_width;
+    s.initial = 0;  // unpublished
+    specs.push_back(std::move(s));
+  }
+  for (int t = 0; t < bits_; ++t) {
+    for (auto sub : round_protocols_[t]->registers()) {
+      sub.name = "round" + std::to_string(t) + "." + sub.name;
+      specs.push_back(std::move(sub));
+    }
+  }
+  return specs;
+}
+
+std::unique_ptr<Process> MultiValuedProtocol::make_process(
+    ProcessId pid) const {
+  CIL_EXPECTS(pid >= 0 && pid < n_);
+  return std::make_unique<MultiValuedProcess>(this, pid);
+}
+
+}  // namespace cil

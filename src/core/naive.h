@@ -1,0 +1,49 @@
+// The flawed "natural" consensus protocol from the opening of §5:
+//
+//   "Each processor chooses at random a value, out of a and b. When all
+//    processors have chosen the same value they terminate."
+//
+// Concretely: write your input; repeatedly read everyone; decide when every
+// register (yours included) shows the same value; otherwise re-choose
+// uniformly at random and write.
+//
+// The paper shows this protocol FAILS: because its decision condition needs
+// unanimity of *all* processors, a scheduler that simply never activates one
+// processor starves everybody else forever — P[not decided after k steps]
+// does not go to 0, violating randomized termination (and the adaptive
+// split-keeping adversary hurts it too). It exists here as the N1 target in
+// DESIGN.md: the benches run it against NaiveKiller/StarvingScheduler and
+// show the paper's protocols deciding fast under the very same schedules.
+#pragma once
+
+#include <memory>
+
+#include "sched/protocol.h"
+
+namespace cil {
+
+class NaiveConsensusProtocol final : public Protocol {
+ public:
+  explicit NaiveConsensusProtocol(int num_processes);
+
+  std::string name() const override { return "naive consensus (flawed, §5)"; }
+  int num_processes() const override { return n_; }
+  std::vector<RegisterSpec> registers() const override;
+  std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  std::string describe_word(RegisterId, Word w) const override {
+    const Value v = decode(w);
+    return v == kNoValue ? "⊥" : std::to_string(v);
+  }
+
+  static Word encode(Value v) {
+    return v == kNoValue ? 0 : static_cast<Word>(v) + 1;
+  }
+  static Value decode(Word w) {
+    return w == 0 ? kNoValue : static_cast<Value>(w - 1);
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace cil

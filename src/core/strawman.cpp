@@ -1,0 +1,138 @@
+#include "core/strawman.h"
+
+#include <sstream>
+
+#include "util/bitfield.h"
+
+namespace cil {
+
+const char* to_string(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kKeep:
+      return "keep";
+    case ConflictPolicy::kAdopt:
+      return "adopt";
+    case ConflictPolicy::kAlternate:
+      return "alternate";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Pc : std::int64_t { kWriteInput = 0, kRead = 1, kResolveWrite = 2 };
+
+class DeterministicProcess final : public Process {
+ public:
+  DeterministicProcess(ProcessId pid, ConflictPolicy policy)
+      : pid_(pid), policy_(policy) {}
+
+  void init(Value input) override {
+    CIL_EXPECTS(input >= 0);
+    input_ = input;
+    mine_ = input;
+  }
+
+  void step(StepContext& ctx) override {
+    CIL_EXPECTS(!decided());
+    const RegisterId r_own = pid_;
+    const RegisterId r_other = 1 - pid_;
+    switch (pc_) {
+      case Pc::kWriteInput:
+        ctx.write(r_own, DeterministicTwoProcProtocol::encode(mine_));
+        pc_ = Pc::kRead;
+        break;
+      case Pc::kRead: {
+        seen_ = DeterministicTwoProcProtocol::decode(ctx.read(r_other));
+        if (seen_ == mine_ || seen_ == kNoValue) {
+          decision_ = mine_;
+        } else {
+          pc_ = Pc::kResolveWrite;
+        }
+        break;
+      }
+      case Pc::kResolveWrite: {
+        bool adopt = false;
+        switch (policy_) {
+          case ConflictPolicy::kKeep:
+            adopt = false;
+            break;
+          case ConflictPolicy::kAdopt:
+            adopt = true;
+            break;
+          case ConflictPolicy::kAlternate:
+            adopt = (conflicts_ % 2) == 1;
+            break;
+        }
+        ++conflicts_;
+        if (adopt) mine_ = seen_;
+        ctx.write(r_own, DeterministicTwoProcProtocol::encode(mine_));
+        pc_ = Pc::kRead;
+        break;
+      }
+    }
+  }
+
+  bool decided() const override { return decision_ != kNoValue; }
+  Value decision() const override {
+    CIL_EXPECTS(decided());
+    return decision_;
+  }
+  Value input() const override { return input_; }
+
+  std::vector<std::int64_t> encode_state() const override {
+    // conflicts_ is folded mod 2: only its parity affects future behaviour,
+    // and keeping the encoding finite keeps the valence analysis finite.
+    return {static_cast<std::int64_t>(pc_), mine_, seen_, decision_, input_,
+            conflicts_ % 2};
+  }
+
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<DeterministicProcess>(*this);
+  }
+
+  std::string debug_string() const override {
+    std::ostringstream os;
+    os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " mine=" << mine_
+       << " seen=" << seen_ << " dec=" << decision_ << "}";
+    return os.str();
+  }
+
+ private:
+  ProcessId pid_;
+  ConflictPolicy policy_;
+  Pc pc_ = Pc::kWriteInput;
+  Value input_ = kNoValue;
+  Value mine_ = kNoValue;
+  Value seen_ = kNoValue;
+  std::int64_t conflicts_ = 0;
+  Value decision_ = kNoValue;
+};
+
+}  // namespace
+
+DeterministicTwoProcProtocol::DeterministicTwoProcProtocol(
+    ConflictPolicy policy, Value max_value)
+    : policy_(policy), max_value_(max_value) {
+  CIL_EXPECTS(max_value >= 1);
+}
+
+std::string DeterministicTwoProcProtocol::name() const {
+  return std::string("deterministic two-process [") + to_string(policy_) + "]";
+}
+
+std::vector<RegisterSpec> DeterministicTwoProcProtocol::registers() const {
+  const int width = bit_width_u64(encode(max_value_));
+  return {
+      {"r0", {0}, {1}, width, encode(kNoValue)},
+      {"r1", {1}, {0}, width, encode(kNoValue)},
+  };
+}
+
+std::unique_ptr<Process> DeterministicTwoProcProtocol::make_process(
+    ProcessId pid) const {
+  CIL_EXPECTS(pid == 0 || pid == 1);
+  return std::make_unique<DeterministicProcess>(pid, policy_);
+}
+
+}  // namespace cil

@@ -1,0 +1,52 @@
+// Deterministic strawman protocols — the victims of Theorem 4.
+//
+// These are Figure 1 with the coin replaced by a deterministic conflict
+// policy. Each of them is perfectly consistent and nontrivial (the decision
+// rule — decide your own value when you read it back or read ⊥ — is exactly
+// the one whose consistency Theorem 6 proves, and that proof never uses the
+// coin). By Theorem 4 they therefore MUST have infinite non-deciding
+// schedules, and the analysis module's BivalenceAdversary constructs those
+// schedules live, which is this repository's executable form of the
+// impossibility proof.
+#pragma once
+
+#include <memory>
+
+#include "sched/protocol.h"
+
+namespace cil {
+
+/// What a deterministic processor does when it reads a conflicting value.
+enum class ConflictPolicy {
+  kKeep,       ///< never change preference ("stubborn")
+  kAdopt,      ///< always take the other's preference ("eager adopter")
+  kAlternate,  ///< keep on odd conflicts, adopt on even ("alternator")
+};
+
+const char* to_string(ConflictPolicy policy);
+
+class DeterministicTwoProcProtocol final : public Protocol {
+ public:
+  explicit DeterministicTwoProcProtocol(ConflictPolicy policy,
+                                        Value max_value = 1);
+
+  std::string name() const override;
+  int num_processes() const override { return 2; }
+  std::vector<RegisterSpec> registers() const override;
+  std::unique_ptr<Process> make_process(ProcessId pid) const override;
+
+  static Word encode(Value v) {
+    return v == kNoValue ? 0 : static_cast<Word>(v) + 1;
+  }
+  static Value decode(Word w) {
+    return w == 0 ? kNoValue : static_cast<Value>(w - 1);
+  }
+
+  ConflictPolicy policy() const { return policy_; }
+
+ private:
+  ConflictPolicy policy_;
+  Value max_value_;
+};
+
+}  // namespace cil

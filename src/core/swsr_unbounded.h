@@ -1,0 +1,53 @@
+// The 1-writer 1-reader variant of the Figure 2 protocol.
+//
+// The paper: "Each processor has a 1-writer 2-reader communication register.
+// In the full paper we prove that the same protocol also works with
+// 1-writer 1-reader registers." The full paper never appeared; this is the
+// natural construction it describes, built and tested here:
+//
+// Each processor i keeps one SWSR register r(i→j) for every peer j and
+// writes its (pref, num) value to all of its n-1 outgoing copies — ONE COPY
+// PER STEP, because a step is a single register operation. Readers read
+// only the copies addressed to them. The copies of one processor are
+// therefore updated non-atomically: a peer can observe copy states from two
+// different phases of the writer. That skew is exactly what makes the
+// variant non-trivial (and presumably what the promised proof had to
+// handle); the decision rules are shared verbatim with the 2-reader
+// implementation (core/a3_rules.h), and the adversarial/drain hunts that
+// refuted our earlier unsound readings pass on this variant too —
+// bench_ablation and the tests report the evidence.
+//
+// Cost: a phase is (n-1) reads + (n-1) copy writes instead of (n-1) reads +
+// 1 write; the coin is flipped once per phase, at the first copy write.
+#pragma once
+
+#include <memory>
+
+#include "sched/protocol.h"
+
+namespace cil {
+
+class SwsrUnboundedProtocol final : public Protocol {
+ public:
+  explicit SwsrUnboundedProtocol(int num_processes, Value max_value = 1);
+
+  std::string name() const override { return "unbounded, SWSR registers"; }
+  int num_processes() const override { return n_; }
+  std::vector<RegisterSpec> registers() const override;
+  std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  std::string describe_word(RegisterId r, Word w) const override;
+
+  /// Register id of writer->reader copy r(i→j), i != j.
+  RegisterId copy_id(ProcessId writer, ProcessId reader) const {
+    CIL_EXPECTS(writer != reader);
+    return writer * (n_ - 1) + (reader < writer ? reader : reader - 1);
+  }
+
+  Value max_value() const { return max_value_; }
+
+ private:
+  int n_;
+  Value max_value_;
+};
+
+}  // namespace cil

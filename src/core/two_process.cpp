@@ -1,0 +1,145 @@
+#include "core/two_process.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/bitfield.h"
+
+namespace cil {
+
+namespace {
+
+/// Program counter of Figure 1. kWriteInput is line (0); kRead is line (1);
+/// kCoinWrite is line (2). Deciding happens inside the read step, as an
+/// internal transition following the read (one I/O op per step). In
+/// preinitialized mode line (0) does not exist — the registers already hold
+/// the inputs.
+enum class Pc : std::int64_t { kWriteInput = 0, kRead = 1, kCoinWrite = 2 };
+
+class TwoProcessProcess final : public Process {
+ public:
+  TwoProcessProcess(ProcessId pid, bool preinitialized)
+      : pid_(pid), preinitialized_(preinitialized) {
+    if (preinitialized_) pc_ = Pc::kRead;
+  }
+
+  void init(Value input) override {
+    CIL_EXPECTS(input >= 0);
+    input_ = input;
+    mine_ = input;
+  }
+
+  void step(StepContext& ctx) override {
+    CIL_EXPECTS(!decided());
+    const RegisterId r_own = pid_;
+    const RegisterId r_other = 1 - pid_;
+    switch (pc_) {
+      case Pc::kWriteInput:
+        ctx.write(r_own, encode(mine_));
+        pc_ = Pc::kRead;
+        break;
+      case Pc::kRead: {
+        seen_ = decode(ctx.read(r_other));
+        if (seen_ == mine_ || seen_ == kNoValue) {
+          decision_ = mine_;
+        } else {
+          pc_ = Pc::kCoinWrite;
+        }
+        break;
+      }
+      case Pc::kCoinWrite: {
+        // Heads: rewrite the old preference (the paper keeps this write for
+        // ease of analysis). Tails: adopt the other's preference.
+        if (!ctx.flip()) mine_ = seen_;
+        ctx.write(r_own, encode(mine_));
+        pc_ = Pc::kRead;
+        break;
+      }
+    }
+  }
+
+  bool decided() const override { return decision_ != kNoValue; }
+  Value decision() const override {
+    CIL_EXPECTS(decided());
+    return decision_;
+  }
+  Value input() const override { return input_; }
+
+  std::vector<std::int64_t> encode_state() const override {
+    return {static_cast<std::int64_t>(pc_), mine_, seen_, decision_, input_};
+  }
+
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<TwoProcessProcess>(*this);
+  }
+
+  std::string debug_string() const override {
+    std::ostringstream os;
+    os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " mine=" << mine_
+       << " seen=" << seen_ << " dec=" << decision_ << "}";
+    return os.str();
+  }
+
+ private:
+  Word encode(Value v) const {
+    return preinitialized_ ? static_cast<Word>(v)
+                           : TwoProcessProtocol::encode(v);
+  }
+  Value decode(Word w) const {
+    return preinitialized_ ? static_cast<Value>(w)
+                           : TwoProcessProtocol::decode(w);
+  }
+
+  ProcessId pid_;
+  bool preinitialized_;
+  Pc pc_ = Pc::kWriteInput;
+  Value input_ = kNoValue;
+  Value mine_ = kNoValue;   ///< current preference (== contents of r_own)
+  Value seen_ = kNoValue;   ///< the paper's v: last value read from r_other
+  Value decision_ = kNoValue;
+};
+
+}  // namespace
+
+TwoProcessProtocol::TwoProcessProtocol(Value max_value)
+    : TwoProcessProtocol(max_value, Options()) {}
+
+TwoProcessProtocol::TwoProcessProtocol(Value max_value, Options options)
+    : max_value_(max_value), options_(options) {
+  CIL_EXPECTS(max_value >= 1);
+}
+
+void TwoProcessProtocol::preset_inputs(Value p0, Value p1) {
+  CIL_EXPECTS(options_.preinitialized_registers);
+  CIL_EXPECTS(p0 >= 0 && p0 <= max_value_ && p1 >= 0 && p1 <= max_value_);
+  preset_[0] = p0;
+  preset_[1] = p1;
+}
+
+std::vector<RegisterSpec> TwoProcessProtocol::registers() const {
+  if (options_.preinitialized_registers) {
+    // The paper's "one bit shared register per processor", literally: no ⊥
+    // is ever stored, so binary values fit in exactly one bit.
+    CIL_CHECK_MSG(preset_[0] != kNoValue && preset_[1] != kNoValue,
+                  "preinitialized mode requires preset_inputs() first");
+    const int width =
+        std::max(1, bit_width_u64(static_cast<Word>(max_value_)));
+    return {
+        {"r0", {0}, {1}, width, static_cast<Word>(preset_[0])},
+        {"r1", {1}, {0}, width, static_cast<Word>(preset_[1])},
+    };
+  }
+  const int width = bit_width_u64(encode(max_value_));
+  return {
+      {"r0", /*writers=*/{0}, /*readers=*/{1}, width, encode(kNoValue)},
+      {"r1", /*writers=*/{1}, /*readers=*/{0}, width, encode(kNoValue)},
+  };
+}
+
+std::unique_ptr<Process> TwoProcessProtocol::make_process(ProcessId pid) const {
+  CIL_EXPECTS(pid == 0 || pid == 1);
+  return std::make_unique<TwoProcessProcess>(
+      pid, options_.preinitialized_registers);
+}
+
+}  // namespace cil

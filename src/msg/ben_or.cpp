@@ -1,0 +1,134 @@
+#include "msg/ben_or.h"
+
+#include <sstream>
+
+namespace cil::msg {
+
+namespace {
+
+// Payload layout: {round, phase, value} with phase in {1,2} and value in
+// {0, 1} or kNull (phase-2 "no proposal").
+constexpr std::int64_t kNull = 2;
+
+class BenOrProcess final : public MsgProcess {
+ public:
+  BenOrProcess(ProcId pid, int n, int t) : pid_(pid), n_(n), t_(t) {}
+
+  std::vector<Message> start(Value input, Rng&) override {
+    CIL_EXPECTS(input == 0 || input == 1);
+    x_ = input;
+    return broadcast(round_, 1, x_);
+  }
+
+  std::vector<Message> on_message(const Message& m, Rng& rng) override {
+    CIL_EXPECTS(m.payload.size() == 3);
+    const std::int64_t round = m.payload[0];
+    const std::int64_t phase = m.payload[1];
+    const std::int64_t value = m.payload[2];
+    CIL_EXPECTS(phase == 1 || phase == 2);
+    CIL_EXPECTS(value >= 0 && value <= kNull);
+    // A decider participates for one more full round (that is enough for
+    // every live peer to see t+1 proposals of the decided value and decide
+    // one round later), then goes quiet. Without the cutoff a decider
+    // floods the network forever and an adversarial (e.g. LIFO) delivery
+    // order could bury a slow process's messages indefinitely.
+    if (decided_ && round_ > decision_round_ + 1) return {};
+    counts_[{round, phase}][value] += 1;
+
+    // Process every threshold we can now cross (buffered future-round
+    // messages may let us advance several times).
+    std::vector<Message> out;
+    while (true) {
+      auto& mine = counts_[{round_, phase_}];
+      const std::int64_t received = mine[0] + mine[1] + mine[2];
+      if (received < n_ - t_) break;
+
+      if (phase_ == 1) {
+        // Proposal: a value held by a strict majority of ALL processes.
+        std::int64_t proposal = kNull;
+        for (const std::int64_t v : {0, 1})
+          if (2 * mine[v] > n_) proposal = v;
+        phase_ = 2;
+        append(out, broadcast(round_, 2, proposal));
+      } else {
+        std::int64_t adopted = kNull;
+        for (const std::int64_t v : {0, 1}) {
+          if (mine[v] >= t_ + 1 && !decided_) {
+            decided_ = true;
+            decision_ = static_cast<Value>(v);
+            decision_round_ = round_;
+          }
+          if (mine[v] >= 1) adopted = v;
+        }
+        if (decided_) {
+          x_ = decision_;
+        } else if (adopted != kNull) {
+          x_ = static_cast<Value>(adopted);
+        } else {
+          x_ = rng.flip() ? 1 : 0;
+        }
+        ++round_;
+        phase_ = 1;
+        if (decided_ && round_ > decision_round_ + 1) break;  // go quiet
+        append(out, broadcast(round_, 1, x_));
+      }
+    }
+    return out;
+  }
+
+  bool decided() const override { return decided_; }
+  Value decision() const override {
+    CIL_EXPECTS(decided_);
+    return decision_;
+  }
+
+  std::string debug_string() const override {
+    std::ostringstream os;
+    os << "P" << pid_ << "{r=" << round_ << " ph=" << phase_ << " x=" << x_
+       << " dec=" << (decided_ ? decision_ : kNoValue) << "}";
+    return os.str();
+  }
+
+ private:
+  std::vector<Message> broadcast(std::int64_t round, std::int64_t phase,
+                                 std::int64_t value) {
+    std::vector<Message> out;
+    out.reserve(n_);
+    for (ProcId q = 0; q < n_; ++q)
+      out.push_back({pid_, q, {round, phase, value}});
+    return out;
+  }
+
+  static void append(std::vector<Message>& dst, std::vector<Message> src) {
+    for (auto& m : src) dst.push_back(std::move(m));
+  }
+
+  ProcId pid_;
+  int n_;
+  int t_;
+  std::int64_t round_ = 0;
+  std::int64_t phase_ = 1;
+  Value x_ = kNoValue;
+  bool decided_ = false;
+  Value decision_ = kNoValue;
+  std::int64_t decision_round_ = -1;
+  /// counts_[{round, phase}][value] = messages received.
+  std::map<std::pair<std::int64_t, std::int64_t>,
+           std::map<std::int64_t, std::int64_t>>
+      counts_;
+};
+
+}  // namespace
+
+BenOrProtocol::BenOrProtocol(int num_processes, int tolerated_crashes)
+    : n_(num_processes), t_(tolerated_crashes) {
+  CIL_EXPECTS(num_processes >= 2);
+  CIL_EXPECTS(tolerated_crashes >= 0 && tolerated_crashes < num_processes);
+}
+
+std::unique_ptr<MsgProcess> BenOrProtocol::make_process(ProcId pid) const {
+  CIL_EXPECTS(pid >= 0 && pid < n_);
+  return std::make_unique<BenOrProcess>(pid, n_, t_);
+}
+
+}  // namespace cil::msg

@@ -1,0 +1,48 @@
+// Ben-Or's randomized consensus for asynchronous message passing — the
+// comparison point the paper names ([6]-style randomized agreement; see
+// also Bracha-Toueg [2]). Binary values, fail-stop faults, parameter t =
+// the number of crashes tolerated. Safety needs t < n/2 (two phase-1
+// majorities must intersect); liveness needs at least n-t live processes.
+//
+// The paper's contrast (abstract + §1): in this model agreement is
+// impossible once half the processors can fail, while the shared-register
+// protocols tolerate t = n-1. bench_message_passing reproduces both sides:
+// Ben-Or within its bound decides; with crashes > t it stalls forever
+// waiting for n-t messages; instantiated with an ILLEGAL t >= n/2 its
+// agreement breaks outright (the hunts find the violating run).
+//
+// Protocol, per round r (processes also deliver to themselves):
+//   phase 1: broadcast (r, 1, x); await n-t round-r phase-1 messages.
+//            If > n/2 of them carry the same v: proposal := v, else ⊥.
+//   phase 2: broadcast (r, 2, proposal); await n-t round-r phase-2
+//            messages. If >= t+1 propose v: decide v. Else if any proposes
+//            v: x := v. Else x := coin flip. Next round.
+// Deciders keep participating (with x latched), which gives everyone else
+// a unanimous round within two rounds of the first decision.
+#pragma once
+
+#include <map>
+
+#include "msg/msg_system.h"
+
+namespace cil::msg {
+
+class BenOrProtocol final : public MsgProtocol {
+ public:
+  /// `t` = crash tolerance the instance is configured for. Values >= n/2
+  /// are accepted deliberately (they reproduce the impossibility side of
+  /// the contrast) — expect agreement violations when you use them.
+  BenOrProtocol(int num_processes, int tolerated_crashes);
+
+  std::string name() const override { return "Ben-Or (message passing)"; }
+  int num_processes() const override { return n_; }
+  std::unique_ptr<MsgProcess> make_process(ProcId pid) const override;
+
+  int tolerated_crashes() const { return t_; }
+
+ private:
+  int n_;
+  int t_;
+};
+
+}  // namespace cil::msg

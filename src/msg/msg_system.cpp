@@ -1,0 +1,95 @@
+#include "msg/msg_system.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cil::msg {
+
+MsgSystem::MsgSystem(const MsgProtocol& protocol, std::vector<Value> inputs,
+                     std::uint64_t seed)
+    : protocol_(protocol), rng_(seed) {
+  const int n = protocol.num_processes();
+  CIL_EXPECTS(static_cast<int>(inputs.size()) == n);
+  crashed_.assign(n, false);
+  procs_.reserve(n);
+  for (ProcId p = 0; p < n; ++p) procs_.push_back(protocol.make_process(p));
+  for (ProcId p = 0; p < n; ++p)
+    enqueue(procs_[p]->start(inputs[p], rng_), p);
+}
+
+void MsgSystem::crash(ProcId p) {
+  CIL_EXPECTS(p >= 0 && p < static_cast<ProcId>(procs_.size()));
+  crashed_[p] = true;
+  // Undelivered messages to or from a crashed process vanish.
+  std::erase_if(in_flight_,
+                [&](const Message& m) { return m.to == p || m.from == p; });
+}
+
+void MsgSystem::enqueue(std::vector<Message> msgs, ProcId from) {
+  for (Message& m : msgs) {
+    CIL_CHECK_MSG(m.to >= 0 && m.to < static_cast<ProcId>(procs_.size()),
+                  "message to unknown process");
+    m.from = from;
+    if (!crashed_[m.to]) in_flight_.push_back(std::move(m));
+  }
+}
+
+bool MsgSystem::step_once(DeliveryScheduler& sched) {
+  bool any_live_undecided = false;
+  for (ProcId p = 0; p < static_cast<ProcId>(procs_.size()); ++p)
+    any_live_undecided |= (!crashed_[p] && !procs_[p]->decided());
+  if (!any_live_undecided || in_flight_.empty()) return false;
+
+  const std::size_t idx = sched.pick(in_flight_, rng_);
+  CIL_CHECK_MSG(idx < in_flight_.size(), "scheduler picked a bad message");
+  const Message m = in_flight_[idx];
+  in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(idx));
+  ++deliveries_;
+
+  enqueue(procs_[m.to]->on_message(m, rng_), m.to);
+  check_agreement();
+  return true;
+}
+
+void MsgSystem::check_agreement() const {
+  Value first = kNoValue;
+  for (const auto& p : procs_) {
+    if (!p->decided()) continue;
+    if (first == kNoValue) {
+      first = p->decision();
+    } else if (p->decision() != first) {
+      std::ostringstream os;
+      os << "message-passing agreement violated: " << first << " vs "
+         << p->decision();
+      throw std::runtime_error(os.str());
+    }
+  }
+}
+
+MsgResult MsgSystem::run(DeliveryScheduler& sched,
+                         std::int64_t max_deliveries) {
+  while (deliveries_ < max_deliveries) {
+    if (!step_once(sched)) break;
+  }
+  return result();
+}
+
+MsgResult MsgSystem::result() const {
+  MsgResult r;
+  r.deliveries = deliveries_;
+  r.all_live_decided = true;
+  bool live_undecided = false;
+  for (ProcId p = 0; p < static_cast<ProcId>(procs_.size()); ++p) {
+    const bool decided = procs_[p]->decided();
+    r.decisions.push_back(decided ? procs_[p]->decision() : kNoValue);
+    if (decided && !r.decision) r.decision = procs_[p]->decision();
+    if (!crashed_[p] && !decided) {
+      r.all_live_decided = false;
+      live_undecided = true;
+    }
+  }
+  r.stuck = live_undecided && in_flight_.empty();
+  return r;
+}
+
+}  // namespace cil::msg

@@ -1,0 +1,125 @@
+// An asynchronous message-passing substrate — the model the paper CONTRASTS
+// itself with (§1/§2: consensus "was traditionally studied" with message
+// buffers "assumed to have the capability of holding unlimited number of
+// different messages"; Bracha-Toueg [2] show randomized agreement there is
+// impossible with >= n/2 faults, while the paper's shared-register
+// protocols tolerate n-1).
+//
+// Model: processes communicate by unbounded, unordered message buffers. The
+// adversary is the delivery scheduler: each step it either delivers one
+// in-flight message to its destination (the destination then computes and
+// may send messages) or fail-stops a process. Messages to or from crashed
+// processes are dropped. This is the standard asynchronous network with
+// fail-stop faults used by Ben-Or [6-style] protocols.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/process.h"  // for Value / kNoValue
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cil::msg {
+
+using ProcId = int;
+
+/// A message in flight. Payload is protocol-defined (small POD of ints).
+struct Message {
+  ProcId from = -1;
+  ProcId to = -1;
+  std::vector<std::int64_t> payload;
+};
+
+/// A message-passing process: reacts to deliveries, may send messages.
+class MsgProcess {
+ public:
+  virtual ~MsgProcess() = default;
+
+  /// Called once before any delivery; returns the initial messages to send.
+  virtual std::vector<Message> start(Value input, Rng& rng) = 0;
+
+  /// Deliver one message; returns the messages sent in response. May flip
+  /// coins through `rng`.
+  virtual std::vector<Message> on_message(const Message& m, Rng& rng) = 0;
+
+  virtual bool decided() const = 0;
+  virtual Value decision() const = 0;
+  virtual std::string debug_string() const = 0;
+};
+
+class MsgProtocol {
+ public:
+  virtual ~MsgProtocol() = default;
+  virtual std::string name() const = 0;
+  virtual int num_processes() const = 0;
+  virtual std::unique_ptr<MsgProcess> make_process(ProcId pid) const = 0;
+};
+
+/// The delivery adversary: picks which in-flight message index to deliver
+/// next (from MsgSystem::in_flight()).
+class DeliveryScheduler {
+ public:
+  virtual ~DeliveryScheduler() = default;
+  virtual std::size_t pick(const std::vector<Message>& in_flight,
+                          Rng& rng) = 0;
+};
+
+/// Delivers a uniformly random in-flight message.
+class RandomDelivery final : public DeliveryScheduler {
+ public:
+  std::size_t pick(const std::vector<Message>& in_flight, Rng& rng) override {
+    CIL_EXPECTS(!in_flight.empty());
+    return static_cast<std::size_t>(rng.below(in_flight.size()));
+  }
+};
+
+struct MsgResult {
+  bool all_live_decided = false;
+  std::optional<Value> decision;
+  std::vector<Value> decisions;
+  std::int64_t deliveries = 0;
+  bool stuck = false;  ///< live undecided processes but nothing deliverable
+};
+
+/// The engine. Checks agreement (consistency) after every delivery.
+class MsgSystem {
+ public:
+  MsgSystem(const MsgProtocol& protocol, std::vector<Value> inputs,
+            std::uint64_t seed);
+
+  /// Fail-stop a process: it no longer receives or sends; its undelivered
+  /// messages are dropped.
+  void crash(ProcId p);
+
+  bool crashed(ProcId p) const { return crashed_[p]; }
+  const std::vector<Message>& in_flight() const { return in_flight_; }
+  const MsgProcess& process(ProcId p) const { return *procs_[p]; }
+  std::int64_t deliveries() const { return deliveries_; }
+
+  /// Deliver one message chosen by `sched`. Returns false if nothing is
+  /// deliverable or every live process has decided.
+  bool step_once(DeliveryScheduler& sched);
+
+  /// Run until quiescent / decided / the delivery budget.
+  MsgResult run(DeliveryScheduler& sched, std::int64_t max_deliveries);
+
+  MsgResult result() const;
+
+ private:
+  void enqueue(std::vector<Message> msgs, ProcId from);
+  void check_agreement() const;
+
+  const MsgProtocol& protocol_;
+  std::vector<std::unique_ptr<MsgProcess>> procs_;
+  std::vector<bool> crashed_;
+  std::vector<Message> in_flight_;
+  std::int64_t deliveries_ = 0;
+  Rng rng_;
+};
+
+}  // namespace cil::msg

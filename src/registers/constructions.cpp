@@ -1,0 +1,32 @@
+#include "registers/constructions.h"
+
+namespace cil::hw {
+
+RegularUnaryWord::RegularUnaryWord(int num_values, int initial,
+                                   std::uint64_t seed) {
+  CIL_EXPECTS(num_values >= 2);
+  CIL_EXPECTS(initial >= 0 && initial < num_values);
+  SplitMix64 sm(seed);
+  for (int i = 0; i < num_values; ++i)
+    bits_.emplace_back(/*initial=*/i == initial, /*flicker_seed=*/sm.next());
+}
+
+void RegularUnaryWord::write(int v) {
+  CIL_EXPECTS(v >= 0 && v < num_values());
+  // Lamport's unary protocol: publish the new value, then retract the lower
+  // ones in descending order so a concurrent ascending scan always meets a
+  // set bit belonging to either the old or the new value.
+  bits_[v].write(true);
+  for (int k = v - 1; k >= 0; --k) bits_[k].write(false);
+}
+
+int RegularUnaryWord::read() const {
+  for (int k = 0; k < num_values(); ++k) {
+    if (bits_[k].read()) return k;
+  }
+  // Unreachable in correct single-writer use: the lowest set bit can only
+  // move transiently and the top value is never cleared by a write of it.
+  throw ContractViolation("RegularUnaryWord: no bit set during read");
+}
+
+}  // namespace cil::hw

@@ -1,0 +1,336 @@
+// Register constructions over raw asynchronous hardware.
+//
+// The paper's system runs on "single reader, single writer, bounded size
+// registers ... implementable in existing technology", citing Lamport's
+// "On Interprocess Communication" for the constructions. This header builds
+// that substrate bottom-up, for real std::thread concurrency:
+//
+//   FlickerSafeBit      safe 1-bit cell: a read overlapping a write may
+//                       return anything (we deliberately flicker).
+//   RegularBit          regular 1-bit SWSR from a safe bit (Lamport: write
+//                       only on change).
+//   RegularUnaryWord    m-valued regular SWSR from regular bits (Lamport's
+//                       unary construction: set the new bit, clear below).
+//   SafeCell<T>         multi-byte safe cell (per-byte relaxed atomics, so
+//                       overlapping reads can tear — safe semantics without
+//                       C++ undefined behaviour).
+//   FourSlotAtomic<T>   Simpson's four-slot algorithm: wait-free *atomic*
+//                       SWSR register of arbitrary payload from safe cells
+//                       plus four atomic control bits.
+//   AtomicSwmr<T>       single-writer multi-reader atomic register from
+//                       SWSR atomics (Vitányi–Awerbuch style: per-reader
+//                       copies + reader-to-reader propagation, 64-bit
+//                       timestamps standing in for unbounded ones).
+//   AtomicMwmr<T>       multi-writer multi-reader atomic register from SWMR
+//                       atomics (collect-max-timestamp construction).
+//
+// Thread-safety contracts: each class documents which methods may be called
+// by which single thread. Violating the single-writer / per-reader-slot
+// discipline voids all guarantees (and the tests check the discipline is
+// enough, via the history checker in history.h).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cil::hw {
+
+/// A safe boolean register: if a read overlaps a write, the read may return
+/// an arbitrary value. We model that honestly by having the writer publish a
+/// random intermediate value before the final one ("flicker"), which is what
+/// a 1987 flip-flop settling between states looks like to an asynchronous
+/// reader.
+class FlickerSafeBit {
+ public:
+  explicit FlickerSafeBit(bool initial = false)
+      : cell_(initial ? 1 : 0) {}
+
+  /// Single writer thread only.
+  void write(bool v, Rng& rng) {
+    cell_.store(rng.flip() ? 1 : 0, std::memory_order_relaxed);  // flicker
+    cell_.store(v ? 1 : 0, std::memory_order_release);
+  }
+
+  /// Single reader thread only.
+  bool read() const { return cell_.load(std::memory_order_acquire) != 0; }
+
+ private:
+  std::atomic<std::uint8_t> cell_;
+};
+
+/// Regular SWSR bit from a safe bit: the writer physically writes only when
+/// the value changes, so an overlapping read can only return the old or the
+/// new value — which for a bit is exactly regularity (Lamport, IPC part I).
+class RegularBit {
+ public:
+  explicit RegularBit(bool initial, std::uint64_t flicker_seed)
+      : bit_(initial), shadow_(initial), rng_(flicker_seed) {}
+
+  /// Single writer thread only.
+  void write(bool v) {
+    if (v != shadow_) {
+      bit_.write(v, rng_);
+      shadow_ = v;
+    }
+  }
+
+  /// Single reader thread only.
+  bool read() const { return bit_.read(); }
+
+ private:
+  FlickerSafeBit bit_;
+  bool shadow_;  // writer-local copy of the last written value
+  Rng rng_;      // writer-local flicker source
+};
+
+/// m-valued regular SWSR register from regular bits (Lamport's unary
+/// construction): value v is represented by bit v being the lowest set bit.
+/// write(v): set bit v, then clear bits v-1 .. 0 (descending).
+/// read():   scan bits 0 .. m-1 ascending, return the first set index.
+class RegularUnaryWord {
+ public:
+  RegularUnaryWord(int num_values, int initial, std::uint64_t seed);
+
+  /// Single writer thread only. v in [0, num_values).
+  void write(int v);
+
+  /// Single reader thread only. Returns a value in [0, num_values).
+  int read() const;
+
+  int num_values() const { return static_cast<int>(bits_.size()); }
+
+ private:
+  // deque: RegularBit holds atomics and is immovable; deque constructs
+  // elements in place and never relocates them.
+  std::deque<RegularBit> bits_;
+};
+
+/// A multi-byte safe cell: bytes are stored/loaded individually with relaxed
+/// atomics, so a read overlapping a write may observe a torn mixture — safe
+/// register semantics, implemented without data races in the C++ sense.
+/// T must be trivially copyable.
+template <typename T>
+class SafeCell {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SafeCell() { write(T{}); }
+  explicit SafeCell(const T& initial) { write(initial); }
+
+  /// May be called concurrently with read(); torn reads are the caller's
+  /// problem (that is the point of a safe register).
+  void write(const T& v) {
+    std::array<std::uint8_t, sizeof(T)> raw;
+    std::memcpy(raw.data(), &v, sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      bytes_[i].store(raw[i], std::memory_order_relaxed);
+  }
+
+  T read() const {
+    std::array<std::uint8_t, sizeof(T)> raw;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      raw[i] = bytes_[i].load(std::memory_order_relaxed);
+    T v;
+    std::memcpy(&v, raw.data(), sizeof(T));
+    return v;
+  }
+
+ private:
+  std::array<std::atomic<std::uint8_t>, sizeof(T)> bytes_{};
+};
+
+/// Simpson's four-slot algorithm (1990 formulation of the classic fully
+/// asynchronous communication mechanism): a wait-free atomic SWSR register
+/// holding an arbitrary trivially-copyable payload, built from four safe
+/// data slots and four atomic control bits. The writer and the reader never
+/// access the same slot concurrently, so torn reads cannot happen even
+/// though the slots themselves are only safe.
+template <typename T>
+class FourSlotAtomic {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit FourSlotAtomic(const T& initial = T{}) {
+    slots_[0][0].write(initial);
+    slot_index_[0].store(0, std::memory_order_relaxed);
+    slot_index_[1].store(0, std::memory_order_relaxed);
+    latest_.store(0, std::memory_order_relaxed);
+    reading_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Single writer thread only.
+  void write(const T& v) {
+    const int pair = 1 - reading_.load(std::memory_order_seq_cst);
+    const int slot = 1 - slot_index_[pair].load(std::memory_order_relaxed);
+    slots_[pair][slot].write(v);
+    slot_index_[pair].store(slot, std::memory_order_release);
+    latest_.store(pair, std::memory_order_seq_cst);
+  }
+
+  /// Single reader thread only.
+  T read() const {
+    const int pair = latest_.load(std::memory_order_seq_cst);
+    reading_.store(pair, std::memory_order_seq_cst);
+    const int slot = slot_index_[pair].load(std::memory_order_acquire);
+    return slots_[pair][slot].read();
+  }
+
+ private:
+  mutable SafeCell<T> slots_[2][2];
+  std::atomic<int> slot_index_[2];  // writer-owned: last slot written in pair
+  std::atomic<int> latest_;         // writer-owned: last pair written
+  mutable std::atomic<int> reading_;  // reader-owned: pair being read
+};
+
+/// Timestamped payload used by the multi-reader constructions. The 64-bit
+/// timestamp stands in for the unbounded timestamps of the classical
+/// constructions (see DESIGN.md §4: overflow probability is negligible and
+/// checked).
+template <typename T>
+struct Stamped {
+  std::uint64_t ts = 0;
+  T value{};
+};
+
+/// Single-writer multi-reader atomic register from SWSR atomic registers.
+/// Layout: V[i] writer→reader-i copies; C[j][i] reader-j→reader-i
+/// propagation cells. A reader returns the freshest stamp it can see and
+/// forwards it to the other readers, which is what rules out new/old
+/// inversions between readers.
+template <typename T>
+class AtomicSwmr {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  AtomicSwmr(int num_readers, const T& initial)
+      : n_(num_readers) {
+    CIL_EXPECTS(num_readers >= 1);
+    const Stamped<T> init{0, initial};
+    v_.reserve(n_);
+    for (int i = 0; i < n_; ++i)
+      v_.push_back(std::make_unique<FourSlotAtomic<Stamped<T>>>(init));
+    c_.resize(static_cast<std::size_t>(n_) * n_);
+    for (auto& cell : c_)
+      cell = std::make_unique<FourSlotAtomic<Stamped<T>>>(init);
+  }
+
+  /// Single writer thread only.
+  void write(const T& value) {
+    ++write_ts_;
+    CIL_CHECK_MSG(write_ts_ != 0, "timestamp overflow");
+    const Stamped<T> s{write_ts_, value};
+    for (int i = 0; i < n_; ++i) v_[i]->write(s);
+  }
+
+  /// Reader slot `reader` (in [0, num_readers)) must be used by at most one
+  /// thread. Returns the value; `ts_out`, if non-null, receives the stamp
+  /// (used by the linearizability tests).
+  T read(int reader, std::uint64_t* ts_out = nullptr) {
+    CIL_EXPECTS(reader >= 0 && reader < n_);
+    Stamped<T> best = v_[reader]->read();
+    for (int j = 0; j < n_; ++j) {
+      if (j == reader) continue;
+      const Stamped<T> c = cell(j, reader).read();
+      if (c.ts > best.ts) best = c;
+    }
+    for (int k = 0; k < n_; ++k) {
+      if (k == reader) continue;
+      cell(reader, k).write(best);
+    }
+    if (ts_out != nullptr) *ts_out = best.ts;
+    return best.value;
+  }
+
+  int num_readers() const { return n_; }
+
+ private:
+  FourSlotAtomic<Stamped<T>>& cell(int from, int to) {
+    return *c_[static_cast<std::size_t>(from) * n_ + to];
+  }
+
+  int n_;
+  std::uint64_t write_ts_ = 0;  // writer-local
+  std::vector<std::unique_ptr<FourSlotAtomic<Stamped<T>>>> v_;
+  std::vector<std::unique_ptr<FourSlotAtomic<Stamped<T>>>> c_;
+};
+
+/// Multi-writer multi-reader atomic register from SWMR atomic registers:
+/// each writer owns one SWMR register; a write collects the maximum
+/// timestamp and publishes (max+1, writer-id, value); a read returns the
+/// lexicographically largest (ts, writer-id) entry. Standard construction;
+/// atomic given unbounded (here: 64-bit, checked) timestamps.
+template <typename T>
+class AtomicMwmr {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  AtomicMwmr(int num_writers, int num_readers, const T& initial)
+      : m_(num_writers), n_(num_readers) {
+    CIL_EXPECTS(num_writers >= 1 && num_readers >= 1);
+    // Each per-writer SWMR register is read by every writer (during the
+    // collect phase) and every reader: m + n reader slots.
+    regs_.reserve(m_);
+    for (int w = 0; w < m_; ++w)
+      regs_.push_back(std::make_unique<AtomicSwmr<Entry>>(
+          m_ + n_, Entry{0, 0, initial}));
+  }
+
+  /// Writer slot `writer` must be used by at most one thread.
+  /// Returns the timestamp chosen (for the linearizability tests).
+  std::uint64_t write(int writer, const T& value) {
+    CIL_EXPECTS(writer >= 0 && writer < m_);
+    std::uint64_t max_ts = 0;
+    for (int u = 0; u < m_; ++u) {
+      const Entry e = regs_[u]->read(/*reader slot=*/writer);
+      max_ts = std::max(max_ts, e.ts);
+    }
+    const std::uint64_t ts = max_ts + 1;
+    CIL_CHECK_MSG(ts != 0, "timestamp overflow");
+    regs_[writer]->write(Entry{ts, writer, value});
+    return ts;
+  }
+
+  /// Reader slot `reader` must be used by at most one thread.
+  /// `stamp_out`, if non-null, receives (ts << 16 | writer-id) — a total
+  /// order on writes — for the linearizability tests.
+  T read(int reader, std::uint64_t* stamp_out = nullptr) {
+    CIL_EXPECTS(reader >= 0 && reader < n_);
+    Entry best{0, 0, T{}};
+    bool have = false;
+    for (int u = 0; u < m_; ++u) {
+      const Entry e = regs_[u]->read(/*reader slot=*/m_ + reader);
+      if (!have || e.ts > best.ts || (e.ts == best.ts && e.writer > best.writer)) {
+        best = e;
+        have = true;
+      }
+    }
+    if (stamp_out != nullptr)
+      *stamp_out = (best.ts << 16) | static_cast<std::uint64_t>(best.writer);
+    return best.value;
+  }
+
+  int num_writers() const { return m_; }
+  int num_readers() const { return n_; }
+
+ private:
+  struct Entry {
+    std::uint64_t ts;
+    std::int32_t writer;
+    T value;
+  };
+
+  int m_;
+  int n_;
+  std::vector<std::unique_ptr<AtomicSwmr<Entry>>> regs_;
+};
+
+}  // namespace cil::hw

@@ -1,0 +1,190 @@
+#include "registers/history.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace cil::hw {
+
+namespace {
+
+std::string describe(const OpRecord& op) {
+  std::ostringstream os;
+  os << (op.kind == OpRecord::Kind::kWrite ? "write" : "read") << "(actor "
+     << op.actor << ", value " << op.value << ", stamp " << op.stamp << ", ["
+     << op.start_ns << "," << op.end_ns << "])";
+  return os.str();
+}
+
+/// For each op (in the caller's chosen order), the maximum `key` over all
+/// ops that *completed* strictly before the op started. Generic sweep used
+/// by both checkers.
+struct CompletedPrefixMax {
+  // (end_ns, key) sorted by end_ns with running prefix max of key.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> by_end;
+
+  template <typename KeyFn>
+  void build(const std::vector<OpRecord>& ops, KeyFn key) {
+    by_end.reserve(ops.size());
+    for (const auto& op : ops) by_end.emplace_back(op.end_ns, key(op));
+    std::sort(by_end.begin(), by_end.end());
+    std::uint64_t running = 0;
+    for (auto& [end, k] : by_end) {
+      running = std::max(running, k);
+      k = running;
+    }
+  }
+
+  /// Max key among ops with end < t; 0 if none.
+  std::uint64_t max_before(std::int64_t t) const {
+    const auto it = std::lower_bound(
+        by_end.begin(), by_end.end(), t,
+        [](const auto& p, std::int64_t v) { return p.first < v; });
+    if (it == by_end.begin()) return 0;
+    return std::prev(it)->second;
+  }
+};
+
+}  // namespace
+
+std::vector<OpRecord> merge_histories(const std::vector<HistoryLog>& logs) {
+  std::vector<OpRecord> all;
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.ops().size();
+  all.reserve(total);
+  for (const auto& log : logs)
+    all.insert(all.end(), log.ops().begin(), log.ops().end());
+  std::sort(all.begin(), all.end(), [](const OpRecord& a, const OpRecord& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return all;
+}
+
+CheckResult check_single_writer_atomicity(std::vector<OpRecord> history,
+                                          std::uint64_t initial_value) {
+  std::vector<OpRecord> writes;
+  std::vector<OpRecord> reads;
+  for (const auto& op : history) {
+    (op.kind == OpRecord::Kind::kWrite ? writes : reads).push_back(op);
+  }
+
+  // Single writer: writes are sequential, so start order == program order.
+  std::sort(writes.begin(), writes.end(),
+            [](const OpRecord& a, const OpRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  for (std::size_t i = 1; i < writes.size(); ++i) {
+    if (writes[i].actor != writes[0].actor)
+      return {false, "multiple writer actors in single-writer history"};
+    if (writes[i].start_ns < writes[i - 1].end_ns)
+      return {false, "writer operations overlap: " + describe(writes[i])};
+  }
+
+  // Index 0 is a synthetic write of the initial value, before time.
+  std::unordered_map<std::uint64_t, std::size_t> index_of_value;
+  index_of_value[initial_value] = 0;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    const auto [it, inserted] = index_of_value.insert({writes[i].value, i + 1});
+    if (!inserted) return {false, "duplicate write value " + describe(writes[i])};
+  }
+  const auto write_start = [&](std::size_t idx) -> std::int64_t {
+    return idx == 0 ? std::numeric_limits<std::int64_t>::min()
+                    : writes[idx - 1].start_ns;
+  };
+  // Regularity: each read returns a write that started before the read ended
+  // and that is not older than the last write completed before the read
+  // began.
+  std::vector<std::size_t> read_write_index(reads.size());
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    const auto it = index_of_value.find(reads[r].value);
+    if (it == index_of_value.end())
+      return {false, "read returned a never-written value: " + describe(reads[r])};
+    const std::size_t i = it->second;
+    read_write_index[r] = i;
+    if (write_start(i) > reads[r].end_ns)
+      return {false, "read returned a future write: " + describe(reads[r])};
+    // last write completed before the read started:
+    std::size_t last_complete = 0;
+    {
+      // writes are sorted; binary search on end < reads[r].start
+      std::size_t lo = 0, hi = writes.size();
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (writes[mid].end_ns < reads[r].start_ns)
+          lo = mid + 1;
+        else
+          hi = mid;
+      }
+      last_complete = lo;  // number of fully completed writes == its index
+    }
+    if (i < last_complete)
+      return {false, "stale read (overwritten before read began): " +
+                         describe(reads[r])};
+  }
+
+  // No new/old inversion: if read r1 completes before read r2 starts, r2 must
+  // not return an older write than r1.
+  CompletedPrefixMax sweep;
+  {
+    std::vector<OpRecord> annotated = reads;
+    for (std::size_t r = 0; r < reads.size(); ++r)
+      annotated[r].stamp = read_write_index[r];
+    sweep.build(annotated, [](const OpRecord& op) { return op.stamp; });
+    for (std::size_t r = 0; r < reads.size(); ++r) {
+      const std::uint64_t required = sweep.max_before(reads[r].start_ns);
+      if (read_write_index[r] < required)
+        return {false, "new/old inversion at " + describe(reads[r])};
+    }
+  }
+
+  return {true, ""};
+}
+
+CheckResult check_stamped_linearizability(std::vector<OpRecord> history) {
+  // Writes must have pairwise distinct stamps.
+  {
+    std::vector<std::uint64_t> stamps;
+    for (const auto& op : history)
+      if (op.kind == OpRecord::Kind::kWrite) stamps.push_back(op.stamp);
+    std::sort(stamps.begin(), stamps.end());
+    if (std::adjacent_find(stamps.begin(), stamps.end()) != stamps.end())
+      return {false, "two writes share a stamp"};
+  }
+
+  // Every read's stamp must belong to some write (or be the initial 0), and
+  // that write must have started before the read ended.
+  std::unordered_map<std::uint64_t, const OpRecord*> write_by_stamp;
+  for (const auto& op : history)
+    if (op.kind == OpRecord::Kind::kWrite) write_by_stamp[op.stamp] = &op;
+  for (const auto& op : history) {
+    if (op.kind != OpRecord::Kind::kRead || op.stamp == 0) continue;
+    const auto it = write_by_stamp.find(op.stamp);
+    if (it == write_by_stamp.end())
+      return {false, "read returned unknown stamp: " + describe(op)};
+    if (it->second->start_ns > op.end_ns)
+      return {false, "read returned a future write: " + describe(op)};
+  }
+
+  // Real-time order must embed into stamp order: for any op o, its stamp must
+  // be >= the max stamp of all ops completed before o started — strictly
+  // greater when o is a write (writes have unique stamps and supersede
+  // everything they real-time-follow).
+  CompletedPrefixMax sweep;
+  sweep.build(history, [](const OpRecord& op) { return op.stamp; });
+  for (const auto& op : history) {
+    const std::uint64_t lower = sweep.max_before(op.start_ns);
+    if (op.kind == OpRecord::Kind::kWrite) {
+      if (op.stamp <= lower && lower != 0)
+        return {false, "write stamp not above completed ops: " + describe(op)};
+    } else {
+      if (op.stamp < lower)
+        return {false, "read saw older value than a completed op: " + describe(op)};
+    }
+  }
+  return {true, ""};
+}
+
+}  // namespace cil::hw

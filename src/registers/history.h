@@ -1,0 +1,66 @@
+// Concurrent-history recording and atomicity checking.
+//
+// The stress tests for the register constructions record every operation as
+// a real-time interval plus its value, then check the resulting history
+// against Lamport's register semantics:
+//
+//   * single-writer atomicity  =  regularity (each read returns the value of
+//     an overlapping or most-recently-completed write) + absence of new/old
+//     inversions between reads that do not overlap each other;
+//   * stamped linearizability  =  for constructions that expose a total
+//     write order via timestamps, real-time order must embed into stamp
+//     order.
+//
+// Intervals come from std::chrono::steady_clock taken immediately before and
+// after each operation, so every interval contains the operation's
+// linearization point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cil::hw {
+
+struct OpRecord {
+  enum class Kind { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  int actor = 0;            ///< thread/slot id of the performer
+  std::uint64_t value = 0;  ///< value written, or value returned by the read
+  std::uint64_t stamp = 0;  ///< construction-exposed stamp (0 if none)
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+/// Per-thread operation log; merge before checking.
+class HistoryLog {
+ public:
+  void record(OpRecord op) { ops_.push_back(op); }
+  const std::vector<OpRecord>& ops() const { return ops_; }
+  void reserve(std::size_t n) { ops_.reserve(n); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+std::vector<OpRecord> merge_histories(const std::vector<HistoryLog>& logs);
+
+struct CheckResult {
+  bool ok = true;
+  std::string diagnosis;  ///< first violation found, human readable
+};
+
+/// Atomicity check for a *single-writer* history. Requirements on input:
+/// exactly one actor performs writes, writes carry pairwise distinct values,
+/// and `initial_value` is distinct from all written values unless written.
+CheckResult check_single_writer_atomicity(std::vector<OpRecord> history,
+                                          std::uint64_t initial_value);
+
+/// Linearizability check for stamped histories (AtomicSwmr/AtomicMwmr expose
+/// a stamp that totally orders writes; a read's stamp is the stamp of the
+/// write it returns). Checks real-time order embeds into stamp order and
+/// that reads never return values older than a write completed before they
+/// began.
+CheckResult check_stamped_linearizability(std::vector<OpRecord> history);
+
+}  // namespace cil::hw

@@ -1,0 +1,92 @@
+#include "registers/register_file.h"
+
+#include <algorithm>
+
+#include "util/bitfield.h"
+
+namespace cil {
+
+namespace {
+bool contains(const std::vector<ProcessId>& set, ProcessId p) {
+  return std::find(set.begin(), set.end(), p) != set.end();
+}
+}  // namespace
+
+RegisterFile::RegisterFile(std::vector<RegisterSpec> specs)
+    : specs_(std::move(specs)) {
+  values_.reserve(specs_.size());
+  stats_.resize(specs_.size());
+  for (const auto& s : specs_) {
+    CIL_CHECK_MSG(!s.writers.empty(), "register needs at least one writer");
+    CIL_CHECK_MSG(!s.readers.empty(), "register needs at least one reader");
+    CIL_CHECK_MSG(s.width_bits >= 1 && s.width_bits <= 64,
+                  "register width must be in [1,64]");
+    CIL_CHECK_MSG(bit_width_u64(s.initial) <= s.width_bits,
+                  "initial value exceeds declared width: " + s.name);
+    values_.push_back(s.initial);
+  }
+}
+
+void RegisterFile::check_id(RegisterId r) const {
+  CIL_EXPECTS(r >= 0 && r < size());
+}
+
+Word RegisterFile::read(RegisterId r, ProcessId p) {
+  check_id(r);
+  CIL_CHECK_MSG(contains(specs_[r].readers, p),
+                "process not in reader set of " + specs_[r].name);
+  ++stats_[r].reads;
+  return values_[r];
+}
+
+void RegisterFile::write(RegisterId r, ProcessId p, Word value) {
+  check_id(r);
+  CIL_CHECK_MSG(contains(specs_[r].writers, p),
+                "process not in writer set of " + specs_[r].name);
+  CIL_CHECK_MSG(bit_width_u64(value) <= specs_[r].width_bits,
+                "write exceeds declared width of " + specs_[r].name);
+  ++stats_[r].writes;
+  stats_[r].max_bits_written =
+      std::max(stats_[r].max_bits_written, bit_width_u64(value));
+  values_[r] = value;
+}
+
+Word RegisterFile::peek(RegisterId r) const {
+  check_id(r);
+  return values_[r];
+}
+
+const RegisterSpec& RegisterFile::spec(RegisterId r) const {
+  check_id(r);
+  return specs_[r];
+}
+
+const RegisterStats& RegisterFile::stats(RegisterId r) const {
+  check_id(r);
+  return stats_[r];
+}
+
+int RegisterFile::max_bits_written() const {
+  int m = 0;
+  for (const auto& s : stats_) m = std::max(m, s.max_bits_written);
+  return m;
+}
+
+std::int64_t RegisterFile::total_reads() const {
+  std::int64_t t = 0;
+  for (const auto& s : stats_) t += s.reads;
+  return t;
+}
+
+std::int64_t RegisterFile::total_writes() const {
+  std::int64_t t = 0;
+  for (const auto& s : stats_) t += s.writes;
+  return t;
+}
+
+void RegisterFile::restore(const std::vector<Word>& snap) {
+  CIL_EXPECTS(snap.size() == values_.size());
+  values_ = snap;
+}
+
+}  // namespace cil

@@ -1,0 +1,79 @@
+// The simulated shared-memory substrate.
+//
+// A RegisterFile is the set of shared atomic registers of one asynchronous
+// system (paper §2): each register has a declared set of readers, a declared
+// set of writers, and a declared width in bits. Because the whole execution
+// is serialized by the simulation engine (the paper's global-time argument),
+// plain words suffice here; atomicity is by construction. What the file adds
+// is *enforcement* — single-writer/single-reader discipline and bounded
+// width are checked on every access — and *instrumentation*: operation
+// counts and per-register value high-water marks, which the benches use to
+// measure the (un)boundedness claims of Theorems 9 and Section 6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cil {
+
+using Word = std::uint64_t;
+using RegisterId = int;
+using ProcessId = int;
+
+/// Static description of one shared register.
+struct RegisterSpec {
+  std::string name;
+  std::vector<ProcessId> writers;  ///< processes allowed to write
+  std::vector<ProcessId> readers;  ///< processes allowed to read
+  int width_bits = 64;             ///< declared size; writes must fit
+  Word initial = 0;                ///< the paper's ⊥ is encoded per-protocol
+};
+
+/// Per-register instrumentation counters.
+struct RegisterStats {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  int max_bits_written = 0;  ///< high-water mark of bit_width(value) over writes
+};
+
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::vector<RegisterSpec> specs);
+
+  int size() const { return static_cast<int>(specs_.size()); }
+
+  /// Atomic read by process `p`. Enforces the reader set.
+  Word read(RegisterId r, ProcessId p);
+
+  /// Atomic write by process `p`. Enforces the writer set and the width.
+  void write(RegisterId r, ProcessId p, Word value);
+
+  /// Unchecked read for schedulers/analysers (they are outside the model and
+  /// the adaptive adversary is allowed to see everything).
+  Word peek(RegisterId r) const;
+
+  const RegisterSpec& spec(RegisterId r) const;
+  const RegisterStats& stats(RegisterId r) const;
+
+  /// Largest bit width written to any register so far (Theorem 9 probe).
+  int max_bits_written() const;
+  std::int64_t total_reads() const;
+  std::int64_t total_writes() const;
+
+  /// Snapshot/restore of register contents only (stats are not part of the
+  /// configuration); used by the model checker to branch executions.
+  std::vector<Word> snapshot() const { return values_; }
+  void restore(const std::vector<Word>& snap);
+
+ private:
+  void check_id(RegisterId r) const;
+
+  std::vector<RegisterSpec> specs_;
+  std::vector<Word> values_;
+  std::vector<RegisterStats> stats_;
+};
+
+}  // namespace cil

@@ -1,0 +1,113 @@
+// Wait-free atomic snapshot — the canonical follow-on object of the
+// shared-register model this paper helped establish (Afek, Attiya, Dolev,
+// Gafni, Merritt, Shavit 1990; unbounded-sequence-number version).
+//
+// n writers each own one component; update(i, v) sets component i and
+// scan() returns a vector of all n components that is a CONSISTENT CUT:
+// every scan is linearizable to a single instant. Construction:
+//
+//   * each component register holds (value, seq, embedded-view), stored in
+//     one of OUR single-writer multi-reader atomic registers
+//     (hw::AtomicSwmr, i.e. built down to safe bits + Simpson slots);
+//   * update(i, v): take a scan, then write (v, seq+1, that scan);
+//   * scan(): collect all registers repeatedly; two identical consecutive
+//     collects form a direct snapshot; otherwise, once some writer has been
+//     observed to MOVE TWICE during this scan, its second write's embedded
+//     view was taken entirely within our scan interval — borrow it.
+//
+// Wait-free: after n+1 collects either two were identical or some writer
+// moved twice (pigeonhole). 64-bit sequence numbers stand in for unbounded
+// ones (DESIGN.md §4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "registers/constructions.h"
+
+namespace cil::hw {
+
+/// Atomic snapshot over N components for up to N threads (thread i is the
+/// writer of component i; every thread may scan).
+template <int N>
+class AtomicSnapshot {
+  static_assert(N >= 2 && N <= 16, "payloads must stay trivially copyable");
+
+ public:
+  using View = std::array<std::int64_t, N>;
+
+  explicit AtomicSnapshot(std::int64_t initial = 0) {
+    Cell init{};
+    init.value = initial;
+    init.seq = 0;
+    init.view.fill(initial);
+    for (int i = 0; i < N; ++i)
+      regs_.push_back(std::make_unique<AtomicSwmr<Cell>>(N, init));
+  }
+
+  /// Thread `me` updates its component. Embeds a fresh scan so that
+  /// concurrent scanners can borrow it.
+  void update(int me, std::int64_t value) {
+    CIL_EXPECTS(me >= 0 && me < N);
+    const View embedded = scan(me);
+    Cell cell{};
+    cell.value = value;
+    cell.seq = ++my_seq_[me];
+    cell.view = embedded;
+    regs_[me]->write(cell);
+  }
+
+  /// A linearizable snapshot of all N components, taken by thread `me`.
+  View scan(int me) {
+    CIL_EXPECTS(me >= 0 && me < N);
+    std::array<std::uint64_t, N> first_seen{};
+    std::array<bool, N> moved_once{};
+    first_seen.fill(0);
+    moved_once.fill(false);
+
+    std::array<Cell, N> prev = collect(me);
+    for (int i = 0; i < N; ++i) first_seen[i] = prev[i].seq;
+
+    for (;;) {
+      const std::array<Cell, N> cur = collect(me);
+      bool identical = true;
+      for (int i = 0; i < N; ++i) {
+        if (cur[i].seq == prev[i].seq) continue;
+        identical = false;
+        if (cur[i].seq != first_seen[i] && moved_once[i]) {
+          // Writer i has been seen with a THIRD distinct seq: its latest
+          // write began after our scan started, so its embedded view lies
+          // entirely within our interval — borrow it.
+          return cur[i].view;
+        }
+        moved_once[i] = true;
+      }
+      if (identical) {
+        View out;
+        for (int i = 0; i < N; ++i) out[i] = cur[i].value;
+        return out;
+      }
+      prev = cur;
+    }
+  }
+
+ private:
+  struct Cell {
+    std::int64_t value;
+    std::uint64_t seq;
+    std::array<std::int64_t, N> view;
+  };
+
+  std::array<Cell, N> collect(int me) {
+    std::array<Cell, N> out;
+    for (int i = 0; i < N; ++i) out[i] = regs_[i]->read(me);
+    return out;
+  }
+
+  std::vector<std::unique_ptr<AtomicSwmr<Cell>>> regs_;
+  std::array<std::uint64_t, N> my_seq_{};
+};
+
+}  // namespace cil::hw

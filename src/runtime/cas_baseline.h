@@ -1,0 +1,55 @@
+// Baselines that use primitives the paper deliberately avoids.
+//
+// The paper's whole point is that coordination is achievable WITHOUT atomic
+// test-and-set / compare-and-swap, which "seems to require quite stringent
+// timing constraints on the low level hardware". Modern hardware has CAS,
+// so these one-liners are what a 2020s engineer would write; the benches
+// compare them against the register-only protocols to quantify what the
+// 1987 restriction costs.
+#pragma once
+
+#include <atomic>
+
+#include "sched/process.h"
+#include "util/check.h"
+
+namespace cil::rt {
+
+/// Wait-free consensus via a single compare-and-swap cell.
+class CasConsensus {
+ public:
+  /// First caller installs its input; everyone returns the winner.
+  Value decide(Value input) {
+    CIL_EXPECTS(input >= 0);
+    Value expected = kNoValue;
+    cell_.compare_exchange_strong(expected, input, std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+    return cell_.load(std::memory_order_acquire);
+  }
+
+  bool decided() const {
+    return cell_.load(std::memory_order_acquire) != kNoValue;
+  }
+
+ private:
+  std::atomic<Value> cell_{kNoValue};
+};
+
+/// Test-and-set spinlock (the mutex-side baseline).
+class CasSpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+        // spin
+      }
+    }
+  }
+
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace cil::rt

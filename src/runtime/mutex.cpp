@@ -1,0 +1,84 @@
+#include "runtime/mutex.h"
+
+#include <thread>
+
+#include "util/rng.h"
+
+namespace cil::rt {
+
+namespace {
+
+/// StepContext over a SharedRegisters backend (local copy of the one in
+/// threaded.cpp; kept private to each TU on purpose — it is an
+/// implementation detail, not API).
+class ArenaStepContext final : public StepContext {
+ public:
+  ArenaStepContext(SharedRegisters& regs, ProcessId pid, Rng& rng)
+      : regs_(regs), pid_(pid), rng_(rng) {}
+
+  Word read(RegisterId r) override { return regs_.read(r, pid_); }
+  void write(RegisterId r, Word value) override { regs_.write(r, pid_, value); }
+  bool flip() override { return rng_.flip(); }
+  ProcessId pid() const override { return pid_; }
+
+ private:
+  SharedRegisters& regs_;
+  ProcessId pid_;
+  Rng& rng_;
+};
+
+}  // namespace
+
+ConsensusArena::ConsensusArena(int num_threads, Value max_value,
+                               std::uint64_t seed, RegisterBackend backend)
+    : protocol_(num_threads, max_value),
+      regs_(make_shared_registers(protocol_, backend, seed)),
+      seed_(seed) {}
+
+Value ConsensusArena::decide(ProcessId pid, Value input) {
+  Rng rng(seed_ * 0x2545f4914f6cdd1dULL + pid + 1);
+  auto proc = protocol_.make_process(pid);
+  proc->init(input);
+  while (!proc->decided()) {
+    ArenaStepContext ctx(*regs_, pid, rng);
+    proc->step(ctx);
+  }
+  return proc->decision();
+}
+
+CoordinationMutex::CoordinationMutex(int num_threads, std::int64_t max_rounds,
+                                     std::uint64_t seed)
+    : max_rounds_(max_rounds) {
+  CIL_EXPECTS(num_threads >= 2);
+  CIL_EXPECTS(max_rounds >= 1);
+  arenas_.reserve(static_cast<std::size_t>(max_rounds));
+  for (std::int64_t r = 0; r < max_rounds; ++r) {
+    arenas_.push_back(std::make_unique<ConsensusArena>(
+        num_threads, num_threads - 1, seed + static_cast<std::uint64_t>(r)));
+  }
+}
+
+void CoordinationMutex::lock(ProcessId me) {
+  for (;;) {
+    const std::int64_t r = round_.load(std::memory_order_acquire);
+    CIL_CHECK_MSG(r < max_rounds_, "CoordinationMutex ran out of rounds");
+    // Contend in round r with our identity as the input. Consensus picks
+    // exactly one winner per round.
+    const Value winner = arenas_[r]->decide(me, me);
+    if (winner == me) {
+      holder_ = me;
+      return;
+    }
+    // Lost this round: wait for the winner to release, then re-contend.
+    while (round_.load(std::memory_order_acquire) == r)
+      std::this_thread::yield();
+  }
+}
+
+void CoordinationMutex::unlock(ProcessId me) {
+  CIL_CHECK_MSG(holder_ == me, "unlock by non-holder");
+  holder_ = -1;
+  round_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace cil::rt

@@ -1,0 +1,83 @@
+// Mutual exclusion from coordination — the paper's motivating special case
+// (§1): "the mutual exclusion problem can be formulated in our context as
+// choosing the identity of a processor who is to enter the critical region.
+// In this case, the input value of every processor in the trial region is
+// simply its own identity."
+//
+// CoordinationMutex does exactly that: each lock round runs one one-shot
+// register-based coordination instance where every contender proposes its
+// own id; the decided id enters the critical section, and unlocking
+// advances to the next round. LeaderElection is the one-shot version.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/unbounded.h"
+#include "runtime/threaded.h"
+
+namespace cil::rt {
+
+/// One-shot n-thread coordination instance over threaded shared registers.
+/// Thread `pid` calls decide(pid, value); all callers return the same value
+/// (consistency), which is some caller's proposal (nontriviality). Wait-free:
+/// a caller finishes regardless of the others' progress.
+class ConsensusArena {
+ public:
+  ConsensusArena(int num_threads, Value max_value, std::uint64_t seed,
+                 RegisterBackend backend = RegisterBackend::kRawAtomic);
+
+  /// May be called at most once per pid, by at most one thread per pid.
+  Value decide(ProcessId pid, Value input);
+
+  int num_threads() const { return protocol_.num_processes(); }
+
+ private:
+  UnboundedProtocol protocol_;
+  std::unique_ptr<SharedRegisters> regs_;
+  std::uint64_t seed_;
+};
+
+/// One-shot leader election among n threads: elect(pid) returns the same
+/// winning pid to everyone.
+class LeaderElection {
+ public:
+  explicit LeaderElection(int num_threads, std::uint64_t seed = 1)
+      : arena_(num_threads, num_threads - 1, seed) {}
+
+  ProcessId elect(ProcessId pid) {
+    return static_cast<ProcessId>(arena_.decide(pid, pid));
+  }
+
+ private:
+  ConsensusArena arena_;
+};
+
+/// Mutual exclusion via rounds of coordination. No fairness guarantee (the
+/// paper's formulation elects an entrant, it does not queue) — the benches
+/// measure throughput, the tests verify mutual exclusion.
+class CoordinationMutex {
+ public:
+  /// `max_rounds` bounds the total number of lock acquisitions (arenas are
+  /// pre-allocated so the lock path stays register-only).
+  CoordinationMutex(int num_threads, std::int64_t max_rounds,
+                    std::uint64_t seed = 1);
+
+  /// Blocks until thread `me` holds the lock.
+  void lock(ProcessId me);
+  void unlock(ProcessId me);
+
+  std::int64_t rounds_used() const {
+    return round_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::int64_t> round_{0};
+  std::int64_t max_rounds_;
+  ProcessId holder_ = -1;  ///< guarded by the lock itself
+  std::vector<std::unique_ptr<ConsensusArena>> arenas_;
+};
+
+}  // namespace cil::rt

@@ -1,0 +1,88 @@
+// Peterson's classic deterministic 2-thread mutual exclusion — here to make
+// the paper's footnote 1 executable:
+//
+//   "Our impossibility result ... does not contradict the existence of
+//    deterministic mutual exclusion algorithms a-la Dijkstra. The reason is
+//    that these algorithms are correct only with respect to ... admissible
+//    schedules. ... schedules where, for example, a processor is held out
+//    sometime before entering its critical region, could yield a deadlock."
+//
+// Peterson's entry protocol is two writes then a spin; the entry steps are
+// exposed separately (begin_entry / finish_entry) so tests can park a
+// thread BETWEEN them — exactly the inadmissible schedule of the footnote —
+// and watch the peer spin forever while nobody is anywhere near the
+// critical section. The coordination-based primitives (ConsensusArena,
+// CoordinationMutex) have no such window: electing a winner is wait-free,
+// so a contender frozen mid-election cannot block the others' election.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "util/check.h"
+
+namespace cil::rt {
+
+class PetersonLock {
+ public:
+  /// Full entry protocol: begin_entry + finish_entry + spin.
+  void lock(int me) {
+    begin_entry(me);
+    finish_entry(me);
+    while (!may_enter(me)) {
+      // spin
+    }
+  }
+
+  /// lock() with a deadline; returns false if the critical section could
+  /// not be entered in time (used to *observe* the footnote's deadlock
+  /// without hanging the test).
+  bool try_lock_for(int me, std::chrono::milliseconds budget) {
+    begin_entry(me);
+    finish_entry(me);
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (!may_enter(me)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        abandon(me);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void unlock(int me) { flag_[check_me(me)].store(false, std::memory_order_release); }
+
+  // --- the entry protocol, step by step (for inadmissible schedules) ---
+
+  /// Step 1: raise interest. A thread parked right after this — before
+  /// finish_entry — holds the footnote's poisoned state.
+  void begin_entry(int me) {
+    flag_[check_me(me)].store(true, std::memory_order_seq_cst);
+  }
+
+  /// Step 2: yield priority to the peer.
+  void finish_entry(int me) {
+    turn_.store(1 - check_me(me), std::memory_order_seq_cst);
+  }
+
+  /// Entry condition: the peer is uninterested or has yielded.
+  bool may_enter(int me) const {
+    const int other = 1 - check_me(me);
+    return !flag_[other].load(std::memory_order_seq_cst) ||
+           turn_.load(std::memory_order_seq_cst) != other;
+  }
+
+  /// Withdraw from the trial region (lets try_lock_for fail cleanly).
+  void abandon(int me) { unlock(me); }
+
+ private:
+  static int check_me(int me) {
+    CIL_EXPECTS(me == 0 || me == 1);
+    return me;
+  }
+
+  std::atomic<bool> flag_[2] = {false, false};
+  std::atomic<int> turn_{0};
+};
+
+}  // namespace cil::rt

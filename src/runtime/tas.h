@@ -1,0 +1,32 @@
+// Wait-free test-and-set from read/write registers and coins.
+//
+// The paper's §1 observes that hardware atomic test-and-set "seems to
+// require quite stringent timing constraints on the low level hardware" and
+// builds coordination without it. This object closes the loop the other
+// way: since register-based randomized consensus exists, test-and-set (an
+// object CAS-free hardware cannot provide deterministically — it solves
+// 2-process consensus, so Theorem 4 applies) can be RECOVERED from
+// registers plus coins. One consensus instance per object; the winner of
+// the instance is the unique caller that sees `false -> true`.
+#pragma once
+
+#include "runtime/mutex.h"
+
+namespace cil::rt {
+
+/// One-shot wait-free test-and-set for a fixed set of threads. Thread
+/// `pid` may call test_and_set(pid) at most once; exactly one caller over
+/// the object's lifetime wins (returns true).
+class WaitFreeTestAndSet {
+ public:
+  explicit WaitFreeTestAndSet(int num_threads, std::uint64_t seed = 1)
+      : arena_(num_threads, num_threads - 1, seed) {}
+
+  /// Returns true iff this caller acquired the flag (the consensus winner).
+  bool test_and_set(ProcessId pid) { return arena_.decide(pid, pid) == pid; }
+
+ private:
+  ConsensusArena arena_;
+};
+
+}  // namespace cil::rt

@@ -1,0 +1,153 @@
+#include "runtime/threaded.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "registers/constructions.h"
+#include "util/rng.h"
+
+namespace cil::rt {
+
+namespace {
+
+class RawAtomicRegisters final : public SharedRegisters {
+ public:
+  explicit RawAtomicRegisters(const std::vector<RegisterSpec>& specs) {
+    for (const auto& s : specs) cells_.emplace_back(s.initial);
+  }
+
+  Word read(RegisterId r, ProcessId) override {
+    return cells_[r].load(std::memory_order_acquire);
+  }
+
+  void write(RegisterId r, ProcessId, Word value) override {
+    cells_[r].store(value, std::memory_order_release);
+  }
+
+ private:
+  std::deque<std::atomic<Word>> cells_;  // deque: atomics are immovable
+};
+
+/// Registers built from the full construction chain: every cell is an
+/// atomic single-writer multi-reader register made of four-slot SWSR
+/// registers, themselves made of safe cells and atomic control bits.
+class ConstructedRegisters final : public SharedRegisters {
+ public:
+  ConstructedRegisters(const std::vector<RegisterSpec>& specs, int n) {
+    for (const auto& s : specs)
+      regs_.push_back(std::make_unique<hw::AtomicSwmr<Word>>(n, s.initial));
+  }
+
+  Word read(RegisterId r, ProcessId p) override { return regs_[r]->read(p); }
+
+  void write(RegisterId r, ProcessId, Word value) override {
+    regs_[r]->write(value);
+  }
+
+ private:
+  std::vector<std::unique_ptr<hw::AtomicSwmr<Word>>> regs_;
+};
+
+/// StepContext over a threaded register backend.
+class ThreadedStepContext final : public StepContext {
+ public:
+  ThreadedStepContext(SharedRegisters& regs, ProcessId pid, Rng& rng)
+      : regs_(regs), pid_(pid), rng_(rng) {}
+
+  Word read(RegisterId r) override {
+    note_io();
+    return regs_.read(r, pid_);
+  }
+
+  void write(RegisterId r, Word value) override {
+    note_io();
+    regs_.write(r, pid_, value);
+  }
+
+  bool flip() override { return rng_.flip(); }
+  ProcessId pid() const override { return pid_; }
+
+ private:
+  void note_io() {
+    CIL_CHECK_MSG(io_ops_ == 0, "a step may perform only one register op");
+    ++io_ops_;
+  }
+
+  SharedRegisters& regs_;
+  ProcessId pid_;
+  Rng& rng_;
+  int io_ops_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SharedRegisters> make_shared_registers(
+    const Protocol& protocol, RegisterBackend backend, std::uint64_t seed) {
+  (void)seed;
+  const auto specs = protocol.registers();
+  switch (backend) {
+    case RegisterBackend::kRawAtomic:
+      return std::make_unique<RawAtomicRegisters>(specs);
+    case RegisterBackend::kConstructed:
+      return std::make_unique<ConstructedRegisters>(specs,
+                                                    protocol.num_processes());
+  }
+  throw ContractViolation("unknown register backend");
+}
+
+ThreadedResult run_threaded(const Protocol& protocol,
+                            const std::vector<Value>& inputs,
+                            const ThreadedOptions& options) {
+  const int n = protocol.num_processes();
+  CIL_EXPECTS(static_cast<int>(inputs.size()) == n);
+
+  auto regs = make_shared_registers(protocol, options.backend, options.seed);
+
+  ThreadedResult result;
+  result.decisions.assign(n, kNoValue);
+  result.steps.assign(n, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      threads.emplace_back([&, pid] {
+        Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + pid + 1);
+        auto proc = protocol.make_process(pid);
+        proc->init(inputs[pid]);
+        std::int64_t steps = 0;
+        while (!proc->decided() && steps < options.max_steps_per_proc) {
+          ThreadedStepContext ctx(*regs, pid, rng);
+          proc->step(ctx);
+          ++steps;
+          if (options.yield_probability > 0 &&
+              rng.with_probability(options.yield_probability)) {
+            std::this_thread::yield();
+          }
+        }
+        result.steps[pid] = steps;
+        if (proc->decided()) result.decisions[pid] = proc->decision();
+      });
+    }
+  }  // jthreads join here
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+
+  result.all_decided = true;
+  Value first = kNoValue;
+  for (const Value v : result.decisions) {
+    if (v == kNoValue) {
+      result.all_decided = false;
+      continue;
+    }
+    if (first == kNoValue) first = v;
+    if (v != first) result.consistent = false;
+  }
+  return result;
+}
+
+}  // namespace cil::rt

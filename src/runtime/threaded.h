@@ -1,0 +1,65 @@
+// Real-hardware execution of the coordination protocols.
+//
+// The simulator (src/sched) is the paper-faithful object: it runs protocols
+// against the strongest possible adversary. This module runs the *same*
+// Process automata on real std::threads with genuinely concurrent shared
+// registers, demonstrating the paper's "implementable in existing
+// technology" claim (X2 in DESIGN.md):
+//
+//   * kRawAtomic — each register is one std::atomic<Word> (all our protocols
+//     use single-writer registers, so release/acquire is enough);
+//   * kConstructed — each register is an AtomicSwmr built from the layered
+//     safe→regular→atomic constructions of src/registers, i.e. the full
+//     1987 story from flickering bits upward.
+//
+// Random yields between steps shake out interleavings; decisions are
+// checked for consistency after the run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/protocol.h"
+
+namespace cil::rt {
+
+enum class RegisterBackend {
+  kRawAtomic,
+  kConstructed,
+};
+
+struct ThreadedOptions {
+  std::uint64_t seed = 1;
+  RegisterBackend backend = RegisterBackend::kRawAtomic;
+  /// Probability of yielding the CPU after a step (interleaving fuzz).
+  double yield_probability = 0.05;
+  std::int64_t max_steps_per_proc = 50'000'000;
+};
+
+struct ThreadedResult {
+  std::vector<Value> decisions;  ///< kNoValue where the step budget ran out
+  std::vector<std::int64_t> steps;
+  bool all_decided = false;
+  bool consistent = true;
+  double wall_ms = 0.0;
+};
+
+/// Run every processor of `protocol` on its own thread until all decide.
+ThreadedResult run_threaded(const Protocol& protocol,
+                            const std::vector<Value>& inputs,
+                            const ThreadedOptions& options = {});
+
+/// Shared-register backend interface (used by the mutex as well).
+class SharedRegisters {
+ public:
+  virtual ~SharedRegisters() = default;
+  virtual Word read(RegisterId r, ProcessId p) = 0;
+  virtual void write(RegisterId r, ProcessId p, Word value) = 0;
+};
+
+/// Build a backend for `protocol`'s register file.
+std::unique_ptr<SharedRegisters> make_shared_registers(
+    const Protocol& protocol, RegisterBackend backend, std::uint64_t seed);
+
+}  // namespace cil::rt

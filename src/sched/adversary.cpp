@@ -1,0 +1,69 @@
+#include "sched/adversary.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace cil {
+
+ProcessId DecisionAvoidingAdversary::pick(const SystemView& view) {
+  const auto active = view.active_processes();
+  CIL_CHECK_MSG(!active.empty(), "adversary: no active process");
+
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<ProcessId> best;
+  for (const ProcessId p : active) {
+    double p_decide = 0.0;
+    for (const StepBranch& b : enumerate_step(view.regs(), view.process(p), p)) {
+      if (b.proc_after->decided()) p_decide += b.probability;
+    }
+    if (p_decide < best_score - 1e-12) {
+      best_score = p_decide;
+      best.assign(1, p);
+    } else if (p_decide <= best_score + 1e-12) {
+      best.push_back(p);
+    }
+  }
+  return best[rng_.below(best.size())];
+}
+
+ProcessId SplitKeepingAdversary::pick(const SystemView& view) {
+  const auto active = view.active_processes();
+  CIL_CHECK_MSG(!active.empty(), "adversary: no active process");
+
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<ProcessId> best;
+  for (const ProcessId p : active) {
+    double score = 0.0;
+    for (const StepBranch& b : enumerate_step(view.regs(), view.process(p), p)) {
+      if (b.proc_after->decided()) {
+        score += 10.0 * b.probability;  // decisions are the worst outcome
+        continue;
+      }
+      // Penalize unanimity among the written preferences: a unanimous
+      // configuration is one read away from decisions in all our protocols.
+      Value first = kNoValue;
+      bool unanimous = true;
+      for (std::size_t r = 0; r < b.regs_after.size(); ++r) {
+        const Value pref = extract_(b.regs_after[r]);
+        if (pref == kNoValue) continue;
+        if (first == kNoValue) {
+          first = pref;
+        } else if (pref != first) {
+          unanimous = false;
+          break;
+        }
+      }
+      if (unanimous && first != kNoValue) score += b.probability;
+    }
+    if (score < best_score - 1e-12) {
+      best_score = score;
+      best.assign(1, p);
+    } else if (score <= best_score + 1e-12) {
+      best.push_back(p);
+    }
+  }
+  return best[rng_.below(best.size())];
+}
+
+}  // namespace cil

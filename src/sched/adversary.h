@@ -1,0 +1,52 @@
+// Adaptive adversaries (paper §2): schedulers with complete knowledge of
+// register contents and processor internal states, including past coin
+// flips — everything except the outcomes of flips they have not yet
+// scheduled. They use one-step lookahead over coin branches
+// (sched/branching.h) to steer runs away from decisions.
+#pragma once
+
+#include <vector>
+
+#include "sched/branching.h"
+#include "sched/simulation.h"
+#include "util/rng.h"
+
+namespace cil {
+
+/// Greedy adaptive adversary: for every active process, enumerate the coin
+/// branches of its next step and compute the probability that the step makes
+/// that process decide; schedule a process minimizing it (ties broken at
+/// random). Against the two-processor protocol this is the strategy analyzed
+/// in Theorem 7: the adversary can dodge decisions only until the coins
+/// force registers equal, which happens with probability >= 1/4 per
+/// read-write pair.
+class DecisionAvoidingAdversary final : public Scheduler {
+ public:
+  explicit DecisionAvoidingAdversary(std::uint64_t seed) : rng_(seed) {}
+  ProcessId pick(const SystemView& view) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Adaptive adversary that additionally penalizes branches which make the
+/// shared registers unanimous (all preferences equal), i.e. it tries to keep
+/// the system in disagreement, not merely to dodge the very next decision.
+/// The preference extractor is protocol-specific and supplied by the caller:
+/// given a register word, return the preference encoded in it (kNoValue for
+/// ⊥). This is the natural generalization of the §5 discussion to all our
+/// protocols.
+class SplitKeepingAdversary final : public Scheduler {
+ public:
+  using PrefExtractor = Value (*)(Word);
+
+  SplitKeepingAdversary(std::uint64_t seed, PrefExtractor extract)
+      : rng_(seed), extract_(extract) {}
+  ProcessId pick(const SystemView& view) override;
+
+ private:
+  Rng rng_;
+  PrefExtractor extract_;
+};
+
+}  // namespace cil

@@ -1,0 +1,54 @@
+#include "sched/branching.h"
+
+#include <cmath>
+#include <deque>
+
+#include "util/check.h"
+
+namespace cil {
+
+std::vector<StepBranch> enumerate_step(const RegisterFile& regs,
+                                       const Process& proc, ProcessId pid,
+                                       int max_coins) {
+  std::vector<StepBranch> out;
+  std::deque<std::vector<bool>> pending;
+  pending.push_back({});
+
+  while (!pending.empty()) {
+    const std::vector<bool> prefix = std::move(pending.front());
+    pending.pop_front();
+    CIL_CHECK_MSG(static_cast<int>(prefix.size()) <= max_coins,
+                  "step flips more coins than max_coins allows");
+
+    RegisterFile regs_copy = regs;
+    std::unique_ptr<Process> proc_copy = proc.clone();
+    ForcedCoinSource coins(prefix);
+    DirectStepContext ctx(regs_copy, pid, coins);
+    proc_copy->step(ctx);
+    CIL_CHECK_MSG(ctx.io_ops() == 1,
+                  "a step must perform exactly one register op");
+
+    if (coins.exhausted()) {
+      // The step needed more flips than the prefix provides: branch on the
+      // next flip. The run above followed the all-false extension, but we
+      // discard it and re-execute both extensions for uniformity.
+      auto lo = prefix;
+      lo.push_back(false);
+      auto hi = prefix;
+      hi.push_back(true);
+      pending.push_back(std::move(lo));
+      pending.push_back(std::move(hi));
+      continue;
+    }
+
+    StepBranch b;
+    b.coins = prefix;
+    b.probability = std::pow(0.5, static_cast<double>(prefix.size()));
+    b.regs_after = regs_copy.snapshot();
+    b.proc_after = std::move(proc_copy);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace cil

@@ -1,0 +1,54 @@
+// Branching a single step over its coin outcomes.
+//
+// A step of a randomized process is a deterministic function of (pre-state,
+// coin outcomes). Enumerating the finitely many outcome sequences yields the
+// full probability distribution of the step — which is what the adaptive
+// adversary uses for lookahead (it may know everything except future flips)
+// and what the model checker uses to branch executions exhaustively.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/process.h"
+
+namespace cil {
+
+/// Replays a fixed outcome sequence; records whether the consumer asked for
+/// more flips than provided (so the enumerator knows to extend the prefix).
+class ForcedCoinSource final : public CoinSource {
+ public:
+  explicit ForcedCoinSource(const std::vector<bool>& outcomes)
+      : outcomes_(&outcomes) {}
+
+  bool flip() override {
+    if (next_ < outcomes_->size()) return (*outcomes_)[next_++];
+    exhausted_ = true;
+    return false;  // value is irrelevant; the run will be discarded
+  }
+
+  bool exhausted() const { return exhausted_; }
+  std::size_t consumed() const { return next_; }
+
+ private:
+  const std::vector<bool>* outcomes_;
+  std::size_t next_ = 0;
+  bool exhausted_ = false;
+};
+
+/// One possible outcome of a single step of one process.
+struct StepBranch {
+  std::vector<bool> coins;    ///< the flips that select this branch
+  double probability = 1.0;   ///< 2^-coins.size()
+  std::vector<Word> regs_after;          ///< register contents after the step
+  std::unique_ptr<Process> proc_after;   ///< stepped process after the step
+};
+
+/// Enumerate every coin-outcome branch of `proc` taking one step against
+/// registers in state `regs`. Neither argument is modified. A step may flip
+/// at most `max_coins` coins (guards against runaway enumeration).
+std::vector<StepBranch> enumerate_step(const RegisterFile& regs,
+                                       const Process& proc, ProcessId pid,
+                                       int max_coins = 16);
+
+}  // namespace cil

@@ -1,0 +1,145 @@
+// The processor model of the paper (§2).
+//
+// A processor is a (possibly randomized) automaton with an input value and a
+// write-once output value. One step = exactly one shared-register read or
+// write, followed by an internal transition; coin flips are drawn during the
+// step through the CoinSource, so a scheduler can inspect the complete
+// pre-step state (the paper's adaptive adversary) but can never predict the
+// flips of the step it is about to schedule.
+//
+// Processes are cloneable and expose a canonical integer encoding of their
+// state: that is what makes the adversary "adaptive" and what lets the
+// analysis module hash configurations and branch executions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registers/register_file.h"
+#include "util/check.h"
+
+namespace cil {
+
+/// Input/output values of a coordination protocol. The paper's ⊥ is
+/// kNoValue; protocol inputs are non-negative.
+using Value = std::int32_t;
+inline constexpr Value kNoValue = -1;
+
+/// Source of the fair coin the paper's protocols flip. The simulation plugs
+/// in a PRNG; the model checker plugs in forced outcome sequences to branch
+/// over both results.
+class CoinSource {
+ public:
+  virtual ~CoinSource() = default;
+  virtual bool flip() = 0;
+};
+
+/// Mediates a process's single step. Abstract so that composite protocols
+/// (e.g. the Theorem 5 k-valued reduction) can remap register ids for their
+/// embedded sub-protocols; the engine's concrete implementation enforces the
+/// one-register-op-per-step rule.
+class StepContext {
+ public:
+  virtual ~StepContext() = default;
+  virtual Word read(RegisterId r) = 0;
+  virtual void write(RegisterId r, Word value) = 0;
+  virtual bool flip() = 0;
+  virtual ProcessId pid() const = 0;
+};
+
+/// The engine-facing StepContext: performs the operations against the real
+/// register file and checks that exactly one register op happens per step.
+class DirectStepContext final : public StepContext {
+ public:
+  DirectStepContext(RegisterFile& regs, ProcessId pid, CoinSource& coins)
+      : regs_(regs), pid_(pid), coins_(coins) {}
+
+  DirectStepContext(const DirectStepContext&) = delete;
+  DirectStepContext& operator=(const DirectStepContext&) = delete;
+
+  Word read(RegisterId r) override {
+    note_io();
+    return regs_.read(r, pid_);
+  }
+
+  void write(RegisterId r, Word value) override {
+    note_io();
+    regs_.write(r, pid_, value);
+  }
+
+  bool flip() override {
+    ++flips_;
+    return coins_.flip();
+  }
+
+  ProcessId pid() const override { return pid_; }
+  int io_ops() const { return io_ops_; }
+  int flips() const { return flips_; }
+
+ private:
+  void note_io() {
+    CIL_CHECK_MSG(io_ops_ == 0, "a step may perform only one register op");
+    ++io_ops_;
+  }
+
+  RegisterFile& regs_;
+  ProcessId pid_;
+  CoinSource& coins_;
+  int io_ops_ = 0;
+  int flips_ = 0;
+};
+
+/// Adapter that shifts register ids by a fixed offset — used by composite
+/// protocols whose sub-protocols address their registers from zero.
+class OffsetStepContext final : public StepContext {
+ public:
+  OffsetStepContext(StepContext& inner, RegisterId offset)
+      : inner_(inner), offset_(offset) {}
+
+  Word read(RegisterId r) override { return inner_.read(r + offset_); }
+  void write(RegisterId r, Word value) override {
+    inner_.write(r + offset_, value);
+  }
+  bool flip() override { return inner_.flip(); }
+  ProcessId pid() const override { return inner_.pid(); }
+
+ private:
+  StepContext& inner_;
+  RegisterId offset_;
+};
+
+/// One processor of a coordination protocol.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Supply the input value. Called once, before any step; must not touch
+  /// shared registers (the initial write is itself a step, as in Figure 1).
+  virtual void init(Value input) = 0;
+
+  /// Take one step: exactly one register read or write via `ctx`.
+  /// Must not be called once decided().
+  virtual void step(StepContext& ctx) = 0;
+
+  virtual bool decided() const = 0;
+
+  /// The irrevocably chosen output; valid only once decided().
+  virtual Value decision() const = 0;
+
+  /// This processor's input (for nontriviality checking).
+  virtual Value input() const = 0;
+
+  /// Canonical encoding of the complete internal state (program counter,
+  /// local variables, input, output). Equal encodings == equal states; used
+  /// for configuration hashing and by adaptive adversaries.
+  virtual std::vector<std::int64_t> encode_state() const = 0;
+
+  /// Deep copy (for adversary lookahead and model checking).
+  virtual std::unique_ptr<Process> clone() const = 0;
+
+  virtual std::string debug_string() const = 0;
+};
+
+}  // namespace cil

@@ -1,0 +1,40 @@
+// A coordination protocol (paper §2): n transition functions plus the shared
+// registers they communicate through. Concrete protocols live in src/core.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registers/register_file.h"
+#include "sched/process.h"
+
+namespace cil {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_processes() const = 0;
+
+  /// The shared registers of the system, with reader/writer sets and
+  /// declared bit widths (RegisterFile enforces both).
+  virtual std::vector<RegisterSpec> registers() const = 0;
+
+  /// Create processor `pid` in its initial state (input not yet supplied).
+  virtual std::unique_ptr<Process> make_process(ProcessId pid) const = 0;
+
+  /// Render a register word for humans (tracing/debugging). Protocols
+  /// override this to decode their packed fields; the default prints the
+  /// raw value.
+  virtual std::string describe_word(RegisterId r, Word w) const {
+    (void)r;
+    return std::to_string(w);
+  }
+
+  /// Convenience: build the register file from registers().
+  RegisterFile make_registers() const { return RegisterFile(registers()); }
+};
+
+}  // namespace cil

@@ -1,0 +1,82 @@
+// Basic (non-lookahead) schedulers: benign interleavings, starvation,
+// replay, and fail-stop crash injection. The adaptive adversaries that use
+// one-step lookahead live in adversary.h.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sched/simulation.h"
+#include "util/rng.h"
+
+namespace cil {
+
+/// Cycles through processes in index order, skipping inactive ones. The
+/// benign "fair" schedule.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  ProcessId pick(const SystemView& view) override;
+
+ private:
+  ProcessId next_ = 0;
+};
+
+/// Picks uniformly at random among active processes — models an agnostic
+/// asynchronous environment.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  ProcessId pick(const SystemView& view) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Never schedules the processes in `starved` while anyone else is active.
+/// This is the legal-but-hostile schedule the paper's termination condition
+/// is explicitly strong against: the remaining processes must still decide.
+/// (With the flawed naive protocol of §5 they never do.)
+class StarvingScheduler final : public Scheduler {
+ public:
+  StarvingScheduler(std::vector<ProcessId> starved, std::uint64_t seed)
+      : starved_(std::move(starved)), rng_(seed) {}
+  ProcessId pick(const SystemView& view) override;
+
+ private:
+  bool is_starved(ProcessId p) const;
+  std::vector<ProcessId> starved_;
+  Rng rng_;
+};
+
+/// Replays a fixed schedule; afterwards falls back to round-robin. Used to
+/// re-execute schedules found by the analysis module and in tests.
+class ReplayScheduler final : public Scheduler {
+ public:
+  explicit ReplayScheduler(std::vector<ProcessId> schedule)
+      : schedule_(std::move(schedule)) {}
+  ProcessId pick(const SystemView& view) override;
+
+ private:
+  std::vector<ProcessId> schedule_;
+  std::size_t next_ = 0;
+  RoundRobinScheduler fallback_;
+};
+
+/// Wraps another scheduler and fail-stops given processes when the run
+/// reaches given step counts (the paper's t <= n-1 crash model).
+class CrashingScheduler final : public Scheduler {
+ public:
+  /// plan: (total_step_count, pid) pairs; each pid crashes at that time.
+  CrashingScheduler(Scheduler& inner,
+                    std::vector<std::pair<std::int64_t, ProcessId>> plan)
+      : inner_(inner), plan_(std::move(plan)) {}
+
+  ProcessId pick(const SystemView& view) override { return inner_.pick(view); }
+  std::vector<ProcessId> crashes(const SystemView& view) override;
+
+ private:
+  Scheduler& inner_;
+  std::vector<std::pair<std::int64_t, ProcessId>> plan_;
+};
+
+}  // namespace cil

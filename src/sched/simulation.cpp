@@ -1,0 +1,153 @@
+#include "sched/simulation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cil {
+
+namespace {
+class RngCoinSource final : public CoinSource {
+ public:
+  explicit RngCoinSource(Rng& rng) : rng_(rng) {}
+  bool flip() override { return rng_.flip(); }
+
+ private:
+  Rng& rng_;
+};
+}  // namespace
+
+int SystemView::num_processes() const { return sim_.num_processes(); }
+const RegisterFile& SystemView::regs() const { return sim_.regs(); }
+const Process& SystemView::process(ProcessId p) const {
+  return sim_.process(p);
+}
+bool SystemView::crashed(ProcessId p) const { return sim_.crashed(p); }
+bool SystemView::active(ProcessId p) const { return sim_.active(p); }
+std::vector<ProcessId> SystemView::active_processes() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < sim_.num_processes(); ++p)
+    if (sim_.active(p)) out.push_back(p);
+  return out;
+}
+std::int64_t SystemView::total_steps() const { return sim_.total_steps(); }
+
+Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
+                       SimOptions options)
+    : protocol_(protocol),
+      options_(options),
+      regs_(protocol.make_registers()),
+      inputs_(std::move(inputs)),
+      rng_(options.seed) {
+  const int n = protocol_.num_processes();
+  CIL_EXPECTS(static_cast<int>(inputs_.size()) == n);
+  crashed_.assign(n, false);
+  steps_.assign(n, 0);
+  procs_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    CIL_EXPECTS(inputs_[p] >= 0);
+    procs_.push_back(protocol_.make_process(p));
+    procs_[p]->init(inputs_[p]);
+  }
+}
+
+bool Simulation::active(ProcessId p) const {
+  CIL_EXPECTS(p >= 0 && p < num_processes());
+  return !crashed_[p] && !procs_[p]->decided();
+}
+
+void Simulation::crash(ProcessId p) {
+  CIL_EXPECTS(p >= 0 && p < num_processes());
+  // The paper tolerates up to n-1 fail-stop crashes: keep one survivor.
+  int alive = 0;
+  for (ProcessId q = 0; q < num_processes(); ++q)
+    if (!crashed_[q] && q != p) ++alive;
+  CIL_CHECK_MSG(alive >= 1, "cannot crash the last live processor");
+  crashed_[p] = true;
+}
+
+bool Simulation::step_once(Scheduler& sched) {
+  const SystemView view(*this);
+  for (ProcessId p : sched.crashes(view)) crash(p);
+
+  bool any_active = false;
+  for (ProcessId p = 0; p < num_processes(); ++p) any_active |= active(p);
+  if (!any_active) return false;
+
+  const ProcessId p = sched.pick(view);
+  CIL_CHECK_MSG(p >= 0 && p < num_processes(), "scheduler picked a bad pid");
+  CIL_CHECK_MSG(active(p), "scheduler picked an inactive processor");
+
+  RngCoinSource coins(rng_);
+  DirectStepContext ctx(regs_, p, coins);
+  procs_[p]->step(ctx);
+  CIL_CHECK_MSG(ctx.io_ops() == 1, "a step must perform exactly one register op");
+
+  ++steps_[p];
+  ++total_steps_;
+  activated_.insert(p);
+  if (options_.record_schedule) schedule_.push_back(p);
+
+  check_properties_after_step(p);
+  return true;
+}
+
+void Simulation::check_properties_after_step(ProcessId stepped) {
+  if (!procs_[stepped]->decided()) return;
+  const Value v = procs_[stepped]->decision();
+
+  if (options_.check_consistency) {
+    for (ProcessId q = 0; q < num_processes(); ++q) {
+      if (q == stepped || !procs_[q]->decided()) continue;
+      if (procs_[q]->decision() != v) {
+        std::ostringstream os;
+        os << "consistency violated: P" << stepped << " decided " << v
+           << " but P" << q << " decided " << procs_[q]->decision();
+        throw CoordinationViolation(os.str());
+      }
+    }
+  }
+
+  if (options_.check_nontriviality) {
+    bool is_input_of_active = false;
+    for (ProcessId q : activated_) {
+      if (inputs_[q] == v) {
+        is_input_of_active = true;
+        break;
+      }
+    }
+    if (!is_input_of_active) {
+      std::ostringstream os;
+      os << "nontriviality violated: P" << stepped << " decided " << v
+         << " which is no activated processor's input";
+      throw CoordinationViolation(os.str());
+    }
+  }
+}
+
+SimResult Simulation::result() const {
+  SimResult r;
+  r.decisions.resize(num_processes(), kNoValue);
+  r.all_decided = true;
+  for (ProcessId p = 0; p < num_processes(); ++p) {
+    if (procs_[p]->decided()) {
+      r.decisions[p] = procs_[p]->decision();
+      if (!r.decision) r.decision = r.decisions[p];
+    } else if (!crashed_[p]) {
+      r.all_decided = false;
+    }
+  }
+  r.steps_per_process = steps_;
+  r.total_steps = total_steps_;
+  r.schedule = schedule_;
+  r.max_register_bits = regs_.max_bits_written();
+  return r;
+}
+
+SimResult Simulation::run(Scheduler& sched) {
+  while (total_steps_ < options_.max_total_steps) {
+    if (!step_once(sched)) break;
+  }
+  return result();
+}
+
+}  // namespace cil

@@ -1,0 +1,134 @@
+// The simulation engine: serializes a system execution under a Scheduler,
+// enforcing the paper's model (one register op per step, fail-stop crashes,
+// adaptive adversaries with full state knowledge) and checking the
+// coordination properties — consistency and nontriviality — online after
+// every step.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sched/protocol.h"
+#include "util/rng.h"
+
+namespace cil {
+
+class Simulation;
+
+/// What a scheduler is allowed to see: everything (the paper's strongest
+/// adversary — registers, internal states, past coins via those states).
+class SystemView {
+ public:
+  explicit SystemView(const Simulation& sim) : sim_(sim) {}
+
+  int num_processes() const;
+  const RegisterFile& regs() const;
+  const Process& process(ProcessId p) const;
+  bool crashed(ProcessId p) const;
+  /// Active = not crashed and not decided (a decided processor has quit).
+  bool active(ProcessId p) const;
+  std::vector<ProcessId> active_processes() const;
+  std::int64_t total_steps() const;
+
+ private:
+  const Simulation& sim_;
+};
+
+/// The adversary. pick() must return an active process (checked). crashes()
+/// is consulted before each pick and may fail-stop processes (up to n-1 can
+/// die over a run; the engine enforces at least one survivor, matching the
+/// paper's t <= n-1 fault model).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual ProcessId pick(const SystemView& view) = 0;
+  virtual std::vector<ProcessId> crashes(const SystemView& view) {
+    (void)view;
+    return {};
+  }
+};
+
+struct SimOptions {
+  std::int64_t max_total_steps = 1'000'000;
+  std::uint64_t seed = 1;
+  bool check_consistency = true;
+  bool check_nontriviality = true;
+  bool record_schedule = false;
+};
+
+struct SimResult {
+  /// True iff every non-crashed processor decided within the step budget.
+  bool all_decided = false;
+  /// The common decision value, if at least one processor decided.
+  std::optional<Value> decision;
+  std::vector<Value> decisions;  ///< per process; kNoValue if undecided
+  std::vector<std::int64_t> steps_per_process;
+  std::int64_t total_steps = 0;
+  std::vector<ProcessId> schedule;  ///< recorded iff requested
+  int max_register_bits = 0;  ///< high-water mark (Theorem 9 probe)
+};
+
+class Simulation {
+ public:
+  /// `inputs` supplies one input value (>= 0) per processor.
+  Simulation(const Protocol& protocol, std::vector<Value> inputs,
+             SimOptions options = {});
+
+  /// Run one step chosen by `sched`. Returns false when nothing is active
+  /// (everyone decided or crashed) — no step is taken in that case.
+  bool step_once(Scheduler& sched);
+
+  /// Drive to completion (or the step budget). May be called after some
+  /// step_once() calls.
+  SimResult run(Scheduler& sched);
+
+  /// Fail-stop a processor: it will never be scheduled again.
+  void crash(ProcessId p);
+
+  // Introspection (also used by SystemView).
+  const Protocol& protocol() const { return protocol_; }
+  const RegisterFile& regs() const { return regs_; }
+  RegisterFile& mutable_regs() { return regs_; }
+  const Process& process(ProcessId p) const { return *procs_[p]; }
+  bool crashed(ProcessId p) const { return crashed_[p]; }
+  bool active(ProcessId p) const;
+  int num_processes() const { return static_cast<int>(procs_.size()); }
+  std::int64_t total_steps() const { return total_steps_; }
+  std::int64_t steps_of(ProcessId p) const { return steps_[p]; }
+  const std::vector<Value>& inputs() const { return inputs_; }
+  Rng& rng() { return rng_; }
+
+  /// Summarize the current state into a SimResult.
+  SimResult result() const;
+
+ private:
+  void check_properties_after_step(ProcessId p);
+
+  const Protocol& protocol_;
+  SimOptions options_;
+  RegisterFile regs_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<Value> inputs_;
+  std::vector<bool> crashed_;
+  std::vector<std::int64_t> steps_;
+  std::vector<ProcessId> schedule_;
+  std::set<ProcessId> activated_;  ///< processes that took >= 1 step
+  std::int64_t total_steps_ = 0;
+  Rng rng_;
+};
+
+/// Thrown when a run violates consistency or nontriviality — i.e. when the
+/// protocol under test is *wrong* (used deliberately in tests of the flawed
+/// strawmen).
+class CoordinationViolation : public std::runtime_error {
+ public:
+  explicit CoordinationViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace cil

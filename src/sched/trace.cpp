@@ -1,0 +1,99 @@
+#include "sched/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cil {
+
+bool TraceRecorder::step_once(Scheduler& sched) {
+  // SimResult.schedule is only populated when recording was requested, so
+  // determine the actor by diffing per-process step counts.
+  std::vector<std::int64_t> before(sim_.num_processes());
+  for (ProcessId p = 0; p < sim_.num_processes(); ++p)
+    before[p] = sim_.steps_of(p);
+  const auto actor_of_step = [&]() {
+    ProcessId actor = -1;
+    for (ProcessId p = 0; p < sim_.num_processes(); ++p)
+      if (sim_.steps_of(p) != before[p]) actor = p;
+    return actor;
+  };
+  try {
+    if (!sim_.step_once(sched)) return false;
+  } catch (const CoordinationViolation&) {
+    // The step executed (the violation is detected after the transition);
+    // record the offending configuration before propagating.
+    record(actor_of_step());
+    throw;
+  }
+  record(actor_of_step());
+  return true;
+}
+
+SimResult TraceRecorder::run(Scheduler& sched) {
+  while (step_once(sched)) {
+  }
+  return sim_.result();
+}
+
+void TraceRecorder::record(ProcessId actor) {
+  TraceEntry e;
+  e.step = sim_.total_steps();
+  e.actor = actor;
+  for (RegisterId r = 0; r < sim_.regs().size(); ++r)
+    e.registers.push_back(
+        sim_.protocol().describe_word(r, sim_.regs().peek(r)));
+  for (ProcessId p = 0; p < sim_.num_processes(); ++p)
+    e.processes.push_back(sim_.process(p).debug_string());
+  entries_.push_back(std::move(e));
+  if (keep_last_ > 0 && entries_.size() > keep_last_) entries_.pop_front();
+}
+
+std::string TraceRecorder::render() const {
+  // Column widths across the retained window, for alignment.
+  std::size_t reg_cols = 0, proc_cols = 0;
+  std::size_t reg_w = 0, proc_w = 0;
+  for (const auto& e : entries_) {
+    reg_cols = std::max(reg_cols, e.registers.size());
+    proc_cols = std::max(proc_cols, e.processes.size());
+    for (const auto& s : e.registers) reg_w = std::max(reg_w, s.size());
+    for (const auto& s : e.processes) proc_w = std::max(proc_w, s.size());
+  }
+
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << "#" << e.step << "\tP" << e.actor << " | ";
+    for (std::size_t i = 0; i < reg_cols; ++i) {
+      const std::string cell = i < e.registers.size() ? e.registers[i] : "";
+      os << cell << std::string(reg_w + 1 - cell.size(), ' ');
+    }
+    os << "| ";
+    for (std::size_t i = 0; i < proc_cols; ++i) {
+      const std::string cell = i < e.processes.size() ? e.processes[i] : "";
+      os << cell << std::string(proc_w + 1 - cell.size(), ' ');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string trace_run(const Protocol& protocol,
+                      const std::vector<Value>& inputs,
+                      const std::vector<ProcessId>& schedule,
+                      const SimOptions& options) {
+  Simulation sim(protocol, inputs, options);
+  TraceRecorder trace(sim);
+  ReplayScheduler replay(schedule);
+  std::string suffix;
+  try {
+    std::int64_t steps = 0;
+    while (steps < static_cast<std::int64_t>(schedule.size()) &&
+           trace.step_once(replay)) {
+      ++steps;
+    }
+  } catch (const CoordinationViolation& e) {
+    suffix = std::string("VIOLATION: ") + e.what() + "\n";
+  }
+  return trace.render() + suffix;
+}
+
+}  // namespace cil

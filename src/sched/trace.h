@@ -1,0 +1,72 @@
+// Human-readable execution tracing.
+//
+// Debugging an asynchronous protocol means staring at interleavings; this
+// module renders them. A TraceRecorder wraps a Simulation and logs, per
+// step, who moved and the resulting registers and process states, using the
+// protocol's own register formatter (Protocol::describe_word). The
+// violation hunts in this repository were driven by exactly this view —
+// the traces dissected in EXPERIMENTS.md are TraceRecorder output.
+//
+// Typical use:
+//   Simulation sim(protocol, inputs, options);
+//   TraceRecorder trace(sim, /*keep_last=*/64);
+//   while (trace.step_once(sched)) { ... }
+//   std::cerr << trace.render();          // the last 64 steps
+//
+// Or, for postmortem replay of a recorded schedule:
+//   const std::string text = trace_run(protocol, inputs, schedule, options);
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+namespace cil {
+
+/// One rendered step of an execution.
+struct TraceEntry {
+  std::int64_t step = 0;
+  ProcessId actor = -1;
+  std::vector<std::string> registers;  ///< one rendered cell per register
+  std::vector<std::string> processes;  ///< one debug string per process
+};
+
+/// Wraps a Simulation; records a sliding window of rendered steps.
+class TraceRecorder {
+ public:
+  /// Keeps the most recent `keep_last` entries (0 = keep everything).
+  explicit TraceRecorder(Simulation& sim, std::size_t keep_last = 0)
+      : sim_(sim), keep_last_(keep_last) {}
+
+  /// Steps the simulation once and records the outcome.
+  bool step_once(Scheduler& sched);
+
+  /// Drives to completion (or the simulation's budget), recording along.
+  SimResult run(Scheduler& sched);
+
+  const std::deque<TraceEntry>& entries() const { return entries_; }
+
+  /// Render all retained entries as an aligned text table.
+  std::string render() const;
+
+ private:
+  void record(ProcessId actor);
+
+  Simulation& sim_;
+  std::size_t keep_last_;
+  std::deque<TraceEntry> entries_;
+};
+
+/// Replay a recorded schedule with the given seed and return the rendered
+/// trace — including the final, possibly violating, step (a
+/// CoordinationViolation is caught and appended to the text).
+std::string trace_run(const Protocol& protocol,
+                      const std::vector<Value>& inputs,
+                      const std::vector<ProcessId>& schedule,
+                      const SimOptions& options);
+
+}  // namespace cil

@@ -1,0 +1,68 @@
+// Fixed-width bitfield packing.
+//
+// The paper insists its protocols use *bounded size* registers. To make that
+// claim checkable rather than aspirational, every protocol declares the bit
+// width of each of its shared registers, the register file enforces the
+// width on every write, and the protocols encode their multi-field register
+// contents through these codecs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace cil {
+
+/// Number of bits needed to represent `v` (0 needs 0 bits).
+constexpr int bit_width_u64(std::uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// A field inside a packed 64-bit register word: `bits` wide at `shift`.
+struct BitField {
+  int shift = 0;
+  int bits = 0;
+
+  constexpr std::uint64_t mask() const {
+    return (bits >= 64) ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << bits) - 1) << shift;
+  }
+
+  constexpr std::uint64_t max_value() const {
+    return (bits >= 64) ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << bits) - 1;
+  }
+
+  std::uint64_t get(std::uint64_t word) const {
+    return (word & mask()) >> shift;
+  }
+
+  std::uint64_t set(std::uint64_t word, std::uint64_t value) const {
+    CIL_EXPECTS(value <= max_value());
+    return (word & ~mask()) | (value << shift);
+  }
+};
+
+/// Helper to lay out consecutive fields. Usage:
+///   BitLayout l; auto pref = l.field(2); auto num = l.field(32);
+class BitLayout {
+ public:
+  BitField field(int bits) {
+    CIL_EXPECTS(bits > 0 && next_ + bits <= 64);
+    const BitField f{next_, bits};
+    next_ += bits;
+    return f;
+  }
+  /// Total bits consumed so far — this is the register's declared width.
+  int width() const { return next_; }
+
+ private:
+  int next_ = 0;
+};
+
+}  // namespace cil

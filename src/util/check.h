@@ -1,0 +1,75 @@
+// Contract-checking helpers for cilcoord.
+//
+// Following the C++ Core Guidelines (I.5/I.7), preconditions and invariants
+// are stated in code. Violations indicate a programming error inside the
+// library or a misuse of its API and therefore terminate via an exception
+// carrying the failing expression and location.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cil {
+
+/// Thrown when a CIL_CHECK / Expects / Ensures contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg = {}) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+// Runtime contract checks. Kept enabled in all build types: the simulator is
+// the proof vehicle here, so silent corruption is worse than the branch cost.
+#define CIL_CHECK(expr)                                                      \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::cil::detail::contract_fail("CIL_CHECK", #expr, __FILE__, __LINE__);  \
+  } while (false)
+
+#define CIL_CHECK_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::cil::detail::contract_fail("CIL_CHECK", #expr, __FILE__, __LINE__,   \
+                                   (msg));                                   \
+  } while (false)
+
+#define CIL_EXPECTS(expr)                                                    \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::cil::detail::contract_fail("Precondition", #expr, __FILE__,          \
+                                   __LINE__);                                \
+  } while (false)
+
+#define CIL_ENSURES(expr)                                                    \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::cil::detail::contract_fail("Postcondition", #expr, __FILE__,         \
+                                   __LINE__);                                \
+  } while (false)
+
+/// Checked narrowing conversion (GSL narrow): throws if the value does not
+/// round-trip.
+template <typename To, typename From>
+constexpr To narrow(From v) {
+  const To result = static_cast<To>(v);
+  if (static_cast<From>(result) != v ||
+      ((result < To{}) != (v < From{}))) {
+    throw ContractViolation("narrowing conversion lost information");
+  }
+  return result;
+}
+
+}  // namespace cil

@@ -1,0 +1,16 @@
+// rng.h is header-only; this TU exists so the library has a stable archive
+// member and to host the (compile-time) self-checks below.
+#include "util/rng.h"
+
+namespace cil {
+namespace {
+// SplitMix64 reference value check (from the public-domain reference code):
+// with seed 0 the first output is 0xE220A8397B1DCDAF.
+constexpr std::uint64_t splitmix_first(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  return sm.next();
+}
+static_assert(splitmix_first(0) == 0xE220A8397B1DCDAFULL,
+              "SplitMix64 does not match the reference implementation");
+}  // namespace
+}  // namespace cil

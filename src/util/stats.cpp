@@ -1,0 +1,171 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cil {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  CIL_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  CIL_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  CIL_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void SampleSet::add(std::int64_t x) {
+  data_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  CIL_EXPECTS(!data_.empty());
+  double sum = 0;
+  for (auto x : data_) sum += static_cast<double>(x);
+  return sum / static_cast<double>(data_.size());
+}
+
+double SampleSet::stddev() const {
+  if (data_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (auto x : data_) {
+    const double d = static_cast<double>(x) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(data_.size() - 1));
+}
+
+std::int64_t SampleSet::min() const {
+  CIL_EXPECTS(!data_.empty());
+  ensure_sorted();
+  return data_.front();
+}
+
+std::int64_t SampleSet::max() const {
+  CIL_EXPECTS(!data_.empty());
+  ensure_sorted();
+  return data_.back();
+}
+
+std::int64_t SampleSet::percentile(double q) const {
+  CIL_EXPECTS(!data_.empty());
+  CIL_EXPECTS(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto n = data_.size();
+  // Nearest-rank: the smallest value with at least q*n samples <= it.
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  if (rank >= n) rank = n - 1;
+  return data_[rank];
+}
+
+double SampleSet::tail_at_least(std::int64_t k) const {
+  if (data_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::lower_bound(data_.begin(), data_.end(), k);
+  return static_cast<double>(data_.end() - it) /
+         static_cast<double>(data_.size());
+}
+
+std::vector<double> SampleSet::survival(std::int64_t k_max) const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(k_max) + 1);
+  for (std::int64_t k = 0; k <= k_max; ++k) out.push_back(tail_at_least(k));
+  return out;
+}
+
+std::int64_t Histogram::total() const {
+  std::int64_t t = 0;
+  for (const auto& [value, count] : bins_) {
+    (void)value;
+    t += count;
+  }
+  return t;
+}
+
+std::string Histogram::ascii(int width) const {
+  std::ostringstream os;
+  std::int64_t peak = 0;
+  for (const auto& [value, count] : bins_) {
+    (void)value;
+    peak = std::max(peak, count);
+  }
+  if (peak == 0) return "(empty histogram)\n";
+  for (const auto& [value, count] : bins_) {
+    const int bar = static_cast<int>(
+        (static_cast<double>(count) / static_cast<double>(peak)) * width);
+    os << value << "\t" << count << "\t" << std::string(static_cast<std::size_t>(bar), '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+double fit_geometric_tail_ratio(const SampleSet& s, std::int64_t k_min,
+                                std::int64_t min_count) {
+  CIL_EXPECTS(s.count() > 0);
+  // Least squares on (k, log P[X >= k]) for the ks where the empirical tail
+  // still has enough mass to be trustworthy.
+  std::vector<std::pair<double, double>> pts;
+  for (std::int64_t k = k_min; k <= s.max(); ++k) {
+    const double p = s.tail_at_least(k);
+    const double n_at_k = p * static_cast<double>(s.count());
+    if (n_at_k < static_cast<double>(min_count)) break;
+    pts.emplace_back(static_cast<double>(k), std::log(p));
+  }
+  if (pts.size() < 2) return 0.0;  // tail too short to fit
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (auto [x, y] : pts) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(pts.size());
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return std::exp(slope);
+}
+
+}  // namespace cil

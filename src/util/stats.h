@@ -1,0 +1,81 @@
+// Lightweight statistics used by the bench harness and the tests:
+// streaming moments, order statistics, tail tables, and a geometric-tail
+// fit used to compare measured decision-time tails against the paper's
+// exponential bounds (Theorems 7 and 9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cil {
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of the 95% confidence interval for the mean (normal approx).
+  double ci95_halfwidth() const;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects integer samples and answers distribution queries. Used for
+/// steps-to-decision and max-register-value distributions.
+class SampleSet {
+ public:
+  void add(std::int64_t x);
+  std::int64_t count() const { return static_cast<std::int64_t>(data_.size()); }
+  double mean() const;
+  double stddev() const;
+  std::int64_t min() const;
+  std::int64_t max() const;
+  /// q in [0,1]; nearest-rank percentile.
+  std::int64_t percentile(double q) const;
+  /// Empirical P[X >= k].
+  double tail_at_least(std::int64_t k) const;
+  /// Empirical survival table for k = 0..k_max: vector[k] = P[X >= k].
+  std::vector<double> survival(std::int64_t k_max) const;
+  const std::vector<std::int64_t>& samples() const { return data_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<std::int64_t> data_;
+  mutable bool sorted_ = true;
+};
+
+/// Sparse histogram over integer values.
+class Histogram {
+ public:
+  void add(std::int64_t x) { ++bins_[x]; }
+  const std::map<std::int64_t, std::int64_t>& bins() const { return bins_; }
+  std::int64_t total() const;
+  /// Render as an ASCII bar chart (one line per bin, bar of '#').
+  std::string ascii(int width = 50) const;
+
+ private:
+  std::map<std::int64_t, std::int64_t> bins_;
+};
+
+/// Fit P[X >= k] ≈ C * r^k on the tail of a sample set by least squares on
+/// log-survival, ignoring bins with fewer than `min_count` samples. Returns
+/// the estimated ratio r — e.g. the paper's Theorem 9 predicts r <= 3/4 for
+/// the num-field distribution of the unbounded protocol.
+double fit_geometric_tail_ratio(const SampleSet& s, std::int64_t k_min = 1,
+                                std::int64_t min_count = 10);
+
+}  // namespace cil

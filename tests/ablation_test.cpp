@@ -1,0 +1,113 @@
+// Meta-tests: the unsound protocol readings (kept behind ablation flags)
+// MUST still be refuted by the library's adversaries, and the shipped
+// readings must survive the identical hunt. These tests keep the checkers'
+// teeth sharp — if a refactor ever stops the adversaries from finding the
+// known-bad executions, something rotted.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/bounded_three.h"
+#include "core/unbounded.h"
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+#include "tests/test_util.h"
+
+namespace cil {
+namespace {
+
+Value bounded_pref(Word w) {
+  const auto r = BoundedThreeProtocol::unpack(w);
+  return r.started() ? r.pref : kNoValue;
+}
+
+/// Adversary phase + round-robin drain over many seeds; count violations.
+int count_violations(const std::function<std::unique_ptr<Protocol>()>& make,
+                     std::uint64_t seeds, bool bounded) {
+  int violations = 0;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const auto protocol = make();
+    std::vector<Value> inputs;
+    for (int i = 0; i < protocol->num_processes(); ++i)
+      inputs.push_back(static_cast<Value>((seed >> i) & 1));
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = 500'000;
+    Simulation sim(*protocol, inputs, options);
+    try {
+      const long k = 20 + static_cast<long>((seed * 2654435761ULL) % 400);
+      if (seed % 3 == 0) {
+        RandomScheduler sched(seed ^ 0xd00d);
+        for (long i = 0; i < k && sim.step_once(sched); ++i) {
+        }
+      } else if (seed % 3 == 1) {
+        SplitKeepingAdversary sched(
+            seed + 9,
+            bounded ? &bounded_pref : &UnboundedProtocol::unpack_pref);
+        for (long i = 0; i < k && sim.step_once(sched); ++i) {
+        }
+      } else {
+        DecisionAvoidingAdversary sched(seed + 9);
+        for (long i = 0; i < k && sim.step_once(sched); ++i) {
+        }
+      }
+      RoundRobinScheduler rr;
+      sim.run(rr);
+    } catch (const CoordinationViolation&) {
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+TEST(Ablation, LiteralCondition2IsInconsistent) {
+  // Figure 2 as literally worded: trailing processors may decide remotely.
+  const int bad = count_violations(
+      [] {
+        UnboundedProtocol::Options o;
+        o.literal_condition2 = true;
+        return std::make_unique<UnboundedProtocol>(3, 1, o);
+      },
+      6000, /*bounded=*/false);
+  EXPECT_GT(bad, 0) << "the adversaries should refute the literal reading";
+}
+
+TEST(Ablation, LeaderOnlyCondition2Survives) {
+  const int bad = count_violations(
+      [] { return std::make_unique<UnboundedProtocol>(3); }, 6000,
+      /*bounded=*/false);
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(Ablation, InstantaneousUnanimityIsUnsound) {
+  const int bad = count_violations(
+      [] {
+        BoundedThreeProtocol::Options o;
+        o.naive_unanimity = true;
+        return std::make_unique<BoundedThreeProtocol>(o);
+      },
+      6000, /*bounded=*/true);
+  EXPECT_GT(bad, 0) << "a stale pending write should defeat naive unanimity";
+}
+
+TEST(Ablation, MissingBlockerGuardFreezesConflictingCertificates) {
+  const int bad = count_violations(
+      [] {
+        BoundedThreeProtocol::Options o;
+        o.no_blocker_guard = true;
+        return std::make_unique<BoundedThreeProtocol>(o);
+      },
+      6000, /*bounded=*/true);
+  EXPECT_GT(bad, 0) << "the drain harness should land conflicting certs";
+}
+
+TEST(Ablation, ShippedBoundedProtocolSurvivesTheSameHunt) {
+  const int bad = count_violations(
+      [] { return std::make_unique<BoundedThreeProtocol>(); }, 6000,
+      /*bounded=*/true);
+  EXPECT_EQ(bad, 0);
+}
+
+}  // namespace
+}  // namespace cil

@@ -1,0 +1,242 @@
+// Tests for the bounded-register three-processor protocol (§6 / Figure 3
+// reconstruction): consistency, termination, crash tolerance, and — the
+// point of the whole section — that register contents stay within the
+// declared constant width no matter how long the adversary stretches the
+// run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bounded_three.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace cil {
+namespace {
+
+using test::all_binary_inputs;
+using test::run_protocol;
+using test::run_random;
+
+using Reg = BoundedThreeProtocol::Reg;
+using Mode = BoundedThreeProtocol::Mode;
+
+TEST(BoundedThree, PackUnpackRoundTrips) {
+  for (int num = 0; num <= 9; ++num) {
+    for (const Mode mode : {Mode::kVal, Mode::kPref, Mode::kDec}) {
+      for (const Value pref : {0, 1}) {
+        const Reg r{num, mode, pref};
+        EXPECT_EQ(BoundedThreeProtocol::unpack(BoundedThreeProtocol::pack(r)),
+                  r);
+      }
+    }
+  }
+}
+
+TEST(BoundedThree, CircularArithmetic) {
+  EXPECT_EQ(BoundedThreeProtocol::succ(1), 2);
+  EXPECT_EQ(BoundedThreeProtocol::succ(9), 1);  // "9 < 1"
+  EXPECT_TRUE(BoundedThreeProtocol::at_boundary(3));
+  EXPECT_TRUE(BoundedThreeProtocol::at_boundary(6));
+  EXPECT_TRUE(BoundedThreeProtocol::at_boundary(9));
+  EXPECT_FALSE(BoundedThreeProtocol::at_boundary(1));
+  EXPECT_FALSE(BoundedThreeProtocol::at_boundary(0));
+
+  const Reg at1{1, Mode::kVal, 0};
+  const Reg at9{9, Mode::kVal, 0};
+  const Reg at2{2, Mode::kVal, 0};
+  EXPECT_TRUE(BoundedThreeProtocol::ahead_of(at1, at9));  // 1 follows 9
+  EXPECT_FALSE(BoundedThreeProtocol::ahead_of(at9, at1));
+  EXPECT_EQ(BoundedThreeProtocol::gap_behind(at2, at9), 2);
+  EXPECT_EQ(BoundedThreeProtocol::gap_behind(at9, at2), 0);  // 2 is ahead
+  // ⊥ counts as position 0 (Figure 2's initial num): a fresh processor at
+  // num 1 is only 1 ahead of a sleeping peer — deciding there is unsound.
+  const Reg bot{};
+  EXPECT_EQ(BoundedThreeProtocol::gap_behind(at1, bot), 1);
+  EXPECT_EQ(BoundedThreeProtocol::gap_behind(at2, bot), 2);
+  EXPECT_FALSE(BoundedThreeProtocol::ahead_of(bot, at1));
+}
+
+TEST(BoundedThree, DeclaredWidthIsSevenBitsConstant) {
+  BoundedThreeProtocol protocol;
+  for (const auto& spec : protocol.registers()) {
+    EXPECT_EQ(spec.width_bits, BoundedThreeProtocol::kWidthBits);
+  }
+}
+
+TEST(BoundedThree, UnanimousInputsDecideThatValue) {
+  BoundedThreeProtocol protocol;
+  for (const Value v : {0, 1}) {
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+      const auto r = run_random(protocol, {v, v, v}, seed);
+      ASSERT_TRUE(r.all_decided);
+      for (const Value d : r.decisions) EXPECT_EQ(d, v);
+    }
+  }
+}
+
+TEST(BoundedThree, AllInputCombosAgreeUnderRandomScheduling) {
+  BoundedThreeProtocol protocol;
+  for (const auto& inputs : all_binary_inputs(3)) {
+    for (std::uint64_t seed = 0; seed < 150; ++seed) {
+      const auto r = run_random(protocol, inputs, seed);
+      ASSERT_TRUE(r.all_decided) << "seed " << seed;
+      EXPECT_EQ(r.decisions[0], r.decisions[1]);
+      EXPECT_EQ(r.decisions[1], r.decisions[2]);
+    }
+  }
+}
+
+TEST(BoundedThree, AdaptiveAdversaryRuns) {
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    DecisionAvoidingAdversary adversary(seed + 5);
+    const auto r = run_protocol(protocol, {0, 1, 0}, adversary, seed, 200000);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+  }
+}
+
+TEST(BoundedThree, SplitKeepingAdversaryRuns) {
+  const auto extract_pref = [](Word w) -> Value {
+    const auto r = BoundedThreeProtocol::unpack(w);
+    return r.started() ? r.pref : kNoValue;
+  };
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    SplitKeepingAdversary adversary(seed + 11, extract_pref);
+    const auto r = run_protocol(protocol, {1, 0, 1}, adversary, seed, 200000);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+  }
+}
+
+TEST(BoundedThree, RegistersStayWithinDeclaredWidth) {
+  // The point of §6: unlike Figure 2's num field, nothing ever grows. The
+  // register file enforces the width on every write, so surviving a long
+  // adversarial run IS the boundedness proof; we also check the high-water
+  // mark explicitly.
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = 200000;
+    Simulation sim(protocol, {0, 1, 0}, options);
+    DecisionAvoidingAdversary adversary(seed);
+    const auto r = sim.run(adversary);
+    ASSERT_TRUE(r.all_decided);
+    EXPECT_LE(r.max_register_bits, BoundedThreeProtocol::kWidthBits);
+  }
+}
+
+TEST(BoundedThree, NumWindowInvariantHolds) {
+  // All live nums stay within a circular window of span <= 4 (DESIGN.md §5).
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    SimOptions options;
+    options.seed = seed;
+    Simulation sim(protocol, {0, 1, 1}, options);
+    RandomScheduler sched(seed * 7 + 1);
+    while (sim.step_once(sched)) {
+      std::vector<int> nums;
+      for (RegisterId reg = 0; reg < 3; ++reg) {
+        const auto r = BoundedThreeProtocol::unpack(sim.regs().peek(reg));
+        if (r.started()) nums.push_back(r.num);
+      }
+      if (nums.size() < 2) continue;
+      // Window check: some rotation places all values within span 4.
+      bool ok = false;
+      for (const int base : nums) {
+        bool fits = true;
+        for (const int x : nums) {
+          const int d = (x - base + 9) % 9;
+          fits &= (d <= 4);
+        }
+        ok |= fits;
+      }
+      EXPECT_TRUE(ok) << "seed " << seed;
+      if (!ok) break;
+    }
+  }
+}
+
+TEST(BoundedThree, AdversaryPhaseThenDrainAlwaysDecidesConsistently) {
+  // The property the decision-avoiding adversaries cannot test on their
+  // own: run an adversary for a while (it may freeze pending decision
+  // writes), then force completion with round-robin. Every pending
+  // certificate lands; they must all agree. This is the harness that caught
+  // the double-certificate bugs in earlier revisions (EXPERIMENTS.md).
+  const auto extract_pref = [](Word w) -> Value {
+    const auto r = BoundedThreeProtocol::unpack(w);
+    return r.started() ? r.pref : kNoValue;
+  };
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 1500; ++seed) {
+    std::vector<Value> inputs = {static_cast<Value>(seed & 1),
+                                 static_cast<Value>((seed >> 1) & 1),
+                                 static_cast<Value>((seed >> 2) & 1)};
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = 2'000'000;
+    Simulation sim(protocol, inputs, options);
+    const long k = 20 + static_cast<long>((seed * 2654435761ULL) % 300);
+    if (seed % 2 == 0) {
+      SplitKeepingAdversary adversary(seed + 9, extract_pref);
+      for (long i = 0; i < k && sim.step_once(adversary); ++i) {
+      }
+    } else {
+      DecisionAvoidingAdversary adversary(seed + 9);
+      for (long i = 0; i < k && sim.step_once(adversary); ++i) {
+      }
+    }
+    RoundRobinScheduler rr;
+    const auto r = sim.run(rr);  // throws on any inconsistency
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+  }
+}
+
+TEST(BoundedThree, SoloProcessorDecides) {
+  BoundedThreeProtocol protocol;
+  StarvingScheduler sched({1, 2}, 3);
+  const auto r = run_protocol(protocol, {1, 0, 0}, sched, 11, 1000);
+  EXPECT_EQ(r.decisions[0], 1);
+}
+
+TEST(BoundedThree, CrashToleranceTwoOfThree) {
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    RandomScheduler inner(seed);
+    CrashingScheduler sched(inner, {{4, 1}, {9, 2}});
+    const auto r = run_protocol(protocol, {0, 1, 1}, sched, seed, 50000);
+    EXPECT_NE(r.decisions[0], kNoValue) << "seed " << seed;
+  }
+}
+
+TEST(BoundedThree, LaggardAdoptsEarlierDecision) {
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = 100000;
+    Simulation sim(protocol, {0, 1, 1}, options);
+    StarvingScheduler starve(std::vector<ProcessId>{2}, seed);
+    while (sim.active(0) || sim.active(1)) ASSERT_TRUE(sim.step_once(starve));
+    const Value early = sim.process(0).decision();
+    RoundRobinScheduler rr;
+    const auto r = sim.run(rr);
+    ASSERT_TRUE(r.all_decided);
+    EXPECT_EQ(r.decisions[2], early);
+  }
+}
+
+TEST(BoundedThree, ExpectedStepsModest) {
+  BoundedThreeProtocol protocol;
+  RunningStats steps;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    const auto r = run_random(protocol, {0, 1, 0}, seed);
+    ASSERT_TRUE(r.all_decided);
+    steps.add(static_cast<double>(r.total_steps));
+  }
+  EXPECT_LT(steps.mean(), 500.0);
+}
+
+}  // namespace
+}  // namespace cil

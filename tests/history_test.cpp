@@ -1,0 +1,184 @@
+// Tests for the atomicity/linearizability checkers on hand-built histories —
+// both good histories (must pass) and corrupted ones (must be rejected).
+#include <gtest/gtest.h>
+
+#include "registers/history.h"
+
+namespace cil::hw {
+namespace {
+
+OpRecord write(int actor, std::uint64_t value, std::int64_t start,
+               std::int64_t end, std::uint64_t stamp = 0) {
+  return {OpRecord::Kind::kWrite, actor, value, stamp, start, end};
+}
+
+OpRecord read(int actor, std::uint64_t value, std::int64_t start,
+              std::int64_t end, std::uint64_t stamp = 0) {
+  return {OpRecord::Kind::kRead, actor, value, stamp, start, end};
+}
+
+TEST(SwAtomicity, SequentialHistoryPasses) {
+  const std::vector<OpRecord> h = {
+      write(0, 1, 0, 1),
+      read(1, 1, 2, 3),
+      write(0, 2, 4, 5),
+      read(1, 2, 6, 7),
+  };
+  const auto r = check_single_writer_atomicity(h, /*initial=*/0);
+  EXPECT_TRUE(r.ok) << r.diagnosis;
+}
+
+TEST(SwAtomicity, InitialValueReadableBeforeAnyWrite) {
+  const std::vector<OpRecord> h = {
+      read(1, 0, 0, 1),
+      write(0, 5, 2, 3),
+      read(1, 5, 4, 5),
+  };
+  EXPECT_TRUE(check_single_writer_atomicity(h, 0).ok);
+}
+
+TEST(SwAtomicity, OverlappingReadMayReturnOldOrNew) {
+  for (const std::uint64_t returned : {0ull, 7ull}) {
+    const std::vector<OpRecord> h = {
+        write(0, 7, 10, 20),
+        read(1, returned, 12, 18),  // overlaps the write
+    };
+    EXPECT_TRUE(check_single_writer_atomicity(h, 0).ok)
+        << "returned " << returned;
+  }
+}
+
+TEST(SwAtomicity, RejectsFutureRead) {
+  const std::vector<OpRecord> h = {
+      read(1, 7, 0, 1),  // 7 not written yet
+      write(0, 7, 5, 6),
+  };
+  const auto r = check_single_writer_atomicity(h, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.diagnosis.find("future"), std::string::npos);
+}
+
+TEST(SwAtomicity, RejectsStaleRead) {
+  const std::vector<OpRecord> h = {
+      write(0, 1, 0, 1),
+      write(0, 2, 2, 3),
+      read(1, 1, 5, 6),  // write(2) completed before the read began
+  };
+  const auto r = check_single_writer_atomicity(h, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.diagnosis.find("stale"), std::string::npos);
+}
+
+TEST(SwAtomicity, RejectsNewOldInversion) {
+  // Two sequential reads overlapping one write must not go new-then-old.
+  const std::vector<OpRecord> h = {
+      write(0, 9, 0, 100),
+      read(1, 9, 10, 20),  // sees the new value early
+      read(1, 0, 30, 40),  // then the old one: illegal for atomic
+  };
+  const auto r = check_single_writer_atomicity(h, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.diagnosis.find("inversion"), std::string::npos);
+}
+
+TEST(SwAtomicity, NewOldInversionAcrossReadersAlsoRejected) {
+  const std::vector<OpRecord> h = {
+      write(0, 9, 0, 100),
+      read(1, 9, 10, 20),
+      read(2, 0, 30, 40),  // a different reader — still illegal
+  };
+  EXPECT_FALSE(check_single_writer_atomicity(h, 0).ok);
+}
+
+TEST(SwAtomicity, RejectsNeverWrittenValue) {
+  const std::vector<OpRecord> h = {
+      write(0, 1, 0, 1),
+      read(1, 77, 2, 3),
+  };
+  const auto r = check_single_writer_atomicity(h, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.diagnosis.find("never-written"), std::string::npos);
+}
+
+TEST(SwAtomicity, RejectsDuplicateWriteValues) {
+  const std::vector<OpRecord> h = {
+      write(0, 1, 0, 1),
+      write(0, 1, 2, 3),
+  };
+  EXPECT_FALSE(check_single_writer_atomicity(h, 0).ok);
+}
+
+TEST(SwAtomicity, RejectsTwoWriterActors) {
+  const std::vector<OpRecord> h = {
+      write(0, 1, 0, 1),
+      write(3, 2, 2, 3),
+  };
+  EXPECT_FALSE(check_single_writer_atomicity(h, 0).ok);
+}
+
+TEST(StampedLin, MonotoneHistoryPasses) {
+  const std::vector<OpRecord> h = {
+      write(0, 10, 0, 1, /*stamp=*/1),
+      read(2, 10, 2, 3, 1),
+      write(1, 20, 4, 5, 2),
+      read(2, 20, 6, 7, 2),
+  };
+  const auto r = check_stamped_linearizability(h);
+  EXPECT_TRUE(r.ok) << r.diagnosis;
+}
+
+TEST(StampedLin, ConcurrentWritesMayOrderEitherWay) {
+  const std::vector<OpRecord> h = {
+      write(0, 10, 0, 10, 2),
+      write(1, 20, 0, 10, 1),  // overlapping; stamps pick the order
+      read(2, 10, 11, 12, 2),
+  };
+  EXPECT_TRUE(check_stamped_linearizability(h).ok);
+}
+
+TEST(StampedLin, RejectsReadOlderThanCompletedOp) {
+  const std::vector<OpRecord> h = {
+      write(0, 10, 0, 1, 1),
+      write(1, 20, 2, 3, 2),
+      read(2, 10, 5, 6, 1),  // the stamp-2 write completed before this read
+  };
+  const auto r = check_stamped_linearizability(h);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(StampedLin, RejectsWriteStampNotAboveCompletedOps) {
+  const std::vector<OpRecord> h = {
+      write(0, 10, 0, 1, 5),
+      write(1, 20, 3, 4, 2),  // real-time after, stamp lower
+  };
+  EXPECT_FALSE(check_stamped_linearizability(h).ok);
+}
+
+TEST(StampedLin, RejectsDuplicateWriteStamps) {
+  const std::vector<OpRecord> h = {
+      write(0, 10, 0, 1, 3),
+      write(1, 20, 5, 6, 3),
+  };
+  EXPECT_FALSE(check_stamped_linearizability(h).ok);
+}
+
+TEST(StampedLin, RejectsUnknownReadStamp) {
+  const std::vector<OpRecord> h = {
+      write(0, 10, 0, 1, 1),
+      read(1, 99, 2, 3, 42),
+  };
+  EXPECT_FALSE(check_stamped_linearizability(h).ok);
+}
+
+TEST(MergeHistories, SortsByStart) {
+  HistoryLog a, b;
+  a.record(write(0, 1, 5, 6));
+  b.record(read(1, 1, 0, 1));
+  const auto merged = merge_histories({a, b});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].kind, OpRecord::Kind::kRead);
+  EXPECT_EQ(merged[1].kind, OpRecord::Kind::kWrite);
+}
+
+}  // namespace
+}  // namespace cil::hw

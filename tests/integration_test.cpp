@@ -1,0 +1,163 @@
+// Cross-module property sweeps: every protocol × every scheduler ×
+// many seeds, with the engine's online consistency/nontriviality checks
+// armed. These are the broad-coverage tests; per-protocol behaviour lives
+// in the dedicated files.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/bounded_three.h"
+#include "core/multivalued.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "tests/test_util.h"
+
+namespace cil {
+namespace {
+
+struct Combo {
+  std::string name;
+  std::function<std::unique_ptr<Protocol>()> protocol;
+  std::function<std::unique_ptr<Scheduler>(std::uint64_t)> scheduler;
+};
+
+std::vector<Combo> make_combos() {
+  std::vector<std::pair<std::string,
+                        std::function<std::unique_ptr<Protocol>()>>>
+      protocols = {
+          {"two", [] { return std::make_unique<TwoProcessProtocol>(); }},
+          {"unb3", [] { return std::make_unique<UnboundedProtocol>(3); }},
+          {"unb5", [] { return std::make_unique<UnboundedProtocol>(5); }},
+          {"bnd3", [] { return std::make_unique<BoundedThreeProtocol>(); }},
+          {"mv3", [] { return std::make_unique<MultiValuedProtocol>(3, 7); }},
+      };
+  std::vector<std::pair<std::string, std::function<std::unique_ptr<Scheduler>(
+                                         std::uint64_t)>>>
+      scheds = {
+          {"rr", [](std::uint64_t) { return std::make_unique<RoundRobinScheduler>(); }},
+          {"rand",
+           [](std::uint64_t s) { return std::make_unique<RandomScheduler>(s); }},
+          {"adv",
+           [](std::uint64_t s) {
+             return std::make_unique<DecisionAvoidingAdversary>(s + 1);
+           }},
+      };
+  std::vector<Combo> out;
+  for (const auto& [pn, pf] : protocols) {
+    for (const auto& [sn, sf] : scheds) {
+      out.push_back({pn + "_" + sn, pf, sf});
+    }
+  }
+  return out;
+}
+
+class SweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepTest, AgreementValidityTermination) {
+  const Combo combo = make_combos()[GetParam()];
+  const auto protocol = combo.protocol();
+  const int n = protocol->num_processes();
+
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    std::vector<Value> inputs;
+    Rng rng(seed * 1337 + 17);
+    for (int i = 0; i < n; ++i)
+      inputs.push_back(static_cast<Value>(rng.below(2)));
+    const auto sched = combo.scheduler(seed);
+    // max-steps generous: the adversarial combos on larger n need room.
+    const auto r =
+        test::run_protocol(*protocol, inputs, *sched, seed, 2'000'000);
+    ASSERT_TRUE(r.all_decided) << combo.name << " seed " << seed;
+    for (int i = 1; i < n; ++i)
+      ASSERT_EQ(r.decisions[i], r.decisions[0])
+          << combo.name << " seed " << seed;
+    bool valid = false;
+    for (const Value in : inputs) valid |= (in == r.decisions[0]);
+    ASSERT_TRUE(valid) << combo.name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SweepTest,
+    ::testing::Range(0, static_cast<int>(make_combos().size())),
+    [](const auto& info) { return make_combos()[info.param].name; });
+
+TEST(Integration, CrashStormEveryProtocolSurvives) {
+  // Kill n-1 processors at staggered times; the lone survivor must decide.
+  const std::vector<std::function<std::unique_ptr<Protocol>()>> protocols = {
+      [] { return std::make_unique<TwoProcessProtocol>(); },
+      [] { return std::make_unique<UnboundedProtocol>(3); },
+      [] { return std::make_unique<BoundedThreeProtocol>(); },
+      [] { return std::make_unique<MultiValuedProtocol>(3, 7); },
+  };
+  for (const auto& factory : protocols) {
+    const auto protocol = factory();
+    const int n = protocol->num_processes();
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      std::vector<Value> inputs;
+      for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+      RandomScheduler inner(seed);
+      std::vector<std::pair<std::int64_t, ProcessId>> plan;
+      for (ProcessId p = 1; p < n; ++p)
+        plan.emplace_back(3 * p + static_cast<std::int64_t>(seed % 5), p);
+      CrashingScheduler sched(inner, plan);
+      const auto r =
+          test::run_protocol(*protocol, inputs, sched, seed, 500'000);
+      EXPECT_NE(r.decisions[0], kNoValue)
+          << protocol->name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(Integration, StarvationEveryProtocolServesTheActive) {
+  // Freeze one processor forever; everyone else must still decide (the
+  // termination property the naive protocol lacks).
+  const std::vector<std::function<std::unique_ptr<Protocol>()>> protocols = {
+      [] { return std::make_unique<UnboundedProtocol>(3); },
+      [] { return std::make_unique<BoundedThreeProtocol>(); },
+      [] { return std::make_unique<MultiValuedProtocol>(3, 7); },
+  };
+  for (const auto& factory : protocols) {
+    const auto protocol = factory();
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      StarvingScheduler sched({2}, seed);
+      const auto r = test::run_protocol(*protocol, {1, 0, 1}, sched, seed,
+                                        500'000);
+      EXPECT_NE(r.decisions[0], kNoValue)
+          << protocol->name() << " seed " << seed;
+      EXPECT_NE(r.decisions[1], kNoValue)
+          << protocol->name() << " seed " << seed;
+      EXPECT_EQ(r.decisions[0], r.decisions[1]);
+    }
+  }
+}
+
+TEST(Integration, DecidedRegistersRemainStable) {
+  // Once a processor decides, its register contents never change again
+  // (the consistency proofs depend on this).
+  UnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    SimOptions options;
+    options.seed = seed;
+    Simulation sim(protocol, {0, 1, 0}, options);
+    RandomScheduler sched(seed + 1);
+    std::vector<Word> frozen(3, 0);
+    std::vector<bool> was_decided(3, false);
+    while (sim.step_once(sched)) {
+      for (ProcessId p = 0; p < 3; ++p) {
+        if (sim.process(p).decided()) {
+          if (!was_decided[p]) {
+            was_decided[p] = true;
+            frozen[p] = sim.regs().peek(p);
+          } else {
+            ASSERT_EQ(sim.regs().peek(p), frozen[p]) << "seed " << seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cil

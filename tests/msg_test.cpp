@@ -1,0 +1,153 @@
+// Tests for the message-passing substrate and Ben-Or consensus — the model
+// the paper contrasts its own against (abstract + §1).
+#include <gtest/gtest.h>
+
+#include "msg/ben_or.h"
+#include "msg/msg_system.h"
+
+namespace cil::msg {
+namespace {
+
+/// Adversarial delivery: always delivers the most recently sent message
+/// (LIFO), which maximizes round skew between processes.
+class LifoDelivery final : public DeliveryScheduler {
+ public:
+  std::size_t pick(const std::vector<Message>& in_flight, Rng&) override {
+    return in_flight.size() - 1;
+  }
+};
+
+MsgResult run_ben_or(int n, int t, const std::vector<Value>& inputs,
+                     std::uint64_t seed, const std::vector<ProcId>& crashes,
+                     std::int64_t budget = 200000, bool lifo = false) {
+  BenOrProtocol protocol(n, t);
+  MsgSystem system(protocol, inputs, seed);
+  for (const ProcId p : crashes) system.crash(p);
+  if (lifo) {
+    LifoDelivery sched;
+    return system.run(sched, budget);
+  }
+  RandomDelivery sched;
+  return system.run(sched, budget);
+}
+
+TEST(BenOr, UnanimousInputsDecideThatValueFast) {
+  for (const Value v : {0, 1}) {
+    const auto r = run_ben_or(5, 2, {v, v, v, v, v}, 1, {});
+    ASSERT_TRUE(r.all_live_decided);
+    for (const Value d : r.decisions) EXPECT_EQ(d, v);
+  }
+}
+
+TEST(BenOr, MixedInputsAgreeUnderRandomDelivery) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const auto r = run_ben_or(5, 2, {0, 1, 0, 1, 1}, seed, {});
+    ASSERT_TRUE(r.all_live_decided) << "seed " << seed;
+    for (const Value d : r.decisions) EXPECT_EQ(d, *r.decision);
+  }
+}
+
+TEST(BenOr, AgreementUnderAdversarialLifoDelivery) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto r = run_ben_or(4, 1, {0, 1, 1, 0}, seed, {}, 200000, true);
+    ASSERT_TRUE(r.all_live_decided) << "seed " << seed;
+  }
+}
+
+TEST(BenOr, ToleratesUpToTCrashes) {
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    const auto r = run_ben_or(5, 2, {0, 1, 0, 1, 1}, seed, {1, 3});
+    ASSERT_TRUE(r.all_live_decided) << "seed " << seed;
+    EXPECT_EQ(r.decisions[1], kNoValue);  // crashed before starting...
+  }
+}
+
+TEST(BenOr, StallsForeverWhenCrashesExceedT) {
+  // The paper's contrast: with more than t (here n/2) failures the
+  // survivors wait for n-t messages that can never arrive. The
+  // shared-register protocols decide with n-1 failures (see
+  // Unbounded.CrashToleranceUpToNMinusOne).
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const auto r = run_ben_or(5, 2, {0, 1, 0, 1, 1}, seed, {0, 1, 2});
+    EXPECT_FALSE(r.all_live_decided) << "seed " << seed;
+    EXPECT_TRUE(r.stuck) << "seed " << seed;  // no deliverable messages left
+  }
+}
+
+TEST(BenOr, IllegalToleranceLosesLiveness) {
+  // t >= n/2 is the regime Bracha-Toueg [2] prove impossible: no protocol
+  // gets BOTH safety and liveness. Ben-Or keeps safety (proposals need a
+  // strict majority of all n, which n-t received messages can never
+  // certify), so the impossibility materializes as guaranteed
+  // non-termination: with t = n/2 a process acts on n-t = n/2 messages and
+  // can never see a majority, so nobody ever proposes, nobody ever decides.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = run_ben_or(4, 2, {0, 0, 1, 1}, seed, {}, 30000);
+    EXPECT_FALSE(r.all_live_decided) << "seed " << seed;
+  }
+}
+
+TEST(BenOr, SurvivesMidRunCrashes) {
+  // Crashes landing DURING the run (dropping that process's in-flight
+  // messages) are strictly nastier than dead-on-arrival ones.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    BenOrProtocol protocol(5, 2);
+    MsgSystem system(protocol, {0, 1, 0, 1, 1}, seed);
+    RandomDelivery sched;
+    for (int i = 0; i < 7 && system.step_once(sched); ++i) {
+    }
+    system.crash(0);
+    for (int i = 0; i < 11 && system.step_once(sched); ++i) {
+    }
+    system.crash(3);
+    const auto r = system.run(sched, 200000);
+    ASSERT_TRUE(r.all_live_decided) << "seed " << seed;
+  }
+}
+
+class BenOrSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenOrSizes, AgreementAndTerminationAcrossN) {
+  const int n = GetParam();
+  const int t = (n - 1) / 2;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::vector<Value> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+    const auto r = run_ben_or(n, t, inputs, seed, {}, 500000);
+    ASSERT_TRUE(r.all_live_decided) << "n=" << n << " seed=" << seed;
+    for (const Value d : r.decisions) EXPECT_EQ(d, *r.decision);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BenOrSizes, ::testing::Values(3, 4, 5, 7, 9));
+
+TEST(MsgSystem, CrashDropsInFlightMessages) {
+  BenOrProtocol protocol(3, 1);
+  MsgSystem system(protocol, {0, 1, 0}, 1);
+  EXPECT_FALSE(system.in_flight().empty());
+  system.crash(0);
+  for (const auto& m : system.in_flight()) {
+    EXPECT_NE(m.from, 0);
+    EXPECT_NE(m.to, 0);
+  }
+}
+
+TEST(MsgSystem, DeterministicGivenSeed) {
+  const auto a = run_ben_or(5, 2, {0, 1, 1, 0, 1}, 77, {});
+  const auto b = run_ben_or(5, 2, {0, 1, 1, 0, 1}, 77, {});
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+TEST(MsgSystem, ValidityUnanimousNeverFlipsAway) {
+  // With unanimous inputs Ben-Or's coin is never reached; decision must be
+  // the input under every seed.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto r = run_ben_or(4, 1, {1, 1, 1, 1}, seed, {});
+    ASSERT_TRUE(r.all_live_decided);
+    EXPECT_EQ(*r.decision, 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cil::msg

@@ -1,0 +1,120 @@
+// Tests for the Theorem 5 reduction: k-valued coordination from binary
+// coordination, with cost scaling ⌈log2 k⌉ × binary.
+#include <gtest/gtest.h>
+
+#include "core/multivalued.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace cil {
+namespace {
+
+using test::run_protocol;
+using test::run_random;
+
+TEST(MultiValued, RoundCountIsCeilLog2OfMaxValue) {
+  EXPECT_EQ(MultiValuedProtocol(3, 1).rounds(), 1);
+  EXPECT_EQ(MultiValuedProtocol(3, 3).rounds(), 2);
+  EXPECT_EQ(MultiValuedProtocol(3, 4).rounds(), 3);
+  EXPECT_EQ(MultiValuedProtocol(3, 255).rounds(), 8);
+  EXPECT_EQ(MultiValuedProtocol(3, 1023).rounds(), 10);
+}
+
+TEST(MultiValued, UnanimousInputsDecideThatValue) {
+  MultiValuedProtocol protocol(3, /*max_value=*/15);
+  for (const Value v : {0, 7, 15}) {
+    const auto r = run_random(protocol, {v, v, v}, 5);
+    ASSERT_TRUE(r.all_decided);
+    for (const Value d : r.decisions) EXPECT_EQ(d, v);
+  }
+}
+
+TEST(MultiValued, MixedInputsAgreeOnSomeInput) {
+  MultiValuedProtocol protocol(3, /*max_value=*/15);
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const std::vector<Value> inputs = {3, 12, 9};
+    const auto r = run_random(protocol, inputs, seed);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    EXPECT_EQ(r.decisions[0], r.decisions[1]);
+    EXPECT_EQ(r.decisions[1], r.decisions[2]);
+    EXPECT_TRUE(r.decisions[0] == 3 || r.decisions[0] == 12 ||
+                r.decisions[0] == 9);
+  }
+}
+
+TEST(MultiValued, AdversarialSchedulingStillAgrees) {
+  MultiValuedProtocol protocol(3, /*max_value=*/7);
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    DecisionAvoidingAdversary adversary(seed + 2);
+    const auto r = run_protocol(protocol, {1, 6, 4}, adversary, seed, 500000);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    EXPECT_TRUE(r.decisions[0] == 1 || r.decisions[0] == 6 ||
+                r.decisions[0] == 4);
+  }
+}
+
+TEST(MultiValued, SoloProcessorDecidesItsOwnInput) {
+  MultiValuedProtocol protocol(3, /*max_value=*/31);
+  StarvingScheduler sched({1, 2}, 9);
+  const auto r = run_protocol(protocol, {21, 0, 0}, sched, 4, 100000);
+  EXPECT_EQ(r.decisions[0], 21);
+}
+
+TEST(MultiValued, WorksWithTwoProcessBinaryFactory) {
+  MultiValuedProtocol protocol(
+      2, /*max_value=*/63, [](int n) -> std::unique_ptr<Protocol> {
+        CIL_CHECK(n == 2);
+        return std::make_unique<TwoProcessProtocol>(1);
+      });
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto r = run_random(protocol, {17, 42}, seed);
+    ASSERT_TRUE(r.all_decided);
+    EXPECT_TRUE(r.decisions[0] == 17 || r.decisions[0] == 42);
+    EXPECT_EQ(r.decisions[0], r.decisions[1]);
+  }
+}
+
+TEST(MultiValued, CrashedMajorityStillTerminates) {
+  MultiValuedProtocol protocol(3, /*max_value=*/15);
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    RandomScheduler inner(seed);
+    CrashingScheduler sched(inner, {{7, 1}, {11, 2}});
+    const auto r = run_protocol(protocol, {3, 12, 9}, sched, seed, 200000);
+    EXPECT_NE(r.decisions[0], kNoValue) << "seed " << seed;
+  }
+}
+
+TEST(MultiValued, CostScalesLogarithmicallyInK) {
+  // Theorem 5: complexity of CPk ≈ log k × complexity of CP2. Doubling the
+  // bit width should roughly double the step count; going 1 -> 8 bits
+  // should cost clearly less than 16x (it is ~8x plus rescan overhead).
+  RunningStats steps1, steps8;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    MultiValuedProtocol p1(3, 1);
+    const auto r1 = run_random(p1, {0, 1, 1}, seed);
+    ASSERT_TRUE(r1.all_decided);
+    steps1.add(static_cast<double>(r1.total_steps));
+
+    MultiValuedProtocol p8(3, 255);
+    const auto r8 = run_random(p8, {0, 255, 100}, seed);
+    ASSERT_TRUE(r8.all_decided);
+    steps8.add(static_cast<double>(r8.total_steps));
+  }
+  const double ratio = steps8.mean() / steps1.mean();
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(MultiValued, RegistersIncludePublishedInputsAndRoundInstances) {
+  MultiValuedProtocol protocol(3, /*max_value=*/7);  // 3 rounds
+  const auto specs = protocol.registers();
+  // 3 input registers + 3 rounds x 3 unbounded-instance registers.
+  EXPECT_EQ(specs.size(), 3u + 3u * 3u);
+  EXPECT_EQ(specs[0].name, "input0");
+  EXPECT_EQ(specs[3].name.substr(0, 6), "round0");
+}
+
+}  // namespace
+}  // namespace cil

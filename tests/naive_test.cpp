@@ -1,0 +1,87 @@
+// Tests for the flawed "natural" protocol of §5's opening — these verify
+// that it fails exactly the way the paper says it does, and that the
+// paper's protocols survive the same schedules.
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/unbounded.h"
+#include "tests/test_util.h"
+
+namespace cil {
+namespace {
+
+using test::run_protocol;
+using test::run_random;
+
+TEST(Naive, CanSucceedUnderFriendlySchedules) {
+  // Nothing is wrong with the happy path — with everyone scheduled fairly
+  // and mixed inputs it usually converges.
+  NaiveConsensusProtocol protocol(3);
+  int decided = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto r = run_random(protocol, {0, 1, 0}, seed, 100000);
+    decided += r.all_decided;
+    if (r.all_decided) {
+      EXPECT_EQ(r.decisions[0], r.decisions[1]);
+      EXPECT_EQ(r.decisions[1], r.decisions[2]);
+    }
+  }
+  EXPECT_GT(decided, 90);
+}
+
+TEST(Naive, StarvingOneProcessorStarvesEveryoneForever) {
+  // The paper's killer schedule: never activate P2. The naive decision rule
+  // demands unanimity of all three registers, so P0 and P1 loop forever —
+  // P[undecided after k steps] = 1 for every k, violating randomized
+  // termination. (Compare UnboundedSurvivesTheSameSchedule below.)
+  NaiveConsensusProtocol protocol(3);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    StarvingScheduler sched({2}, seed);
+    const auto r = run_protocol(protocol, {0, 1, 0}, sched, seed, 20000);
+    EXPECT_EQ(r.decisions[0], kNoValue) << "seed " << seed;
+    EXPECT_EQ(r.decisions[1], kNoValue) << "seed " << seed;
+    EXPECT_GT(r.steps_per_process[0], 1000);  // activated plenty, decided never
+  }
+}
+
+TEST(Naive, UnboundedSurvivesTheSameSchedule) {
+  UnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    StarvingScheduler sched({2}, seed);
+    const auto r = run_protocol(protocol, {0, 1, 0}, sched, seed, 20000);
+    EXPECT_NE(r.decisions[0], kNoValue) << "seed " << seed;
+    EXPECT_NE(r.decisions[1], kNoValue) << "seed " << seed;
+    EXPECT_EQ(r.decisions[0], r.decisions[1]);
+  }
+}
+
+TEST(Naive, ViolatesNontrivialityUnderUnanimousInputs) {
+  // A second, sneakier flaw: re-choices are fresh random values, so with
+  // all-zero inputs the system can decide 1 — which is nobody's input. The
+  // engine's online nontriviality check catches it on some seed.
+  NaiveConsensusProtocol protocol(3);
+  bool caught = false;
+  for (std::uint64_t seed = 0; seed < 300 && !caught; ++seed) {
+    try {
+      const auto r = run_random(protocol, {0, 0, 0}, seed, 100000);
+      (void)r;
+    } catch (const CoordinationViolation& e) {
+      caught = true;
+      EXPECT_NE(std::string(e.what()).find("nontriviality"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Naive, TwoProcessorVariantAlsoStarvable) {
+  NaiveConsensusProtocol protocol(2);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    StarvingScheduler sched({1}, seed);
+    const auto r = run_protocol(protocol, {0, 1}, sched, seed, 10000);
+    EXPECT_EQ(r.decisions[0], kNoValue);
+  }
+}
+
+}  // namespace
+}  // namespace cil

@@ -1,0 +1,75 @@
+// Footnote 1 of the paper, executed: deterministic mutual exclusion works
+// only for admissible schedules — parking a processor inside its trial
+// region deadlocks the peer — while the coordination-based election has no
+// such window.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/mutex.h"
+#include "runtime/peterson.h"
+
+namespace cil {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Peterson, MutualExclusionUnderContention) {
+  rt::PetersonLock lock;
+  int counter = 0;
+  {
+    std::vector<std::jthread> threads;
+    for (int me = 0; me < 2; ++me) {
+      threads.emplace_back([&lock, &counter, me] {
+        for (int i = 0; i < 20000; ++i) {
+          lock.lock(me);
+          ++counter;  // torn updates would lose increments
+          lock.unlock(me);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(Peterson, UncontendedLockIsImmediate) {
+  rt::PetersonLock lock;
+  EXPECT_TRUE(lock.try_lock_for(0, 10ms));
+  lock.unlock(0);
+  EXPECT_TRUE(lock.try_lock_for(1, 10ms));
+  lock.unlock(1);
+}
+
+TEST(Peterson, FootnoteInadmissibleScheduleDeadlocksThePeer) {
+  // P0 is "held out sometime before entering its critical region": it has
+  // raised its flag but never yields the turn. P1 now spins forever even
+  // though NOBODY is in (or will ever reach) the critical section.
+  rt::PetersonLock lock;
+  lock.begin_entry(0);  // ... and P0 is parked here by the scheduler.
+
+  EXPECT_FALSE(lock.try_lock_for(1, 100ms))
+      << "the peer must starve under the inadmissible schedule";
+
+  // Once the scheduler resumes P0, everything unblocks.
+  lock.finish_entry(0);
+  while (!lock.may_enter(0)) {
+  }
+  lock.unlock(0);
+  EXPECT_TRUE(lock.try_lock_for(1, 1000ms));
+  lock.unlock(1);
+}
+
+TEST(Peterson, CoordinationElectionHasNoSuchWindow) {
+  // The same adversarial move against the register-based election: P0 is
+  // parked before taking a single step of the consensus instance. P1's
+  // election is wait-free and completes alone.
+  rt::ConsensusArena arena(2, 1, /*seed=*/3);
+  // (P0 parked: it simply never calls decide.)
+  EXPECT_EQ(arena.decide(/*pid=*/1, /*input=*/1), 1);
+}
+
+}  // namespace
+}  // namespace cil

@@ -1,0 +1,98 @@
+// Tests for the simulated register file: access control, width enforcement,
+// instrumentation, snapshot/restore.
+#include <gtest/gtest.h>
+
+#include "registers/register_file.h"
+
+namespace cil {
+namespace {
+
+std::vector<RegisterSpec> two_regs() {
+  return {
+      {"r0", /*writers=*/{0}, /*readers=*/{1}, /*width=*/4, /*initial=*/0},
+      {"r1", /*writers=*/{1}, /*readers=*/{0}, /*width=*/4, /*initial=*/7},
+  };
+}
+
+TEST(RegisterFile, InitialValues) {
+  RegisterFile f(two_regs());
+  EXPECT_EQ(f.peek(0), 0u);
+  EXPECT_EQ(f.peek(1), 7u);
+}
+
+TEST(RegisterFile, ReadWriteHappyPath) {
+  RegisterFile f(two_regs());
+  f.write(0, /*p=*/0, 9);
+  EXPECT_EQ(f.read(0, /*p=*/1), 9u);
+}
+
+TEST(RegisterFile, EnforcesWriterSet) {
+  RegisterFile f(two_regs());
+  EXPECT_THROW(f.write(0, /*p=*/1, 1), ContractViolation);
+}
+
+TEST(RegisterFile, EnforcesReaderSet) {
+  RegisterFile f(two_regs());
+  EXPECT_THROW(f.read(0, /*p=*/0), ContractViolation);
+}
+
+TEST(RegisterFile, EnforcesDeclaredWidth) {
+  RegisterFile f(two_regs());
+  EXPECT_NO_THROW(f.write(0, 0, 15));  // 4 bits
+  EXPECT_THROW(f.write(0, 0, 16), ContractViolation);
+}
+
+TEST(RegisterFile, RejectsBadSpecs) {
+  EXPECT_THROW(RegisterFile({{"x", {}, {0}, 4, 0}}), ContractViolation);
+  EXPECT_THROW(RegisterFile({{"x", {0}, {}, 4, 0}}), ContractViolation);
+  EXPECT_THROW(RegisterFile({{"x", {0}, {1}, 0, 0}}), ContractViolation);
+  EXPECT_THROW(RegisterFile({{"x", {0}, {1}, 2, 9}}), ContractViolation);
+}
+
+TEST(RegisterFile, CountsOperationsAndHighWaterMark) {
+  RegisterFile f(two_regs());
+  f.write(0, 0, 1);
+  f.write(0, 0, 15);
+  f.write(0, 0, 2);
+  (void)f.read(0, 1);
+  EXPECT_EQ(f.stats(0).writes, 3);
+  EXPECT_EQ(f.stats(0).reads, 1);
+  EXPECT_EQ(f.stats(0).max_bits_written, 4);  // 15 needs 4 bits
+  EXPECT_EQ(f.total_writes(), 3);
+  EXPECT_EQ(f.total_reads(), 1);
+  EXPECT_EQ(f.max_bits_written(), 4);
+}
+
+TEST(RegisterFile, SnapshotRestoreRoundTrips) {
+  RegisterFile f(two_regs());
+  f.write(0, 0, 5);
+  const auto snap = f.snapshot();
+  f.write(0, 0, 9);
+  EXPECT_EQ(f.peek(0), 9u);
+  f.restore(snap);
+  EXPECT_EQ(f.peek(0), 5u);
+  EXPECT_EQ(f.peek(1), 7u);
+}
+
+TEST(RegisterFile, RestoreRejectsWrongArity) {
+  RegisterFile f(two_regs());
+  EXPECT_THROW(f.restore({1, 2, 3}), ContractViolation);
+}
+
+TEST(RegisterFile, OutOfRangeIdsRejected) {
+  RegisterFile f(two_regs());
+  EXPECT_THROW(f.peek(2), ContractViolation);
+  EXPECT_THROW(f.peek(-1), ContractViolation);
+  EXPECT_THROW(f.read(5, 0), ContractViolation);
+}
+
+TEST(RegisterFile, CopyIsIndependent) {
+  RegisterFile f(two_regs());
+  RegisterFile g = f;
+  f.write(0, 0, 3);
+  EXPECT_EQ(g.peek(0), 0u);
+  EXPECT_EQ(f.peek(0), 3u);
+}
+
+}  // namespace
+}  // namespace cil

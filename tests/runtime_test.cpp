@@ -1,0 +1,131 @@
+// Tests for the threaded runtime: the same Process automata running on real
+// std::threads over real shared memory, with both register backends, plus
+// the CAS baselines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_three.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "runtime/cas_baseline.h"
+#include "runtime/threaded.h"
+
+namespace cil {
+namespace {
+
+TEST(Threaded, TwoProcessDecidesAndAgrees) {
+  TwoProcessProtocol protocol;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    rt::ThreadedOptions options;
+    options.seed = seed;
+    const auto r = rt::run_threaded(protocol, {0, 1}, options);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    ASSERT_TRUE(r.consistent) << "seed " << seed;
+    EXPECT_TRUE(r.decisions[0] == 0 || r.decisions[0] == 1);
+  }
+}
+
+TEST(Threaded, UnboundedThreeDecidesAndAgrees) {
+  UnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    rt::ThreadedOptions options;
+    options.seed = seed;
+    const auto r = rt::run_threaded(protocol, {0, 1, 0}, options);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    ASSERT_TRUE(r.consistent) << "seed " << seed;
+  }
+}
+
+TEST(Threaded, BoundedThreeDecidesAndAgrees) {
+  BoundedThreeProtocol protocol;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    rt::ThreadedOptions options;
+    options.seed = seed;
+    const auto r = rt::run_threaded(protocol, {1, 0, 1}, options);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    ASSERT_TRUE(r.consistent) << "seed " << seed;
+  }
+}
+
+TEST(Threaded, ConstructedRegisterBackendWorks) {
+  // The full 1987 stack: protocol over SWMR-from-four-slot-from-safe-cells.
+  TwoProcessProtocol protocol;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rt::ThreadedOptions options;
+    options.seed = seed;
+    options.backend = rt::RegisterBackend::kConstructed;
+    const auto r = rt::run_threaded(protocol, {0, 1}, options);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    ASSERT_TRUE(r.consistent) << "seed " << seed;
+  }
+}
+
+TEST(Threaded, ConstructedBackendUnboundedThree) {
+  UnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rt::ThreadedOptions options;
+    options.seed = seed;
+    options.backend = rt::RegisterBackend::kConstructed;
+    const auto r = rt::run_threaded(protocol, {1, 1, 0}, options);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    ASSERT_TRUE(r.consistent) << "seed " << seed;
+  }
+}
+
+TEST(Threaded, LargerSystems) {
+  UnboundedProtocol protocol(6);
+  rt::ThreadedOptions options;
+  options.seed = 3;
+  const auto r = rt::run_threaded(protocol, {0, 1, 0, 1, 0, 1}, options);
+  ASSERT_TRUE(r.all_decided);
+  ASSERT_TRUE(r.consistent);
+}
+
+TEST(CasBaseline, FirstProposalWins) {
+  rt::CasConsensus c;
+  EXPECT_FALSE(c.decided());
+  EXPECT_EQ(c.decide(7), 7);
+  EXPECT_TRUE(c.decided());
+  EXPECT_EQ(c.decide(9), 7);  // loser adopts the winner
+}
+
+TEST(CasBaseline, ConcurrentDecidesAgree) {
+  for (int trial = 0; trial < 50; ++trial) {
+    rt::CasConsensus c;
+    Value results[4] = {kNoValue, kNoValue, kNoValue, kNoValue};
+    {
+      std::vector<std::jthread> threads;
+      for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&c, &results, i] { results[i] = c.decide(i); });
+      }
+    }
+    for (int i = 1; i < 4; ++i) EXPECT_EQ(results[i], results[0]);
+    EXPECT_GE(results[0], 0);
+    EXPECT_LT(results[0], 4);
+  }
+}
+
+TEST(CasBaseline, SpinLockMutualExclusion) {
+  rt::CasSpinLock lock;
+  int counter = 0;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 10000; ++i) {
+          lock.lock();
+          ++counter;  // data race iff mutual exclusion is broken
+          lock.unlock();
+        }
+      });
+    }
+  }
+  EXPECT_EQ(counter, 40000);
+}
+
+}  // namespace
+}  // namespace cil

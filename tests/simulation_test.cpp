@@ -1,0 +1,233 @@
+// Tests for the simulation engine, schedulers, and step branching.
+#include <gtest/gtest.h>
+
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "sched/branching.h"
+#include "tests/test_util.h"
+
+namespace cil {
+namespace {
+
+using test::run_protocol;
+
+TEST(Simulation, RequiresOneInputPerProcessor) {
+  TwoProcessProtocol protocol;
+  EXPECT_THROW(Simulation(protocol, {0}), ContractViolation);
+  EXPECT_THROW(Simulation(protocol, {0, 1, 0}), ContractViolation);
+  EXPECT_THROW(Simulation(protocol, {0, -1}), ContractViolation);
+}
+
+TEST(Simulation, StepCountsAndActivation) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {0, 1});
+  RoundRobinScheduler rr;
+  ASSERT_TRUE(sim.step_once(rr));
+  ASSERT_TRUE(sim.step_once(rr));
+  EXPECT_EQ(sim.steps_of(0), 1);
+  EXPECT_EQ(sim.steps_of(1), 1);
+  EXPECT_EQ(sim.total_steps(), 2);
+}
+
+TEST(Simulation, StopsWhenAllDecided) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {1, 1});
+  RoundRobinScheduler rr;
+  const auto r = sim.run(rr);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_FALSE(sim.step_once(rr));  // nothing active anymore
+}
+
+TEST(Simulation, MaxStepBudgetRespected) {
+  // kKeep strawman with different inputs livelocks; the engine must stop at
+  // the budget.
+  UnboundedProtocol protocol(3);
+  SimOptions options;
+  options.max_total_steps = 50;
+  Simulation sim(protocol, {0, 1, 0}, options);
+  StarvingScheduler sched({0}, 1);  // slow things down a little
+  const auto r = sim.run(sched);
+  EXPECT_LE(r.total_steps, 50);
+}
+
+TEST(Simulation, CrashRemovesProcessForever) {
+  UnboundedProtocol protocol(3);
+  Simulation sim(protocol, {0, 1, 0});
+  sim.crash(2);
+  EXPECT_TRUE(sim.crashed(2));
+  EXPECT_FALSE(sim.active(2));
+  RoundRobinScheduler rr;
+  const auto r = sim.run(rr);
+  EXPECT_EQ(r.steps_per_process[2], 0);
+  EXPECT_NE(r.decisions[0], kNoValue);
+}
+
+TEST(Simulation, CannotCrashLastSurvivor) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {0, 1});
+  sim.crash(0);
+  EXPECT_THROW(sim.crash(1), ContractViolation);
+}
+
+TEST(Simulation, RecordsScheduleWhenAsked) {
+  TwoProcessProtocol protocol;
+  SimOptions options;
+  options.record_schedule = true;
+  Simulation sim(protocol, {0, 0}, options);
+  RoundRobinScheduler rr;
+  const auto r = sim.run(rr);
+  EXPECT_EQ(static_cast<std::int64_t>(r.schedule.size()), r.total_steps);
+}
+
+TEST(Simulation, SeedReproducibility) {
+  TwoProcessProtocol protocol;
+  for (std::uint64_t seed = 1; seed < 20; ++seed) {
+    SimOptions options;
+    options.seed = seed;
+    Simulation a(protocol, {0, 1}, options);
+    Simulation b(protocol, {0, 1}, options);
+    RandomScheduler s1(seed), s2(seed);
+    const auto ra = a.run(s1);
+    const auto rb = b.run(s2);
+    EXPECT_EQ(ra.decisions, rb.decisions);
+    EXPECT_EQ(ra.total_steps, rb.total_steps);
+  }
+}
+
+TEST(Schedulers, RoundRobinSkipsInactive) {
+  UnboundedProtocol protocol(3);
+  Simulation sim(protocol, {0, 1, 0});
+  sim.crash(1);
+  RoundRobinScheduler rr;
+  for (int i = 0; i < 10 && sim.step_once(rr); ++i) {
+  }
+  EXPECT_EQ(sim.steps_of(1), 0);
+}
+
+TEST(Schedulers, StarvingSchedulerNeverPicksStarvedWhileOthersActive) {
+  UnboundedProtocol protocol(3);
+  Simulation sim(protocol, {0, 1, 0});
+  StarvingScheduler sched({0}, 7);
+  // While P1/P2 are still running, P0 must never be scheduled. (Once they
+  // decide, the scheduler legally falls back to P0.)
+  while (sim.active(1) || sim.active(2)) {
+    ASSERT_TRUE(sim.step_once(sched));
+    ASSERT_EQ(sim.steps_of(0), 0);
+  }
+}
+
+TEST(Schedulers, ReplayFollowsGivenOrder) {
+  UnboundedProtocol protocol(3);
+  SimOptions options;
+  options.record_schedule = true;
+  Simulation sim(protocol, {0, 1, 0}, options);
+  ReplayScheduler replay({2, 0, 1, 2, 2});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(sim.step_once(replay));
+  EXPECT_EQ(sim.result().schedule,
+            (std::vector<ProcessId>{2, 0, 1, 2, 2}));
+}
+
+TEST(Schedulers, CrashingSchedulerKillsOnSchedule) {
+  UnboundedProtocol protocol(3);
+  Simulation sim(protocol, {0, 1, 0});
+  RoundRobinScheduler inner;
+  CrashingScheduler sched(inner, {{4, 2}});
+  for (int i = 0; i < 12 && sim.step_once(sched); ++i) {
+  }
+  EXPECT_TRUE(sim.crashed(2));
+}
+
+TEST(Branching, InitialWriteHasSingleBranchNoCoins) {
+  TwoProcessProtocol protocol;
+  RegisterFile regs = protocol.make_registers();
+  auto proc = protocol.make_process(0);
+  proc->init(1);
+  const auto branches = enumerate_step(regs, *proc, 0);
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_TRUE(branches[0].coins.empty());
+  EXPECT_DOUBLE_EQ(branches[0].probability, 1.0);
+  // The branch wrote the encoded input into r0.
+  EXPECT_EQ(branches[0].regs_after[0], TwoProcessProtocol::encode(1));
+  // Original inputs untouched.
+  EXPECT_EQ(regs.peek(0), TwoProcessProtocol::encode(kNoValue));
+}
+
+TEST(Branching, ConflictWriteBranchesOnTheCoin) {
+  // Drive P0 to its coin/write state: P0 wrote 0, P1 wrote 1, P0 read.
+  TwoProcessProtocol protocol;
+  RegisterFile regs = protocol.make_registers();
+  auto p0 = protocol.make_process(0);
+  auto p1 = protocol.make_process(1);
+  p0->init(0);
+  p1->init(1);
+  struct NeverFlip final : CoinSource {
+    bool flip() override { throw ContractViolation("unexpected flip"); }
+  } coins;
+  {
+    DirectStepContext c(regs, 0, coins);
+    p0->step(c);
+  }
+  {
+    DirectStepContext c(regs, 1, coins);
+    p1->step(c);
+  }
+  {
+    DirectStepContext c(regs, 0, coins);
+    p0->step(c);  // read: sees conflict
+  }
+  const auto branches = enumerate_step(regs, *p0, 0);
+  ASSERT_EQ(branches.size(), 2u);
+  for (const auto& b : branches) {
+    EXPECT_EQ(b.coins.size(), 1u);
+    EXPECT_DOUBLE_EQ(b.probability, 0.5);
+  }
+  // One branch rewrites 0, the other adopts 1.
+  const Word w0 = branches[0].regs_after[0];
+  const Word w1 = branches[1].regs_after[0];
+  EXPECT_NE(w0, w1);
+}
+
+TEST(Branching, ProbabilitiesSumToOne) {
+  UnboundedProtocol protocol(3);
+  Simulation sim(protocol, {0, 1, 0});
+  RandomScheduler sched(3);
+  for (int i = 0; i < 30 && sim.step_once(sched); ++i) {
+    for (ProcessId p = 0; p < 3; ++p) {
+      if (!sim.active(p)) continue;
+      double total = 0;
+      for (const auto& b : enumerate_step(sim.regs(), sim.process(p), p))
+        total += b.probability;
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(StepContext, SecondRegisterOpInOneStepIsRejected) {
+  TwoProcessProtocol protocol;
+  RegisterFile regs = protocol.make_registers();
+  struct FalseCoins final : CoinSource {
+    bool flip() override { return false; }
+  } coins;
+  DirectStepContext ctx(regs, 0, coins);
+  ctx.write(0, 1);
+  EXPECT_THROW(ctx.write(0, 2), ContractViolation);
+}
+
+TEST(StepContext, OffsetAdapterShiftsIds) {
+  std::vector<RegisterSpec> specs = {
+      {"a", {0}, {0, 1}, 4, 0},
+      {"b", {0}, {0, 1}, 4, 0},
+  };
+  RegisterFile regs(specs);
+  struct FalseCoins final : CoinSource {
+    bool flip() override { return false; }
+  } coins;
+  DirectStepContext direct(regs, 0, coins);
+  OffsetStepContext offset(direct, 1);
+  offset.write(0, 9);  // lands in register 1
+  EXPECT_EQ(regs.peek(1), 9u);
+  EXPECT_EQ(regs.peek(0), 0u);
+}
+
+}  // namespace
+}  // namespace cil

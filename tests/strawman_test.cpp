@@ -1,0 +1,102 @@
+// Tests for the deterministic strawman protocols: they are consistent and
+// nontrivial (so Theorem 4 applies to them) and they do decide under benign
+// schedules — their fatal schedules are constructed in valence_test.cpp.
+#include <gtest/gtest.h>
+
+#include "core/strawman.h"
+#include "tests/test_util.h"
+
+namespace cil {
+namespace {
+
+using test::run_protocol;
+using test::run_random;
+
+class StrawmanTest : public ::testing::TestWithParam<ConflictPolicy> {};
+
+TEST_P(StrawmanTest, SameInputsDecideImmediately) {
+  DeterministicTwoProcProtocol protocol(GetParam());
+  for (const Value v : {0, 1}) {
+    RoundRobinScheduler rr;
+    const auto r = run_protocol(protocol, {v, v}, rr, 1);
+    ASSERT_TRUE(r.all_decided);
+    EXPECT_EQ(r.decisions[0], v);
+    EXPECT_EQ(r.decisions[1], v);
+  }
+}
+
+TEST_P(StrawmanTest, SoloRunDecidesOwnInput) {
+  DeterministicTwoProcProtocol protocol(GetParam());
+  StarvingScheduler sched({1}, 1);
+  const auto r = run_protocol(protocol, {1, 0}, sched, 1, 100);
+  EXPECT_EQ(r.decisions[0], 1);
+}
+
+TEST_P(StrawmanTest, NeverViolatesConsistencyUnderRandomSchedules) {
+  // The engine checks consistency online and throws on violation; if a
+  // decision happens it must be a common one. (Runs that do not finish
+  // within the budget are fine — that is Theorem 4's business.)
+  DeterministicTwoProcProtocol protocol(GetParam());
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    const auto r = run_random(protocol, {0, 1}, seed, 10000);
+    if (r.decisions[0] != kNoValue && r.decisions[1] != kNoValue) {
+      EXPECT_EQ(r.decisions[0], r.decisions[1]);
+    }
+  }
+}
+
+TEST_P(StrawmanTest, RandomSchedulesUsuallyDecide) {
+  // Deterministic protocols fail against the WORST schedule, not typical
+  // ones; under random scheduling the adopt/alternate policies decide fast
+  // (the adversary of Theorem 4 has to be adaptive, not just unfair).
+  if (GetParam() == ConflictPolicy::kKeep) {
+    GTEST_SKIP() << "kKeep starves the loser under every schedule";
+  }
+  DeterministicTwoProcProtocol protocol(GetParam());
+  int decided = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto r = run_random(protocol, {0, 1}, seed, 10000);
+    decided += r.all_decided;
+  }
+  EXPECT_GT(decided, 150);
+}
+
+TEST(Strawman, KeepPolicyStarvesTheLoserUnderEverySchedule) {
+  // With both preferences written and different, neither ever changes, so
+  // at most one processor (one that read ⊥ early) ever decides.
+  DeterministicTwoProcProtocol protocol(ConflictPolicy::kKeep);
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto r = run_random(protocol, {0, 1}, seed, 10000);
+    EXPECT_FALSE(r.all_decided) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, StrawmanTest,
+                         ::testing::Values(ConflictPolicy::kKeep,
+                                           ConflictPolicy::kAdopt,
+                                           ConflictPolicy::kAlternate),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Strawman, KeepPolicyLivelocksUnderLockstep) {
+  // Both keep their values forever: alternating full phases never decides.
+  DeterministicTwoProcProtocol protocol(ConflictPolicy::kKeep);
+  RoundRobinScheduler rr;
+  const auto r = run_protocol(protocol, {0, 1}, rr, 1, 10000);
+  EXPECT_FALSE(r.all_decided);
+  EXPECT_EQ(r.decisions[0], kNoValue);
+  EXPECT_EQ(r.decisions[1], kNoValue);
+}
+
+TEST(Strawman, AdoptPolicySwapsForeverUnderLockstep) {
+  // Lockstep: both read the other's value, both adopt, values swap — the
+  // classic livelock the coin exists to break.
+  DeterministicTwoProcProtocol protocol(ConflictPolicy::kAdopt);
+  RoundRobinScheduler rr;
+  const auto r = run_protocol(protocol, {0, 1}, rr, 1, 10000);
+  EXPECT_FALSE(r.all_decided);
+}
+
+}  // namespace
+}  // namespace cil

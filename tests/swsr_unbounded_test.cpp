@@ -1,0 +1,150 @@
+// Tests for the 1-writer 1-reader variant of Figure 2 — the paper claims
+// (for its never-published full version) that "the same protocol also works
+// with 1-writer 1-reader registers". The copies of one processor update
+// non-atomically (one register op per step), so peers can observe mixed
+// generations; these tests and the adversarial/drain hunts probe exactly
+// that skew.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/swsr_unbounded.h"
+#include "core/unbounded.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace cil {
+namespace {
+
+using test::all_binary_inputs;
+using test::run_protocol;
+using test::run_random;
+
+TEST(SwsrUnbounded, EveryRegisterIsSingleWriterSingleReader) {
+  SwsrUnboundedProtocol protocol(4);
+  const auto specs = protocol.registers();
+  EXPECT_EQ(specs.size(), 4u * 3u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.writers.size(), 1u);
+    EXPECT_EQ(s.readers.size(), 1u);
+  }
+}
+
+TEST(SwsrUnbounded, CopyIdsAreDenseAndConsistent) {
+  SwsrUnboundedProtocol protocol(3);
+  std::set<RegisterId> ids;
+  for (ProcessId i = 0; i < 3; ++i)
+    for (ProcessId j = 0; j < 3; ++j)
+      if (i != j) ids.insert(protocol.copy_id(i, j));
+  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), 5);
+}
+
+TEST(SwsrUnbounded, UnanimousInputsDecideThatValue) {
+  SwsrUnboundedProtocol protocol(3);
+  for (const Value v : {0, 1}) {
+    const auto r = run_random(protocol, {v, v, v}, 11);
+    ASSERT_TRUE(r.all_decided);
+    for (const Value d : r.decisions) EXPECT_EQ(d, v);
+  }
+}
+
+TEST(SwsrUnbounded, AllInputCombosAgreeUnderRandomScheduling) {
+  SwsrUnboundedProtocol protocol(3);
+  for (const auto& inputs : all_binary_inputs(3)) {
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+      const auto r = run_random(protocol, inputs, seed);
+      ASSERT_TRUE(r.all_decided) << "seed " << seed;
+      EXPECT_EQ(r.decisions[0], r.decisions[1]);
+      EXPECT_EQ(r.decisions[1], r.decisions[2]);
+    }
+  }
+}
+
+TEST(SwsrUnbounded, AdaptiveAdversaryCannotPreventAgreement) {
+  SwsrUnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    DecisionAvoidingAdversary adversary(seed + 5);
+    const auto r = run_protocol(protocol, {0, 1, 0}, adversary, seed, 300000);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+  }
+}
+
+TEST(SwsrUnbounded, AdversaryPhaseThenDrainConsistent) {
+  // The harness that catches stale-copy inconsistencies: adversary phase,
+  // then round-robin drain; the engine throws on any violation.
+  SwsrUnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 0; seed < 1500; ++seed) {
+    std::vector<Value> inputs = {static_cast<Value>(seed & 1),
+                                 static_cast<Value>((seed >> 1) & 1),
+                                 static_cast<Value>((seed >> 2) & 1)};
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = 500'000;
+    Simulation sim(protocol, inputs, options);
+    DecisionAvoidingAdversary adversary(seed + 9);
+    const long k = 20 + static_cast<long>((seed * 2654435761ULL) % 300);
+    for (long i = 0; i < k && sim.step_once(adversary); ++i) {
+    }
+    RoundRobinScheduler rr;
+    const auto r = sim.run(rr);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+  }
+}
+
+TEST(SwsrUnbounded, SoloProcessorStillWaitFree) {
+  SwsrUnboundedProtocol protocol(3);
+  SimOptions options;
+  options.seed = 2;
+  Simulation sim(protocol, {1, 0, 0}, options);
+  StarvingScheduler sched({1, 2}, 3);
+  while (sim.active(0)) ASSERT_TRUE(sim.step_once(sched));
+  EXPECT_EQ(sim.process(0).decision(), 1);
+}
+
+TEST(SwsrUnbounded, CrashToleranceTwoOfThree) {
+  SwsrUnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    RandomScheduler inner(seed);
+    CrashingScheduler sched(inner, {{6, 1}, {11, 2}});
+    const auto r = run_protocol(protocol, {0, 1, 1}, sched, seed, 100000);
+    EXPECT_NE(r.decisions[0], kNoValue) << "seed " << seed;
+  }
+}
+
+TEST(SwsrUnbounded, CostOverheadVersusMultiReaderVariant) {
+  // A phase costs (n-1) writes instead of 1: total steps should grow, but
+  // by a modest constant factor.
+  SwsrUnboundedProtocol swsr(3);
+  UnboundedProtocol base(3);
+  RunningStats swsr_steps, base_steps;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    swsr_steps.add(static_cast<double>(
+        run_random(swsr, {0, 1, 0}, seed).total_steps));
+    base_steps.add(static_cast<double>(
+        run_random(base, {0, 1, 0}, seed).total_steps));
+  }
+  const double ratio = swsr_steps.mean() / base_steps.mean();
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+class SwsrNProcs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwsrNProcs, AgreementAcrossSizes) {
+  const int n = GetParam();
+  SwsrUnboundedProtocol protocol(n);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::vector<Value> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+    const auto r = run_random(protocol, inputs, seed, 3'000'000);
+    ASSERT_TRUE(r.all_decided) << "n=" << n << " seed=" << seed;
+    for (int i = 1; i < n; ++i) EXPECT_EQ(r.decisions[i], r.decisions[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SwsrNProcs, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cil

@@ -1,0 +1,43 @@
+// Tests for WaitFreeTestAndSet: exactly one winner, from registers + coins
+// only (closing the loop on the paper's test-and-set observation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/tas.h"
+
+namespace cil {
+namespace {
+
+TEST(WaitFreeTas, ExactlyOneWinnerUnderContention) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    rt::WaitFreeTestAndSet tas(4, seed);
+    std::atomic<int> winners{0};
+    {
+      std::vector<std::jthread> threads;
+      for (ProcessId p = 0; p < 4; ++p) {
+        threads.emplace_back([&tas, &winners, p] {
+          if (tas.test_and_set(p)) winners.fetch_add(1);
+        });
+      }
+    }
+    EXPECT_EQ(winners.load(), 1) << "seed " << seed;
+  }
+}
+
+TEST(WaitFreeTas, SoloCallerWins) {
+  rt::WaitFreeTestAndSet tas(3);
+  EXPECT_TRUE(tas.test_and_set(1));
+}
+
+TEST(WaitFreeTas, LateCallersLose) {
+  rt::WaitFreeTestAndSet tas(3);
+  ASSERT_TRUE(tas.test_and_set(0));
+  EXPECT_FALSE(tas.test_and_set(1));
+  EXPECT_FALSE(tas.test_and_set(2));
+}
+
+}  // namespace
+}  // namespace cil

@@ -1,0 +1,47 @@
+// Shared helpers for the cilcoord test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+namespace cil::test {
+
+/// Run `protocol` from `inputs` under `sched` with the given seed; returns
+/// the SimResult. Consistency/nontriviality are checked online by the
+/// engine (CoordinationViolation propagates).
+inline SimResult run_protocol(const Protocol& protocol,
+                              const std::vector<Value>& inputs,
+                              Scheduler& sched, std::uint64_t seed,
+                              std::int64_t max_steps = 1'000'000) {
+  SimOptions options;
+  options.seed = seed;
+  options.max_total_steps = max_steps;
+  Simulation sim(protocol, inputs, options);
+  return sim.run(sched);
+}
+
+/// Run under a fresh RandomScheduler.
+inline SimResult run_random(const Protocol& protocol,
+                            const std::vector<Value>& inputs,
+                            std::uint64_t seed,
+                            std::int64_t max_steps = 1'000'000) {
+  RandomScheduler sched(seed ^ 0xabcdef);
+  return run_protocol(protocol, inputs, sched, seed, max_steps);
+}
+
+/// All binary input vectors of length n.
+inline std::vector<std::vector<Value>> all_binary_inputs(int n) {
+  std::vector<std::vector<Value>> out;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<Value> v;
+    for (int i = 0; i < n; ++i) v.push_back((mask >> i) & 1);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace cil::test

@@ -1,0 +1,118 @@
+// Tests for the execution tracer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bounded_three.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "sched/trace.h"
+#include "tests/test_util.h"
+
+namespace cil {
+namespace {
+
+TEST(Trace, RecordsOneEntryPerStep) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {0, 1});
+  TraceRecorder trace(sim);
+  RoundRobinScheduler rr;
+  const auto r = trace.run(rr);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_EQ(static_cast<std::int64_t>(trace.entries().size()), r.total_steps);
+}
+
+TEST(Trace, SlidingWindowKeepsOnlyTheTail) {
+  UnboundedProtocol protocol(3);
+  Simulation sim(protocol, {0, 1, 0});
+  TraceRecorder trace(sim, /*keep_last=*/5);
+  RandomScheduler sched(3);
+  trace.run(sched);
+  EXPECT_LE(trace.entries().size(), 5u);
+  // The retained entries are the last ones.
+  EXPECT_EQ(trace.entries().back().step, sim.total_steps());
+}
+
+TEST(Trace, EntriesIdentifyTheActor) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {1, 1});
+  TraceRecorder trace(sim);
+  ReplayScheduler replay({1, 0, 1, 0});
+  while (trace.step_once(replay)) {
+  }
+  ASSERT_GE(trace.entries().size(), 2u);
+  EXPECT_EQ(trace.entries()[0].actor, 1);
+  EXPECT_EQ(trace.entries()[1].actor, 0);
+}
+
+TEST(Trace, RenderUsesProtocolFormatters) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {0, 1});
+  TraceRecorder trace(sim);
+  RoundRobinScheduler rr;
+  trace.run(rr);
+  const std::string text = trace.render();
+  EXPECT_NE(text.find("P0"), std::string::npos);
+  EXPECT_NE(text.find("|"), std::string::npos);
+  // The two-process formatter renders values / ⊥, never raw words > 2.
+  EXPECT_EQ(text.find("r0"), std::string::npos);
+}
+
+TEST(Trace, DescribeWordDecodesPackedRegisters) {
+  UnboundedProtocol unb(3);
+  EXPECT_EQ(unb.describe_word(0, UnboundedProtocol::pack(kNoValue, 0)), "⊥");
+  EXPECT_EQ(unb.describe_word(0, UnboundedProtocol::pack(1, 7)), "(1,7)");
+
+  BoundedThreeProtocol bnd;
+  const BoundedThreeProtocol::Reg reg{3, BoundedThreeProtocol::Mode::kPref, 1,
+                                      BoundedThreeProtocol::Summary::kPureB};
+  EXPECT_EQ(bnd.describe_word(0, BoundedThreeProtocol::pack(reg)),
+            "[3,pref,b,B]");
+  EXPECT_EQ(bnd.describe_word(0, 0), "⊥");
+}
+
+TEST(Trace, TraceRunReplaysAndRenders) {
+  TwoProcessProtocol protocol;
+  SimOptions options;
+  options.seed = 5;
+  options.record_schedule = true;
+  Simulation sim(protocol, {0, 1}, options);
+  RandomScheduler sched(9);
+  const auto r = sim.run(sched);
+  ASSERT_TRUE(r.all_decided);
+
+  const std::string text = trace_run(protocol, {0, 1}, r.schedule, options);
+  // One line per step, same step count as the original run.
+  EXPECT_EQ(static_cast<std::int64_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            r.total_steps);
+}
+
+TEST(Trace, ViolatingStepIsRecordedBeforeThrowing) {
+  // Drive the ablation (unsound) unbounded variant to a violation under a
+  // recorded schedule, then check the trace ends with the offending state.
+  UnboundedProtocol::Options o;
+  o.literal_condition2 = true;
+  UnboundedProtocol bad(3, 1, o);
+  for (std::uint64_t seed = 0; seed < 5000; ++seed) {
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = 100000;
+    options.record_schedule = true;
+    Simulation sim(bad, {0, 1, 0}, options);
+    RandomScheduler sched(seed ^ 0xabcdef);
+    try {
+      sim.run(sched);
+    } catch (const CoordinationViolation&) {
+      const std::string text =
+          trace_run(bad, {0, 1, 0}, sim.result().schedule, options);
+      EXPECT_NE(text.find("VIOLATION"), std::string::npos);
+      EXPECT_NE(text.find("dec="), std::string::npos);
+      return;  // found and rendered one violating execution
+    }
+  }
+  FAIL() << "expected the literal-condition-2 variant to violate";
+}
+
+}  // namespace
+}  // namespace cil

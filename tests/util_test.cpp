@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bitfield.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cil {
+namespace {
+
+TEST(Check, CheckThrowsOnFalse) {
+  EXPECT_THROW(CIL_CHECK(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(CIL_CHECK(1 == 1));
+}
+
+TEST(Check, MessageIncludesExpressionAndNote) {
+  try {
+    CIL_CHECK_MSG(false, "extra context");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("extra context"), std::string::npos);
+  }
+}
+
+TEST(Check, NarrowRoundTrips) {
+  EXPECT_EQ(narrow<std::int32_t>(std::int64_t{42}), 42);
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+}
+
+TEST(Check, NarrowThrowsOnLoss) {
+  EXPECT_THROW(narrow<std::int8_t>(1000), ContractViolation);
+  EXPECT_THROW(narrow<std::uint32_t>(std::int64_t{-1}), ContractViolation);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 64; ++i) differ += (a.bits() != b.bits());
+  EXPECT_GT(differ, 60);
+}
+
+TEST(Rng, FlipIsRoughlyFair) {
+  Rng rng(123);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) heads += rng.flip();
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRangeAndCoversIt) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream should not simply replay the parent stream.
+  Rng parent2(5);
+  (void)parent2.bits();  // advance equally
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.bits() == parent2.bits());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(SampleSet, PercentilesAndTail) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.min(), 1);
+  EXPECT_EQ(s.max(), 100);
+  EXPECT_EQ(s.percentile(0.5), 50);
+  EXPECT_EQ(s.percentile(1.0), 100);
+  EXPECT_DOUBLE_EQ(s.tail_at_least(101), 0.0);
+  EXPECT_DOUBLE_EQ(s.tail_at_least(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.tail_at_least(51), 0.5);
+}
+
+TEST(SampleSet, SurvivalTable) {
+  SampleSet s;
+  s.add(0);
+  s.add(1);
+  s.add(1);
+  s.add(3);
+  const auto surv = s.survival(4);
+  ASSERT_EQ(surv.size(), 5u);
+  EXPECT_DOUBLE_EQ(surv[0], 1.0);
+  EXPECT_DOUBLE_EQ(surv[1], 0.75);
+  EXPECT_DOUBLE_EQ(surv[2], 0.25);
+  EXPECT_DOUBLE_EQ(surv[3], 0.25);
+  EXPECT_DOUBLE_EQ(surv[4], 0.0);
+}
+
+TEST(Stats, GeometricTailFitRecoversRatio) {
+  // Sample a geometric distribution with ratio 0.75 (Theorem 9's bound).
+  Rng rng(42);
+  SampleSet s;
+  for (int i = 0; i < 200000; ++i) {
+    std::int64_t k = 0;
+    while (rng.with_probability(0.75)) ++k;
+    s.add(k);
+  }
+  const double r = fit_geometric_tail_ratio(s);
+  EXPECT_NEAR(r, 0.75, 0.03);
+}
+
+TEST(Histogram, CountsAndAscii) {
+  Histogram h;
+  h.add(1);
+  h.add(1);
+  h.add(2);
+  EXPECT_EQ(h.total(), 3);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(BitField, PackUnpack) {
+  BitLayout layout;
+  const BitField a = layout.field(3);
+  const BitField b = layout.field(5);
+  EXPECT_EQ(layout.width(), 8);
+  std::uint64_t w = 0;
+  w = a.set(w, 5);
+  w = b.set(w, 19);
+  EXPECT_EQ(a.get(w), 5u);
+  EXPECT_EQ(b.get(w), 19u);
+  // Overwriting one field leaves the other intact.
+  w = a.set(w, 2);
+  EXPECT_EQ(a.get(w), 2u);
+  EXPECT_EQ(b.get(w), 19u);
+}
+
+TEST(BitField, RejectsOverflowingValue) {
+  const BitField f{0, 3};
+  std::uint64_t w = 0;
+  EXPECT_THROW(f.set(w, 8), ContractViolation);
+  EXPECT_NO_THROW(f.set(w, 7));
+}
+
+TEST(BitField, BitWidth) {
+  EXPECT_EQ(bit_width_u64(0), 0);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(2), 2);
+  EXPECT_EQ(bit_width_u64(255), 8);
+  EXPECT_EQ(bit_width_u64(256), 9);
+}
+
+}  // namespace
+}  // namespace cil

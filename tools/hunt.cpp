@@ -1,0 +1,205 @@
+// hunt — the adversarial correctness fuzzer, as a command-line tool.
+//
+// Runs a chosen protocol against a chosen scheduler class over a seed
+// range, optionally with an adversary phase followed by a round-robin
+// drain (which force-lands frozen decision certificates — the harness that
+// caught every bounded-protocol bug in EXPERIMENTS.md). On a violation it
+// prints the full execution trace and exits nonzero.
+//
+//   ./tools/hunt --protocol=bounded --adversary=split --seeds=20000 --drain
+//   ./tools/hunt --protocol=unbounded --n=5 --adversary=avoid
+//   ./tools/hunt --protocol=bounded --ablation=no-guard --drain   (expect a bug)
+//
+// Flags:
+//   --protocol=two|one-bit|unbounded|swsr|bounded|naive|multivalued
+//   --n=<procs>            (where the protocol is parameterized; default 3)
+//   --adversary=random|rr|avoid|split|starve
+//   --seeds=<count>        (default 2000)
+//   --steps=<budget>       (default 500000)
+//   --drain                (adversary phase then round-robin completion)
+//   --ablation=literal-cond2|naive-unanimity|no-guard
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/bounded_three.h"
+#include "core/multivalued.h"
+#include "core/naive.h"
+#include "core/swsr_unbounded.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+#include "sched/trace.h"
+
+using namespace cil;
+
+namespace {
+
+struct Args {
+  std::string protocol = "bounded";
+  std::string adversary = "split";
+  std::string ablation;
+  int n = 3;
+  std::int64_t seeds = 2000;
+  std::int64_t steps = 500'000;
+  bool drain = false;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto eat = [&](const char* prefix, std::string& out) {
+      if (a.rfind(prefix, 0) != 0) return false;
+      out = a.substr(std::strlen(prefix));
+      return true;
+    };
+    std::string v;
+    if (eat("--protocol=", args.protocol)) continue;
+    if (eat("--adversary=", args.adversary)) continue;
+    if (eat("--ablation=", args.ablation)) continue;
+    if (eat("--n=", v)) {
+      args.n = std::stoi(v);
+      continue;
+    }
+    if (eat("--seeds=", v)) {
+      args.seeds = std::stoll(v);
+      continue;
+    }
+    if (eat("--steps=", v)) {
+      args.steps = std::stoll(v);
+      continue;
+    }
+    if (a == "--drain") {
+      args.drain = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Protocol> make_protocol(const Args& args) {
+  if (args.protocol == "two") return std::make_unique<TwoProcessProtocol>();
+  if (args.protocol == "one-bit") {
+    TwoProcessProtocol::Options o;
+    o.preinitialized_registers = true;
+    auto p = std::make_unique<TwoProcessProtocol>(1, o);
+    p->preset_inputs(0, 1);
+    return p;
+  }
+  if (args.protocol == "unbounded") {
+    UnboundedProtocol::Options o;
+    o.literal_condition2 = (args.ablation == "literal-cond2");
+    return std::make_unique<UnboundedProtocol>(args.n, 1, o);
+  }
+  if (args.protocol == "swsr")
+    return std::make_unique<SwsrUnboundedProtocol>(args.n);
+  if (args.protocol == "bounded") {
+    BoundedThreeProtocol::Options o;
+    o.naive_unanimity = (args.ablation == "naive-unanimity");
+    o.no_blocker_guard = (args.ablation == "no-guard");
+    return std::make_unique<BoundedThreeProtocol>(o);
+  }
+  if (args.protocol == "naive")
+    return std::make_unique<NaiveConsensusProtocol>(args.n);
+  if (args.protocol == "multivalued")
+    return std::make_unique<MultiValuedProtocol>(args.n, 15);
+  return nullptr;
+}
+
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 2;
+
+  std::int64_t violations = 0, undecided = 0;
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(args.seeds);
+       ++seed) {
+    const auto protocol = make_protocol(args);
+    if (!protocol) {
+      std::fprintf(stderr, "unknown protocol: %s\n", args.protocol.c_str());
+      return 2;
+    }
+    std::vector<Value> inputs;
+    for (int i = 0; i < protocol->num_processes(); ++i)
+      inputs.push_back(static_cast<Value>((seed >> i) & 1));
+    if (args.protocol == "one-bit") inputs = {0, 1};
+    if (args.protocol == "multivalued")
+      inputs = {static_cast<Value>(seed % 16),
+                static_cast<Value>((seed * 7 + 3) % 16),
+                static_cast<Value>((seed * 13 + 5) % 16)};
+
+    SimOptions options;
+    options.seed = seed;
+    options.max_total_steps = args.steps;
+    options.record_schedule = true;
+    options.check_nontriviality =
+        args.protocol != "one-bit" && args.protocol != "naive";
+    Simulation sim(*protocol, inputs, options);
+
+    std::unique_ptr<Scheduler> sched;
+    if (args.adversary == "random") {
+      sched = std::make_unique<RandomScheduler>(seed ^ 0xd00d);
+    } else if (args.adversary == "rr") {
+      sched = std::make_unique<RoundRobinScheduler>();
+    } else if (args.adversary == "avoid") {
+      sched = std::make_unique<DecisionAvoidingAdversary>(seed + 9);
+    } else if (args.adversary == "starve") {
+      sched = std::make_unique<StarvingScheduler>(
+          std::vector<ProcessId>{protocol->num_processes() - 1}, seed);
+    } else if (args.adversary == "split") {
+      // SplitKeepingAdversary takes a plain function pointer; dispatch on
+      // the register family.
+      if (protocol->name().find("bounded three") != std::string::npos) {
+        sched = std::make_unique<SplitKeepingAdversary>(
+            seed + 9, +[](Word w) -> Value {
+              const auto r = BoundedThreeProtocol::unpack(w);
+              return r.started() ? r.pref : kNoValue;
+            });
+      } else {
+        sched = std::make_unique<SplitKeepingAdversary>(
+            seed + 9, &UnboundedProtocol::unpack_pref);
+      }
+    }
+    if (!sched) {
+      std::fprintf(stderr, "unknown adversary: %s\n", args.adversary.c_str());
+      return 2;
+    }
+
+    try {
+      if (args.drain) {
+        const long k =
+            20 + static_cast<long>((seed * 2654435761ULL) % 400);
+        for (long i = 0; i < k && sim.step_once(*sched); ++i) {
+        }
+        RoundRobinScheduler rr;
+        const auto r = sim.run(rr);
+        undecided += !r.all_decided;
+      } else {
+        const auto r = sim.run(*sched);
+        undecided += !r.all_decided;
+      }
+    } catch (const CoordinationViolation& e) {
+      ++violations;
+      std::printf("VIOLATION seed %llu: %s\n",
+                  static_cast<unsigned long long>(seed), e.what());
+      std::printf("%s\n", trace_run(*protocol, inputs, sim.result().schedule,
+                                    options)
+                              .c_str());
+      break;
+    }
+  }
+
+  std::printf("hunt: protocol=%s adversary=%s seeds=%lld drain=%d -> "
+              "violations=%lld undecided-at-budget=%lld\n",
+              args.protocol.c_str(), args.adversary.c_str(),
+              static_cast<long long>(args.seeds), args.drain ? 1 : 0,
+              static_cast<long long>(violations),
+              static_cast<long long>(undecided));
+  return violations == 0 ? 0 : 1;
+}
