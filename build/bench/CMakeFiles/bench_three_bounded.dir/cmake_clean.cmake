@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_three_bounded.dir/bench_three_bounded.cpp.o"
+  "CMakeFiles/bench_three_bounded.dir/bench_three_bounded.cpp.o.d"
+  "bench_three_bounded"
+  "bench_three_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_three_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

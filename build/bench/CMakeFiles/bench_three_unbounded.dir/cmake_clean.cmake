@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_three_unbounded.dir/bench_three_unbounded.cpp.o"
+  "CMakeFiles/bench_three_unbounded.dir/bench_three_unbounded.cpp.o.d"
+  "bench_three_unbounded"
+  "bench_three_unbounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_three_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_gallery.dir/adversary_gallery.cpp.o"
+  "CMakeFiles/adversary_gallery.dir/adversary_gallery.cpp.o.d"
+  "adversary_gallery"
+  "adversary_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_demo.dir/mutex_demo.cpp.o"
+  "CMakeFiles/mutex_demo.dir/mutex_demo.cpp.o.d"
+  "mutex_demo"
+  "mutex_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/n_scaling_demo.dir/n_scaling_demo.cpp.o"
+  "CMakeFiles/n_scaling_demo.dir/n_scaling_demo.cpp.o.d"
+  "n_scaling_demo"
+  "n_scaling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/n_scaling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilcoord_analysis.dir/explorer.cpp.o"
+  "CMakeFiles/cilcoord_analysis.dir/explorer.cpp.o.d"
+  "CMakeFiles/cilcoord_analysis.dir/mdp.cpp.o"
+  "CMakeFiles/cilcoord_analysis.dir/mdp.cpp.o.d"
+  "CMakeFiles/cilcoord_analysis.dir/valence.cpp.o"
+  "CMakeFiles/cilcoord_analysis.dir/valence.cpp.o.d"
+  "libcilcoord_analysis.a"
+  "libcilcoord_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilcoord_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

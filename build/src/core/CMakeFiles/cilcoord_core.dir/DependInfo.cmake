@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounded_three.cpp" "src/core/CMakeFiles/cilcoord_core.dir/bounded_three.cpp.o" "gcc" "src/core/CMakeFiles/cilcoord_core.dir/bounded_three.cpp.o.d"
+  "/root/repo/src/core/multivalued.cpp" "src/core/CMakeFiles/cilcoord_core.dir/multivalued.cpp.o" "gcc" "src/core/CMakeFiles/cilcoord_core.dir/multivalued.cpp.o.d"
+  "/root/repo/src/core/naive.cpp" "src/core/CMakeFiles/cilcoord_core.dir/naive.cpp.o" "gcc" "src/core/CMakeFiles/cilcoord_core.dir/naive.cpp.o.d"
+  "/root/repo/src/core/strawman.cpp" "src/core/CMakeFiles/cilcoord_core.dir/strawman.cpp.o" "gcc" "src/core/CMakeFiles/cilcoord_core.dir/strawman.cpp.o.d"
+  "/root/repo/src/core/swsr_unbounded.cpp" "src/core/CMakeFiles/cilcoord_core.dir/swsr_unbounded.cpp.o" "gcc" "src/core/CMakeFiles/cilcoord_core.dir/swsr_unbounded.cpp.o.d"
+  "/root/repo/src/core/two_process.cpp" "src/core/CMakeFiles/cilcoord_core.dir/two_process.cpp.o" "gcc" "src/core/CMakeFiles/cilcoord_core.dir/two_process.cpp.o.d"
+  "/root/repo/src/core/unbounded.cpp" "src/core/CMakeFiles/cilcoord_core.dir/unbounded.cpp.o" "gcc" "src/core/CMakeFiles/cilcoord_core.dir/unbounded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/cilcoord_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/registers/CMakeFiles/cilcoord_registers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cilcoord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

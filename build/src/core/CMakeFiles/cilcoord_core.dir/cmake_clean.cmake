@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilcoord_core.dir/bounded_three.cpp.o"
+  "CMakeFiles/cilcoord_core.dir/bounded_three.cpp.o.d"
+  "CMakeFiles/cilcoord_core.dir/multivalued.cpp.o"
+  "CMakeFiles/cilcoord_core.dir/multivalued.cpp.o.d"
+  "CMakeFiles/cilcoord_core.dir/naive.cpp.o"
+  "CMakeFiles/cilcoord_core.dir/naive.cpp.o.d"
+  "CMakeFiles/cilcoord_core.dir/strawman.cpp.o"
+  "CMakeFiles/cilcoord_core.dir/strawman.cpp.o.d"
+  "CMakeFiles/cilcoord_core.dir/swsr_unbounded.cpp.o"
+  "CMakeFiles/cilcoord_core.dir/swsr_unbounded.cpp.o.d"
+  "CMakeFiles/cilcoord_core.dir/two_process.cpp.o"
+  "CMakeFiles/cilcoord_core.dir/two_process.cpp.o.d"
+  "CMakeFiles/cilcoord_core.dir/unbounded.cpp.o"
+  "CMakeFiles/cilcoord_core.dir/unbounded.cpp.o.d"
+  "libcilcoord_core.a"
+  "libcilcoord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilcoord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilcoord_msg.dir/ben_or.cpp.o"
+  "CMakeFiles/cilcoord_msg.dir/ben_or.cpp.o.d"
+  "CMakeFiles/cilcoord_msg.dir/msg_system.cpp.o"
+  "CMakeFiles/cilcoord_msg.dir/msg_system.cpp.o.d"
+  "libcilcoord_msg.a"
+  "libcilcoord_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilcoord_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

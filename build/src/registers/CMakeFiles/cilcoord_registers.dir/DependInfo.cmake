@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registers/constructions.cpp" "src/registers/CMakeFiles/cilcoord_registers.dir/constructions.cpp.o" "gcc" "src/registers/CMakeFiles/cilcoord_registers.dir/constructions.cpp.o.d"
+  "/root/repo/src/registers/history.cpp" "src/registers/CMakeFiles/cilcoord_registers.dir/history.cpp.o" "gcc" "src/registers/CMakeFiles/cilcoord_registers.dir/history.cpp.o.d"
+  "/root/repo/src/registers/register_file.cpp" "src/registers/CMakeFiles/cilcoord_registers.dir/register_file.cpp.o" "gcc" "src/registers/CMakeFiles/cilcoord_registers.dir/register_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cilcoord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

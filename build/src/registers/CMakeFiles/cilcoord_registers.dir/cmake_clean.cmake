@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilcoord_registers.dir/constructions.cpp.o"
+  "CMakeFiles/cilcoord_registers.dir/constructions.cpp.o.d"
+  "CMakeFiles/cilcoord_registers.dir/history.cpp.o"
+  "CMakeFiles/cilcoord_registers.dir/history.cpp.o.d"
+  "CMakeFiles/cilcoord_registers.dir/register_file.cpp.o"
+  "CMakeFiles/cilcoord_registers.dir/register_file.cpp.o.d"
+  "libcilcoord_registers.a"
+  "libcilcoord_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilcoord_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilcoord_runtime.dir/mutex.cpp.o"
+  "CMakeFiles/cilcoord_runtime.dir/mutex.cpp.o.d"
+  "CMakeFiles/cilcoord_runtime.dir/threaded.cpp.o"
+  "CMakeFiles/cilcoord_runtime.dir/threaded.cpp.o.d"
+  "libcilcoord_runtime.a"
+  "libcilcoord_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilcoord_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

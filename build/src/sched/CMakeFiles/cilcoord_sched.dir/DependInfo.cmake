@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adversary.cpp" "src/sched/CMakeFiles/cilcoord_sched.dir/adversary.cpp.o" "gcc" "src/sched/CMakeFiles/cilcoord_sched.dir/adversary.cpp.o.d"
+  "/root/repo/src/sched/branching.cpp" "src/sched/CMakeFiles/cilcoord_sched.dir/branching.cpp.o" "gcc" "src/sched/CMakeFiles/cilcoord_sched.dir/branching.cpp.o.d"
+  "/root/repo/src/sched/schedulers.cpp" "src/sched/CMakeFiles/cilcoord_sched.dir/schedulers.cpp.o" "gcc" "src/sched/CMakeFiles/cilcoord_sched.dir/schedulers.cpp.o.d"
+  "/root/repo/src/sched/simulation.cpp" "src/sched/CMakeFiles/cilcoord_sched.dir/simulation.cpp.o" "gcc" "src/sched/CMakeFiles/cilcoord_sched.dir/simulation.cpp.o.d"
+  "/root/repo/src/sched/trace.cpp" "src/sched/CMakeFiles/cilcoord_sched.dir/trace.cpp.o" "gcc" "src/sched/CMakeFiles/cilcoord_sched.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/registers/CMakeFiles/cilcoord_registers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cilcoord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilcoord_sched.dir/adversary.cpp.o"
+  "CMakeFiles/cilcoord_sched.dir/adversary.cpp.o.d"
+  "CMakeFiles/cilcoord_sched.dir/branching.cpp.o"
+  "CMakeFiles/cilcoord_sched.dir/branching.cpp.o.d"
+  "CMakeFiles/cilcoord_sched.dir/schedulers.cpp.o"
+  "CMakeFiles/cilcoord_sched.dir/schedulers.cpp.o.d"
+  "CMakeFiles/cilcoord_sched.dir/simulation.cpp.o"
+  "CMakeFiles/cilcoord_sched.dir/simulation.cpp.o.d"
+  "CMakeFiles/cilcoord_sched.dir/trace.cpp.o"
+  "CMakeFiles/cilcoord_sched.dir/trace.cpp.o.d"
+  "libcilcoord_sched.a"
+  "libcilcoord_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilcoord_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilcoord_util.dir/rng.cpp.o"
+  "CMakeFiles/cilcoord_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cilcoord_util.dir/stats.cpp.o"
+  "CMakeFiles/cilcoord_util.dir/stats.cpp.o.d"
+  "libcilcoord_util.a"
+  "libcilcoord_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilcoord_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

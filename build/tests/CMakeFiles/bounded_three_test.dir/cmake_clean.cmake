@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_three_test.dir/bounded_three_test.cpp.o"
+  "CMakeFiles/bounded_three_test.dir/bounded_three_test.cpp.o.d"
+  "bounded_three_test"
+  "bounded_three_test.pdb"
+  "bounded_three_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_three_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_test.dir/mdp_test.cpp.o"
+  "CMakeFiles/mdp_test.dir/mdp_test.cpp.o.d"
+  "mdp_test"
+  "mdp_test.pdb"
+  "mdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivalued_test.dir/multivalued_test.cpp.o"
+  "CMakeFiles/multivalued_test.dir/multivalued_test.cpp.o.d"
+  "multivalued_test"
+  "multivalued_test.pdb"
+  "multivalued_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivalued_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

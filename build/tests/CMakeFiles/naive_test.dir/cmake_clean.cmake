@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_test.dir/naive_test.cpp.o"
+  "CMakeFiles/naive_test.dir/naive_test.cpp.o.d"
+  "naive_test"
+  "naive_test.pdb"
+  "naive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peterson_test.dir/peterson_test.cpp.o"
+  "CMakeFiles/peterson_test.dir/peterson_test.cpp.o.d"
+  "peterson_test"
+  "peterson_test.pdb"
+  "peterson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peterson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strawman_test.dir/strawman_test.cpp.o"
+  "CMakeFiles/strawman_test.dir/strawman_test.cpp.o.d"
+  "strawman_test"
+  "strawman_test.pdb"
+  "strawman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strawman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

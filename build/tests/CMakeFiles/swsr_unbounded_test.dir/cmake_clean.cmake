@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsr_unbounded_test.dir/swsr_unbounded_test.cpp.o"
+  "CMakeFiles/swsr_unbounded_test.dir/swsr_unbounded_test.cpp.o.d"
+  "swsr_unbounded_test"
+  "swsr_unbounded_test.pdb"
+  "swsr_unbounded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsr_unbounded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_test.dir/tas_test.cpp.o"
+  "CMakeFiles/tas_test.dir/tas_test.cpp.o.d"
+  "tas_test"
+  "tas_test.pdb"
+  "tas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

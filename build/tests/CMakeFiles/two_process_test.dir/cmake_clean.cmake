@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_process_test.dir/two_process_test.cpp.o"
+  "CMakeFiles/two_process_test.dir/two_process_test.cpp.o.d"
+  "two_process_test"
+  "two_process_test.pdb"
+  "two_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valence_test.dir/valence_test.cpp.o"
+  "CMakeFiles/valence_test.dir/valence_test.cpp.o.d"
+  "valence_test"
+  "valence_test.pdb"
+  "valence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

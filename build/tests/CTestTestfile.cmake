@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/register_file_test[1]_include.cmake")
+include("/root/repo/build/tests/constructions_test[1]_include.cmake")
+include("/root/repo/build/tests/history_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/two_process_test[1]_include.cmake")
+include("/root/repo/build/tests/unbounded_test[1]_include.cmake")
+include("/root/repo/build/tests/bounded_three_test[1]_include.cmake")
+include("/root/repo/build/tests/naive_test[1]_include.cmake")
+include("/root/repo/build/tests/strawman_test[1]_include.cmake")
+include("/root/repo/build/tests/multivalued_test[1]_include.cmake")
+include("/root/repo/build/tests/explorer_test[1]_include.cmake")
+include("/root/repo/build/tests/valence_test[1]_include.cmake")
+include("/root/repo/build/tests/mdp_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/mutex_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ablation_test[1]_include.cmake")
+include("/root/repo/build/tests/swsr_unbounded_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/tas_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_test[1]_include.cmake")
+include("/root/repo/build/tests/peterson_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")

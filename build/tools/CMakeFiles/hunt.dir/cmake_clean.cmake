@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hunt.dir/hunt.cpp.o"
+  "CMakeFiles/hunt.dir/hunt.cpp.o.d"
+  "hunt"
+  "hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
