@@ -1,0 +1,121 @@
+// Deterministic, seedable fault schedules shared by every execution
+// substrate (DESIGN.md X1/X2: the protocols must survive crash failures of
+// up to n-1 processors over registers built from flickering safe bits).
+//
+// A FaultPlan is the single source of truth for *what goes wrong* in a run:
+//
+//   * crash events   — processor `pid` fail-stops after taking `at_step`
+//                      of its own steps (the paper's t <= n-1 model);
+//   * stall events   — processor `pid` is parked for a window after its
+//                      `at_step`-th step, then resumes (the adversary's
+//                      "arbitrarily slow processor");
+//   * register faults— word-level faults injected by the FaultyRegisters
+//                      decorator / the simulator's RegisterFile hook
+//                      (flicker, bounded staleness, delayed visibility) and
+//                      cell-level faults injected underneath the Lamport
+//                      constructions (extra-dirty safe cells).
+//
+// Events are keyed by a processor's OWN step count, which is substrate
+// independent: the same plan crashes P2 after its 7th step both in the
+// serialized simulator (via FaultPlanScheduler) and on real std::threads
+// (via run_threaded) — that is what makes one-line failure reproduction
+// possible. serialize()/parse() round-trip through a compact string meant
+// to be logged on failure and pasted back into a repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "registers/constructions.h"  // hw::CellFaultConfig
+#include "registers/register_file.h"  // ProcessId
+
+namespace cil::fault {
+
+/// Word-level register fault rates. All faults are *bounded* and stay
+/// within some register model's envelope — flicker is legal for safe
+/// registers, staleness/delay for regular-but-not-atomic ones — so a run
+/// that misbehaves under them indicts the register model, not the injector.
+struct RegisterFaultConfig {
+  /// P[a write publishes garbage words before the real value] — visible
+  /// only to reads overlapping the write (safe-register flicker).
+  double flicker_prob = 0.0;
+  int flicker_burst = 1;  ///< garbage words per flickering write
+
+  /// P[a read returns an older committed value] (regular-but-not-atomic).
+  double stale_prob = 0.0;
+  int stale_depth = 1;  ///< max age in writes (clamped to the history ring)
+
+  /// P[a write's visibility is delayed] — the writer dwells inside the
+  /// write interval, so readers keep seeing the old value for longer.
+  double delay_prob = 0.0;
+  int delay_window = 1;  ///< dwell, in ~microseconds (threaded) / reads (sim)
+
+  /// Faults injected *underneath* the Lamport constructions: the raw safe
+  /// cells publish garbage while writing (soak-tests the construction stack
+  /// from genuinely flickering hardware upward).
+  hw::CellFaultConfig cells;
+
+  bool any_word_faults() const {
+    return flicker_prob > 0 || stale_prob > 0 || delay_prob > 0;
+  }
+  bool any() const { return any_word_faults() || cells.garbage_prob > 0; }
+
+  friend bool operator==(const RegisterFaultConfig&,
+                         const RegisterFaultConfig&) = default;
+};
+
+struct CrashEvent {
+  ProcessId pid = 0;
+  std::int64_t at_step = 0;  ///< fail-stop after taking this many own steps
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+struct StallEvent {
+  ProcessId pid = 0;
+  std::int64_t at_step = 0;  ///< park after taking this many own steps
+  /// Stall length: microseconds in the threaded runtime, global steps in
+  /// the simulator (the substrates measure time differently; what is
+  /// preserved is *where* in the protocol the processor goes quiet).
+  std::int64_t duration = 0;
+
+  friend bool operator==(const StallEvent&, const StallEvent&) = default;
+};
+
+/// A complete fault schedule. Value type; cheap to copy.
+class FaultPlan {
+ public:
+  std::uint64_t seed = 1;  ///< drives all register-fault coin flips
+  std::vector<CrashEvent> crashes;
+  std::vector<StallEvent> stalls;
+  RegisterFaultConfig registers;
+
+  /// Derive a plan deterministically from a seed: `num_crashes` distinct
+  /// victims (capped at n-1 — the engine's survivor rule) crashing within
+  /// the first `horizon` own steps, `num_stalls` stalls of up to
+  /// `max_stall_duration`. Same arguments => same plan, always.
+  static FaultPlan random(std::uint64_t seed, int num_processes,
+                          int num_crashes, int num_stalls = 0,
+                          std::int64_t horizon = 64,
+                          std::int64_t max_stall_duration = 2000,
+                          const RegisterFaultConfig& reg = {});
+
+  /// Compact one-line form, e.g.
+  ///   "fp1;seed=42;crash=1@7,2@12;stall=0@3+2000;reg=fl:0.01x2,st:0.05d3"
+  /// Log it when a chaos run fails; parse() reproduces the identical run.
+  std::string serialize() const;
+
+  /// Inverse of serialize(). Throws ContractViolation on malformed input.
+  static FaultPlan parse(const std::string& text);
+
+  /// Sanity for a given system size: pids in range, victims distinct,
+  /// at most n-1 crashes (the survivor rule). Throws on violation.
+  void validate(int num_processes) const;
+
+  int crash_count() const { return static_cast<int>(crashes.size()); }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace cil::fault

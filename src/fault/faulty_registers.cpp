@@ -1,0 +1,87 @@
+#include "fault/faulty_registers.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/check.h"
+
+namespace cil::fault {
+
+FaultyRegisters::FaultyRegisters(std::unique_ptr<rt::SharedRegisters> inner,
+                                 const RegisterFaultConfig& config,
+                                 std::uint64_t seed,
+                                 std::vector<Word> initial_values,
+                                 int num_processes)
+    : inner_(std::move(inner)), config_(config) {
+  CIL_EXPECTS(inner_ != nullptr);
+  CIL_EXPECTS(!initial_values.empty());
+  CIL_EXPECTS(num_processes >= 1);
+  config_.stale_depth = std::clamp(config_.stale_depth, 1, kRingDepth - 1);
+  rings_.reserve(initial_values.size());
+  for (const Word init : initial_values) {
+    auto ring = std::make_unique<Ring>();
+    ring->vals[0].store(init, std::memory_order_relaxed);
+    ring->head.store(1, std::memory_order_release);
+    rings_.push_back(std::move(ring));
+  }
+  SplitMix64 sm(seed ^ 0xf1a9e4c2d7b35aULL);
+  per_proc_.reserve(static_cast<std::size_t>(num_processes));
+  for (int p = 0; p < num_processes; ++p)
+    per_proc_.push_back(std::make_unique<PerProcess>(sm.next()));
+}
+
+Word FaultyRegisters::read(RegisterId r, ProcessId p) {
+  PerProcess& me = *per_proc_[static_cast<std::size_t>(p)];
+  if (config_.stale_prob > 0 &&
+      me.rng.with_probability(config_.stale_prob)) {
+    Ring& ring = *rings_[static_cast<std::size_t>(r)];
+    const std::uint64_t h = ring.head.load(std::memory_order_acquire);
+    if (h >= 2) {
+      const std::uint64_t max_age = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(config_.stale_depth),
+          std::min<std::uint64_t>(h - 1, kRingDepth - 1));
+      const std::uint64_t age = 1 + me.rng.below(max_age);
+      me.faults.fetch_add(1, std::memory_order_relaxed);
+      return ring.vals[(h - 1 - age) % kRingDepth].load(
+          std::memory_order_relaxed);
+    }
+  }
+  return inner_->read(r, p);
+}
+
+void FaultyRegisters::write(RegisterId r, ProcessId p, Word value) {
+  PerProcess& me = *per_proc_[static_cast<std::size_t>(p)];
+  if (config_.flicker_prob > 0 &&
+      me.rng.with_probability(config_.flicker_prob)) {
+    // Garbage published through the inner backend: visible to any read that
+    // overlaps this (stretched) write interval — safe-register flicker.
+    for (int i = 0; i < config_.flicker_burst; ++i) {
+      inner_->write(r, p, me.rng.bits());
+      std::this_thread::yield();  // widen the dirty window
+    }
+    me.faults.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.delay_prob > 0 && me.rng.with_probability(config_.delay_prob)) {
+    // Dwell before committing: the old value stays visible (a write may
+    // take arbitrarily long in the asynchronous model).
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.delay_window));
+    me.faults.fetch_add(1, std::memory_order_relaxed);
+  }
+  inner_->write(r, p, value);
+
+  Ring& ring = *rings_[static_cast<std::size_t>(r)];
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  ring.vals[h % kRingDepth].store(value, std::memory_order_relaxed);
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::int64_t FaultyRegisters::faults_injected() const {
+  std::int64_t total = 0;
+  for (const auto& pp : per_proc_)
+    total += pp->faults.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace cil::fault

@@ -1,0 +1,76 @@
+// Word-level fault injection for the threaded runtime: a decorator over any
+// rt::SharedRegisters backend that makes it misbehave *within a declared
+// register model's envelope*:
+//
+//   * flicker  — a write first publishes garbage words; any read overlapping
+//     the (now longer) write interval may observe them. This is exactly what
+//     Lamport's safe registers permit, so a backend wrapped with flicker is
+//     demoted to safe: the HistoryRecorder atomicity check on it fails,
+//     while the same protocols' construction stack (AtomicSwmr over faulty
+//     cells — see CellFaultConfig) keeps passing it.
+//   * bounded stale reads — a read returns a committed-but-older value (at
+//     most stale_depth writes back): regular-but-not-atomic behaviour.
+//   * delayed visibility — the writer dwells before committing, so the old
+//     value stays visible longer. Legal even for atomic registers (an
+//     operation may take arbitrarily long); it models the adversary's slow
+//     hardware.
+//
+// Fault coins are drawn from per-processor deterministic streams derived
+// from the plan seed; which *operations* those coins meet depends on the OS
+// schedule, so in threaded runs the plan pins the fault rates and the
+// crash/stall schedule (exactly reproducible), not individual flickers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "runtime/threaded.h"
+
+namespace cil::fault {
+
+class FaultyRegisters final : public rt::SharedRegisters {
+ public:
+  /// `initial_values` seeds the per-register history (one entry per
+  /// register); `num_processes` sizes the per-processor fault Rng streams.
+  FaultyRegisters(std::unique_ptr<rt::SharedRegisters> inner,
+                  const RegisterFaultConfig& config, std::uint64_t seed,
+                  std::vector<Word> initial_values, int num_processes);
+
+  Word read(RegisterId r, ProcessId p) override;
+  void write(RegisterId r, ProcessId p, Word value) override;
+
+  rt::SharedRegisters& inner() { return *inner_; }
+  /// Total word-level faults injected so far, across all processors.
+  std::int64_t faults_injected() const;
+
+ private:
+  static constexpr int kRingDepth = 16;
+
+  /// Single-writer ring of committed values (all protocol registers are
+  /// single-writer, so only the owner bumps head; readers race benignly —
+  /// at worst they see a slightly different stale value, still committed).
+  struct Ring {
+    std::array<std::atomic<Word>, kRingDepth> vals{};
+    std::atomic<std::uint64_t> head{0};  ///< committed writes incl. initial
+  };
+
+  /// Per-processor fault state, padded against false sharing. The fault
+  /// tally is atomic so it can be summed while threads are still running
+  /// (e.g. after a watchdog timeout abandoned a wedged thread).
+  struct alignas(64) PerProcess {
+    explicit PerProcess(std::uint64_t seed) : rng(seed) {}
+    Rng rng;
+    std::atomic<std::int64_t> faults{0};
+  };
+
+  std::unique_ptr<rt::SharedRegisters> inner_;
+  RegisterFaultConfig config_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<PerProcess>> per_proc_;
+};
+
+}  // namespace cil::fault

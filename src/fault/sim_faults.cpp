@@ -1,0 +1,109 @@
+#include "fault/sim_faults.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cil::fault {
+
+namespace {
+// Clamp the stale-read history so pathological configs stay bounded.
+constexpr int kMaxStaleDepth = 16;
+}  // namespace
+
+SimRegisterFaults::SimRegisterFaults(const RegisterFaultConfig& config,
+                                     std::uint64_t seed, int num_registers)
+    : config_(config),
+      rng_(seed ^ 0x51f4a7e9d2c3b1ULL),
+      regs_(static_cast<std::size_t>(num_registers)) {
+  CIL_EXPECTS(num_registers >= 1);
+  config_.stale_depth = std::clamp(config_.stale_depth, 1, kMaxStaleDepth);
+}
+
+void SimRegisterFaults::on_write(RegisterId r, ProcessId, Word value) {
+  PerRegister& reg = regs_[static_cast<std::size_t>(r)];
+  if (config_.delay_prob > 0 && !reg.history.empty() &&
+      rng_.with_probability(config_.delay_prob)) {
+    // Readers keep seeing the pre-write value for the next delay_window
+    // reads of this register — the write "hasn't propagated yet".
+    reg.serving_old = config_.delay_window;
+    reg.old_value = reg.history.back();
+  }
+  reg.history.push_back(value);
+  while (static_cast<int>(reg.history.size()) > config_.stale_depth + 1)
+    reg.history.pop_front();
+}
+
+Word SimRegisterFaults::on_read(RegisterId r, ProcessId, Word actual) {
+  PerRegister& reg = regs_[static_cast<std::size_t>(r)];
+  if (reg.serving_old > 0) {
+    --reg.serving_old;
+    ++faults_;
+    return reg.old_value;
+  }
+  if (config_.stale_prob > 0 && reg.history.size() >= 2 &&
+      rng_.with_probability(config_.stale_prob)) {
+    const auto max_age =
+        std::min<std::uint64_t>(config_.stale_depth, reg.history.size() - 1);
+    const auto age = 1 + rng_.below(max_age);
+    ++faults_;
+    return reg.history[reg.history.size() - 1 - age];
+  }
+  return actual;
+}
+
+FaultPlanScheduler::FaultPlanScheduler(Scheduler& inner, const FaultPlan& plan)
+    : inner_(inner),
+      pending_crashes_(plan.crashes),
+      rng_(plan.seed ^ 0x57a11e4d5c8e2fULL) {
+  stalls_.reserve(plan.stalls.size());
+  for (const StallEvent& e : plan.stalls) stalls_.push_back({e, false, 0});
+}
+
+std::vector<ProcessId> FaultPlanScheduler::crashes(const SystemView& view) {
+  std::vector<ProcessId> out;
+  std::erase_if(pending_crashes_, [&](const CrashEvent& e) {
+    if (view.crashed(e.pid)) return true;  // already dead (duplicate plan)
+    if (view.steps_of(e.pid) < e.at_step) return false;
+    out.push_back(e.pid);
+    crash_log_.push_back({e.pid, view.steps_of(e.pid)});
+    ++crashes_fired_;
+    return true;
+  });
+  return out;
+}
+
+bool FaultPlanScheduler::stalled(const SystemView& view, ProcessId p) const {
+  for (const PendingStall& s : stalls_) {
+    if (s.event.pid != p) continue;
+    if (s.started && view.total_steps() < s.until_total_step) return true;
+  }
+  return false;
+}
+
+ProcessId FaultPlanScheduler::pick(const SystemView& view) {
+  // Activate stalls whose trigger step has been reached.
+  for (PendingStall& s : stalls_) {
+    if (!s.started && view.steps_of(s.event.pid) >= s.event.at_step) {
+      s.started = true;
+      s.until_total_step = view.total_steps() + s.event.duration;
+      ++stalls_fired_;
+    }
+  }
+
+  std::vector<ProcessId> runnable;
+  bool any_stalled = false;
+  for (const ProcessId p : view.active_processes()) {
+    if (stalled(view, p)) {
+      any_stalled = true;
+    } else {
+      runnable.push_back(p);
+    }
+  }
+  // Holding a pid back is only possible while someone else can run; the
+  // asynchronous model never lets the adversary stop the whole system.
+  if (!any_stalled || runnable.empty()) return inner_.pick(view);
+  return runnable[rng_.below(runnable.size())];
+}
+
+}  // namespace cil::fault

@@ -1,0 +1,89 @@
+// Fault injection for the serialized simulator (src/sched), driven by a
+// FaultPlan:
+//
+//   * SimRegisterFaults — a RegisterFaultHook that serves bounded-stale
+//     reads and delayed write visibility (the regular-but-not-atomic
+//     envelope of Hadzilacos–Hu–Toueg-style weaker registers). Flicker is
+//     a no-op here: the simulator serializes steps, so no read ever
+//     overlaps a write and safe-register garbage has no legal window —
+//     that fault only exists in the threaded FaultyRegisters decorator.
+//
+//   * FaultPlanScheduler — wraps any Scheduler and applies the plan's
+//     crash events (fail-stop pid after its at_step-th own step — the
+//     identical semantics run_threaded applies on real threads) and stall
+//     events (hold the pid unscheduled for `duration` global steps).
+//
+// Both are deterministic: same plan + same inner scheduler = same run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "sched/simulation.h"
+#include "util/rng.h"
+
+namespace cil::fault {
+
+/// Stale/delayed-read injector for the simulator's RegisterFile. Install
+/// with sim.mutable_regs().set_fault_hook(&hook); keep alive for the run.
+class SimRegisterFaults final : public RegisterFaultHook {
+ public:
+  SimRegisterFaults(const RegisterFaultConfig& config, std::uint64_t seed,
+                    int num_registers);
+
+  void on_write(RegisterId r, ProcessId p, Word value) override;
+  Word on_read(RegisterId r, ProcessId p, Word actual) override;
+
+  std::int64_t faults_injected() const { return faults_; }
+
+ private:
+  struct PerRegister {
+    std::deque<Word> history;   ///< committed values, oldest first
+    int serving_old = 0;        ///< reads left that still see the old value
+    Word old_value = 0;         ///< value visible while serving_old > 0
+  };
+
+  RegisterFaultConfig config_;
+  Rng rng_;
+  std::vector<PerRegister> regs_;
+  std::int64_t faults_ = 0;
+};
+
+/// Scheduler decorator applying a FaultPlan's processor faults in the
+/// simulator. Crash events fire through crashes() (the engine fail-stops
+/// the pid); stall events hold the pid unscheduled for `duration` global
+/// steps by picking uniformly among the non-stalled active processes
+/// (falling back to the inner scheduler when everyone else is done).
+class FaultPlanScheduler final : public Scheduler {
+ public:
+  FaultPlanScheduler(Scheduler& inner, const FaultPlan& plan);
+
+  ProcessId pick(const SystemView& view) override;
+  std::vector<ProcessId> crashes(const SystemView& view) override;
+
+  std::int64_t crashes_fired() const { return crashes_fired_; }
+  std::int64_t stalls_fired() const { return stalls_fired_; }
+  /// (pid, own-step) pairs in firing order — the reproducibility witness
+  /// compared against the threaded runtime's crash record.
+  const std::vector<CrashEvent>& crash_log() const { return crash_log_; }
+
+ private:
+  struct PendingStall {
+    StallEvent event;
+    bool started = false;
+    std::int64_t until_total_step = 0;
+  };
+  bool stalled(const SystemView& view, ProcessId p) const;
+
+  Scheduler& inner_;
+  std::vector<CrashEvent> pending_crashes_;
+  std::vector<PendingStall> stalls_;
+  std::vector<CrashEvent> crash_log_;
+  Rng rng_;
+  std::int64_t crashes_fired_ = 0;
+  std::int64_t stalls_fired_ = 0;
+};
+
+}  // namespace cil::fault

@@ -36,6 +36,7 @@
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -43,6 +44,41 @@
 #include "util/rng.h"
 
 namespace cil::hw {
+
+/// Fault-injection knobs for the raw cells at the bottom of the chain
+/// (src/fault): with probability `garbage_prob` a write first publishes
+/// `garbage_rounds` rounds of garbage before the real value, dwelling
+/// `settle_spins` yields between publishes to widen the dirty window. This
+/// stays strictly inside safe-register semantics — the garbage is visible
+/// only to a read overlapping the write — so a construction that claims
+/// atomicity must mask it completely (the constructions_test/fault tests
+/// check exactly that, via the history checker).
+///
+/// The config is shared by reference: keep it alive for the lifetime of the
+/// cells it is installed on, and install it before any concurrent use.
+struct CellFaultConfig {
+  double garbage_prob = 0.0;
+  int garbage_rounds = 1;
+  int settle_spins = 0;
+  /// Optional tally of injected faults (chaos reporting); may be null.
+  std::atomic<std::int64_t>* fault_counter = nullptr;
+
+  friend bool operator==(const CellFaultConfig& a, const CellFaultConfig& b) {
+    return a.garbage_prob == b.garbage_prob &&
+           a.garbage_rounds == b.garbage_rounds &&
+           a.settle_spins == b.settle_spins;
+  }
+};
+
+namespace detail {
+inline void settle(int spins) {
+  for (int s = 0; s < spins; ++s) std::this_thread::yield();
+}
+inline void count_fault(const CellFaultConfig& cfg) {
+  if (cfg.fault_counter != nullptr)
+    cfg.fault_counter->fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 /// A safe boolean register: if a read overlaps a write, the read may return
 /// an arbitrary value. We model that honestly by having the writer publish a
@@ -56,15 +92,28 @@ class FlickerSafeBit {
 
   /// Single writer thread only.
   void write(bool v, Rng& rng) {
-    cell_.store(rng.flip() ? 1 : 0, std::memory_order_relaxed);  // flicker
+    int flickers = 1;
+    if (faults_ != nullptr && faults_->garbage_prob > 0 &&
+        rng.with_probability(faults_->garbage_prob)) {
+      flickers += faults_->garbage_rounds;
+      detail::count_fault(*faults_);
+    }
+    for (int i = 0; i < flickers; ++i) {
+      cell_.store(rng.flip() ? 1 : 0, std::memory_order_relaxed);  // flicker
+      if (faults_ != nullptr) detail::settle(faults_->settle_spins);
+    }
     cell_.store(v ? 1 : 0, std::memory_order_release);
   }
 
   /// Single reader thread only.
   bool read() const { return cell_.load(std::memory_order_acquire) != 0; }
 
+  /// Flicker even harder (fault injection). Install before concurrent use.
+  void enable_faults(const CellFaultConfig* cfg) { faults_ = cfg; }
+
  private:
   std::atomic<std::uint8_t> cell_;
+  const CellFaultConfig* faults_ = nullptr;
 };
 
 /// Regular SWSR bit from a safe bit: the writer physically writes only when
@@ -85,6 +134,9 @@ class RegularBit {
 
   /// Single reader thread only.
   bool read() const { return bit_.read(); }
+
+  /// Forward fault injection to the underlying safe bit.
+  void enable_faults(const CellFaultConfig* cfg) { bit_.enable_faults(cfg); }
 
  private:
   FlickerSafeBit bit_;
@@ -108,6 +160,11 @@ class RegularUnaryWord {
 
   int num_values() const { return static_cast<int>(bits_.size()); }
 
+  /// Forward fault injection to every underlying bit.
+  void enable_faults(const CellFaultConfig* cfg) {
+    for (auto& b : bits_) b.enable_faults(cfg);
+  }
+
  private:
   // deque: RegularBit holds atomics and is immovable; deque constructs
   // elements in place and never relocates them.
@@ -129,6 +186,16 @@ class SafeCell {
   /// May be called concurrently with read(); torn reads are the caller's
   /// problem (that is the point of a safe register).
   void write(const T& v) {
+    if (faults_ != nullptr && faults_->garbage_prob > 0 &&
+        fault_rng_.with_probability(faults_->garbage_prob)) {
+      for (int round = 0; round < faults_->garbage_rounds; ++round) {
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+          bytes_[i].store(static_cast<std::uint8_t>(fault_rng_.bits()),
+                          std::memory_order_relaxed);
+        detail::settle(faults_->settle_spins);
+      }
+      detail::count_fault(*faults_);
+    }
     std::array<std::uint8_t, sizeof(T)> raw;
     std::memcpy(raw.data(), &v, sizeof(T));
     for (std::size_t i = 0; i < sizeof(T); ++i)
@@ -144,8 +211,17 @@ class SafeCell {
     return v;
   }
 
+  /// Publish garbage while writing (fault injection). Writer-thread state;
+  /// install before any concurrent use.
+  void enable_faults(const CellFaultConfig* cfg, std::uint64_t seed) {
+    faults_ = cfg;
+    fault_rng_ = Rng(seed);
+  }
+
  private:
   std::array<std::atomic<std::uint8_t>, sizeof(T)> bytes_{};
+  const CellFaultConfig* faults_ = nullptr;
+  Rng fault_rng_{0};  // writer-local garbage source
 };
 
 /// Simpson's four-slot algorithm (1990 formulation of the classic fully
@@ -182,6 +258,15 @@ class FourSlotAtomic {
     reading_.store(pair, std::memory_order_seq_cst);
     const int slot = slot_index_[pair].load(std::memory_order_acquire);
     return slots_[pair][slot].read();
+  }
+
+  /// Make the four safe slots dirty writers (fault injection). The
+  /// algorithm's slot disjointness must mask the garbage completely.
+  void enable_faults(const CellFaultConfig* cfg, std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (int pair = 0; pair < 2; ++pair)
+      for (int slot = 0; slot < 2; ++slot)
+        slots_[pair][slot].enable_faults(cfg, sm.next());
   }
 
  private:
@@ -252,6 +337,14 @@ class AtomicSwmr {
 
   int num_readers() const { return n_; }
 
+  /// Inject cell-level faults into every underlying four-slot register:
+  /// the whole SWMR construction then runs over genuinely dirty safe cells.
+  void enable_faults(const CellFaultConfig* cfg, std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& r : v_) r->enable_faults(cfg, sm.next());
+    for (auto& c : c_) c->enable_faults(cfg, sm.next());
+  }
+
  private:
   FourSlotAtomic<Stamped<T>>& cell(int from, int to) {
     return *c_[static_cast<std::size_t>(from) * n_ + to];
@@ -320,6 +413,12 @@ class AtomicMwmr {
 
   int num_writers() const { return m_; }
   int num_readers() const { return n_; }
+
+  /// Inject cell-level faults into every per-writer SWMR register.
+  void enable_faults(const CellFaultConfig* cfg, std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& r : regs_) r->enable_faults(cfg, sm.next());
+  }
 
  private:
   struct Entry {

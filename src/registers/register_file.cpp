@@ -36,6 +36,7 @@ Word RegisterFile::read(RegisterId r, ProcessId p) {
   CIL_CHECK_MSG(contains(specs_[r].readers, p),
                 "process not in reader set of " + specs_[r].name);
   ++stats_[r].reads;
+  if (fault_hook_ != nullptr) return fault_hook_->on_read(r, p, values_[r]);
   return values_[r];
 }
 
@@ -49,6 +50,7 @@ void RegisterFile::write(RegisterId r, ProcessId p, Word value) {
   stats_[r].max_bits_written =
       std::max(stats_[r].max_bits_written, bit_width_u64(value));
   values_[r] = value;
+  if (fault_hook_ != nullptr) fault_hook_->on_write(r, p, value);
 }
 
 Word RegisterFile::peek(RegisterId r) const {

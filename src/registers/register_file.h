@@ -39,6 +39,20 @@ struct RegisterStats {
   int max_bits_written = 0;  ///< high-water mark of bit_width(value) over writes
 };
 
+/// Fault-injection hook (src/fault): observes every committed write and may
+/// replace the value a read returns — the simulator's sibling of the
+/// threaded runtime's FaultyRegisters decorator. Implementations must stay
+/// within the envelope of SOME register model (e.g. bounded-stale reads
+/// model regular-but-not-atomic registers); the stored value itself is
+/// never corrupted, so snapshot/restore and the model checker see ground
+/// truth.
+class RegisterFaultHook {
+ public:
+  virtual ~RegisterFaultHook() = default;
+  virtual void on_write(RegisterId r, ProcessId p, Word value) = 0;
+  virtual Word on_read(RegisterId r, ProcessId p, Word actual) = 0;
+};
+
 class RegisterFile {
  public:
   explicit RegisterFile(std::vector<RegisterSpec> specs);
@@ -68,12 +82,18 @@ class RegisterFile {
   std::vector<Word> snapshot() const { return values_; }
   void restore(const std::vector<Word>& snap);
 
+  /// Install (or clear, with nullptr) a fault hook. Not owned; the caller
+  /// keeps it alive for the lifetime of the simulation.
+  void set_fault_hook(RegisterFaultHook* hook) { fault_hook_ = hook; }
+  RegisterFaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   void check_id(RegisterId r) const;
 
   std::vector<RegisterSpec> specs_;
   std::vector<Word> values_;
   std::vector<RegisterStats> stats_;
+  RegisterFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace cil

@@ -1,10 +1,14 @@
 #include "runtime/threaded.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
 #include <thread>
 
+#include "fault/faulty_registers.h"
 #include "registers/constructions.h"
 #include "util/rng.h"
 
@@ -33,11 +37,19 @@ class RawAtomicRegisters final : public SharedRegisters {
 /// Registers built from the full construction chain: every cell is an
 /// atomic single-writer multi-reader register made of four-slot SWSR
 /// registers, themselves made of safe cells and atomic control bits.
+/// With cell faults enabled, those safe cells are genuinely dirty writers —
+/// the construction stack is what masks them.
 class ConstructedRegisters final : public SharedRegisters {
  public:
-  ConstructedRegisters(const std::vector<RegisterSpec>& specs, int n) {
-    for (const auto& s : specs)
+  ConstructedRegisters(const std::vector<RegisterSpec>& specs, int n,
+                       std::uint64_t seed,
+                       const hw::CellFaultConfig* cell_faults) {
+    SplitMix64 sm(seed ^ 0xc0a57ac7ed5eedULL);
+    for (const auto& s : specs) {
       regs_.push_back(std::make_unique<hw::AtomicSwmr<Word>>(n, s.initial));
+      if (cell_faults != nullptr)
+        regs_.back()->enable_faults(cell_faults, sm.next());
+    }
   }
 
   Word read(RegisterId r, ProcessId p) override { return regs_[r]->read(p); }
@@ -81,18 +93,58 @@ class ThreadedStepContext final : public StepContext {
   int io_ops_ = 0;
 };
 
+/// Everything the worker threads touch, owned by shared_ptr: a thread
+/// abandoned by the watchdog keeps its copy alive, so a late step after
+/// run_threaded returned is harmless rather than use-after-free.
+struct SharedState {
+  std::unique_ptr<SharedRegisters> regs;
+  fault::FaultyRegisters* faulty = nullptr;  ///< regs, when word faults on
+  hw::CellFaultConfig cell_faults;           ///< referenced by regs
+  std::atomic<std::int64_t> cell_fault_count{0};
+  std::vector<std::unique_ptr<Process>> procs;  ///< each used by one thread
+  std::atomic<bool> stop{false};
+  /// Set by each worker as its very last action. Lives here (not on the
+  /// caller's stack) because a worker can still be storing its flag after
+  /// the watchdog gave up on it and run_threaded returned.
+  std::deque<std::atomic<bool>> thread_done;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;  ///< guarded by mu
+  // Result slots, guarded by mu.
+  std::vector<Value> decisions;
+  std::vector<std::int64_t> steps;
+  std::vector<std::uint8_t> crashed;
+  std::vector<fault::CrashEvent> crash_log;
+  std::int64_t crash_stall_faults = 0;
+};
+
+/// Park the calling thread for `duration_us`, in slices, bailing out early
+/// when the run is being stopped.
+void park(const SharedState& state, std::int64_t duration_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(duration_us);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (state.stop.load(std::memory_order_relaxed)) return;
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            remaining, std::chrono::milliseconds(1)));
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<SharedRegisters> make_shared_registers(
-    const Protocol& protocol, RegisterBackend backend, std::uint64_t seed) {
-  (void)seed;
+    const Protocol& protocol, RegisterBackend backend, std::uint64_t seed,
+    const hw::CellFaultConfig* cell_faults) {
   const auto specs = protocol.registers();
   switch (backend) {
     case RegisterBackend::kRawAtomic:
       return std::make_unique<RawAtomicRegisters>(specs);
     case RegisterBackend::kConstructed:
-      return std::make_unique<ConstructedRegisters>(specs,
-                                                    protocol.num_processes());
+      return std::make_unique<ConstructedRegisters>(
+          specs, protocol.num_processes(), seed, cell_faults);
   }
   throw ContractViolation("unknown register backend");
 }
@@ -103,45 +155,164 @@ ThreadedResult run_threaded(const Protocol& protocol,
   const int n = protocol.num_processes();
   CIL_EXPECTS(static_cast<int>(inputs.size()) == n);
 
-  auto regs = make_shared_registers(protocol, options.backend, options.seed);
+  const fault::FaultPlan* plan = options.fault_plan;
+  if (plan != nullptr) plan->validate(n);
+
+  auto state = std::make_shared<SharedState>();
+  state->decisions.assign(n, kNoValue);
+  state->steps.assign(n, 0);
+  state->crashed.assign(n, 0);
+
+  // Build the register backend, threading fault config through: cell-level
+  // faults live underneath the constructions; word-level faults wrap the
+  // whole backend in the FaultyRegisters decorator.
+  const hw::CellFaultConfig* cell_cfg = nullptr;
+  if (plan != nullptr && plan->registers.cells.garbage_prob > 0) {
+    state->cell_faults = plan->registers.cells;
+    state->cell_faults.fault_counter = &state->cell_fault_count;
+    cell_cfg = &state->cell_faults;
+  }
+  state->regs =
+      make_shared_registers(protocol, options.backend, options.seed, cell_cfg);
+  if (plan != nullptr && plan->registers.any_word_faults()) {
+    std::vector<Word> initials;
+    for (const auto& s : protocol.registers()) initials.push_back(s.initial);
+    auto faulty = std::make_unique<fault::FaultyRegisters>(
+        std::move(state->regs), plan->registers, plan->seed,
+        std::move(initials), n);
+    state->faulty = faulty.get();
+    state->regs = std::move(faulty);
+  }
+
+  // Create the processes up front: worker threads never touch `protocol`,
+  // so an abandoned thread cannot dangle into caller-owned objects.
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    state->procs.push_back(protocol.make_process(pid));
+    state->procs[pid]->init(inputs[pid]);
+  }
+
+  // Split the plan into per-thread event lists (own-step keyed).
+  std::vector<std::int64_t> crash_at(n, -1);
+  std::vector<std::vector<fault::StallEvent>> stalls_of(n);
+  if (plan != nullptr) {
+    for (const auto& e : plan->crashes) crash_at[e.pid] = e.at_step;
+    for (const auto& e : plan->stalls) stalls_of[e.pid].push_back(e);
+    for (auto& v : stalls_of) {
+      std::sort(v.begin(), v.end(),
+                [](const fault::StallEvent& a, const fault::StallEvent& b) {
+                  return a.at_step < b.at_step;
+                });
+    }
+  }
 
   ThreadedResult result;
-  result.decisions.assign(n, kNoValue);
-  result.steps.assign(n, 0);
-
   const auto start = std::chrono::steady_clock::now();
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(n);
-    for (ProcessId pid = 0; pid < n; ++pid) {
-      threads.emplace_back([&, pid] {
-        Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + pid + 1);
-        auto proc = protocol.make_process(pid);
-        proc->init(inputs[pid]);
-        std::int64_t steps = 0;
-        while (!proc->decided() && steps < options.max_steps_per_proc) {
-          ThreadedStepContext ctx(*regs, pid, rng);
-          proc->step(ctx);
-          ++steps;
-          if (options.yield_probability > 0 &&
-              rng.with_probability(options.yield_probability)) {
-            std::this_thread::yield();
-          }
+
+  std::vector<std::thread> threads;
+  for (ProcessId pid = 0; pid < n; ++pid) state->thread_done.emplace_back(false);
+  threads.reserve(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    threads.emplace_back([state, pid, options, crash = crash_at[pid],
+                          stalls = stalls_of[pid]] {
+      Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + pid + 1);
+      Process& proc = *state->procs[pid];
+      std::int64_t steps = 0;
+      std::size_t next_stall = 0;
+      bool crashed = false;
+
+      while (!proc.decided() && steps < options.max_steps_per_proc) {
+        if (state->stop.load(std::memory_order_relaxed)) break;
+        if (crash >= 0 && steps >= crash) {
+          crashed = true;  // fail-stop: die silently mid-protocol
+          break;
         }
-        result.steps[pid] = steps;
-        if (proc->decided()) result.decisions[pid] = proc->decision();
-      });
+        while (next_stall < stalls.size() &&
+               steps >= stalls[next_stall].at_step) {
+          park(*state, stalls[next_stall].duration);
+          ++next_stall;
+        }
+        ThreadedStepContext ctx(*state->regs, pid, rng);
+        proc.step(ctx);
+        ++steps;
+        if (options.yield_probability > 0 &&
+            rng.with_probability(options.yield_probability)) {
+          std::this_thread::yield();
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->steps[pid] = steps;
+        if (crashed) {
+          state->crashed[pid] = 1;
+          state->crash_log.push_back({pid, steps});
+          ++state->crash_stall_faults;
+        } else if (proc.decided()) {
+          state->decisions[pid] = proc.decision();
+        }
+        state->crash_stall_faults +=
+            static_cast<std::int64_t>(next_stall);  // stalls actually taken
+        ++state->done;
+      }
+      state->cv.notify_all();
+      state->thread_done[pid].store(true, std::memory_order_release);
+    });
+  }
+
+  // Watchdog: wait for completion against a monotonic deadline.
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    const auto all_done = [&] { return state->done == n; };
+    if (options.watchdog_ms > 0) {
+      const auto deadline =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          options.watchdog_ms));
+      if (!state->cv.wait_until(lock, deadline, all_done)) {
+        result.timed_out = true;
+        state->stop.store(true, std::memory_order_relaxed);
+        // Grace period: threads that poll `stop` between steps drain out
+        // quickly; only a thread wedged *inside* a step stays behind.
+        state->cv.wait_for(lock, std::chrono::milliseconds(250), all_done);
+      }
+    } else {
+      state->cv.wait(lock, all_done);
     }
-  }  // jthreads join here
+  }
+
+  // Join finished threads; abandon wedged ones (their shared_ptr keeps the
+  // state alive, so whatever they do later is harmless).
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    if (state->thread_done[pid].load(std::memory_order_acquire)) {
+      threads[pid].join();
+    } else {
+      threads[pid].detach();
+    }
+  }
+
   const auto end = std::chrono::steady_clock::now();
   result.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
 
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    result.decisions = state->decisions;
+    result.steps = state->steps;
+    result.crashed.assign(state->crashed.begin(), state->crashed.end());
+    result.crash_log = state->crash_log;
+    result.faults_injected = state->crash_stall_faults;
+  }
+  if (state->faulty != nullptr)
+    result.faults_injected += state->faulty->faults_injected();
+  result.faults_injected +=
+      state->cell_fault_count.load(std::memory_order_relaxed);
+
   result.all_decided = true;
   Value first = kNoValue;
-  for (const Value v : result.decisions) {
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    const Value v = result.decisions[pid];
     if (v == kNoValue) {
-      result.all_decided = false;
+      if (!result.crashed[pid]) result.all_decided = false;
       continue;
     }
     if (first == kNoValue) first = v;

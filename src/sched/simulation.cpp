@@ -30,6 +30,9 @@ std::vector<ProcessId> SystemView::active_processes() const {
   return out;
 }
 std::int64_t SystemView::total_steps() const { return sim_.total_steps(); }
+std::int64_t SystemView::steps_of(ProcessId p) const {
+  return sim_.steps_of(p);
+}
 
 Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
                        SimOptions options)

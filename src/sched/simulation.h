@@ -34,6 +34,8 @@ class SystemView {
   bool active(ProcessId p) const;
   std::vector<ProcessId> active_processes() const;
   std::int64_t total_steps() const;
+  /// Own-step count of processor `p` (fault plans key events on it).
+  std::int64_t steps_of(ProcessId p) const;
 
  private:
   const Simulation& sim_;

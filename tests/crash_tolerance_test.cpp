@@ -1,0 +1,204 @@
+// Crash tolerance across both substrates: every protocol survives 1..n-1
+// injected fail-stop crashes with the survivors agreeing, the watchdog
+// converts a wedged thread into timed_out=true instead of a hang, and the
+// survivor rule (at most n-1 crashes) is enforced rather than deadlocked on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/bounded_three.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "fault/fault_plan.h"
+#include "fault/sim_faults.h"
+#include "runtime/threaded.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+namespace cil::fault {
+namespace {
+
+/// Crash the first `k` processors at own-steps 1, 2, ..., k — early enough
+/// that no victim can have decided, so every planned crash actually fires.
+FaultPlan early_crashes(int k, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (int i = 0; i < k; ++i) plan.crashes.push_back({i, i + 1});
+  return plan;
+}
+
+void run_threaded_with_crashes(const Protocol& protocol,
+                               const std::vector<Value>& inputs, int k) {
+  const FaultPlan plan = early_crashes(k, 50 + static_cast<std::uint64_t>(k));
+  rt::ThreadedOptions options;
+  options.seed = plan.seed;
+  options.fault_plan = &plan;
+  const auto r = rt::run_threaded(protocol, inputs, options);
+  ASSERT_FALSE(r.timed_out) << "k=" << k;
+  EXPECT_TRUE(r.consistent) << "k=" << k;
+  EXPECT_TRUE(r.all_decided) << "k=" << k << ": a survivor failed to decide";
+  for (int i = 0; i < k; ++i) {
+    EXPECT_TRUE(r.crashed[i]) << "victim " << i << " did not crash";
+    EXPECT_EQ(r.decisions[i], kNoValue);
+  }
+  ASSERT_EQ(r.crash_log.size(), static_cast<std::size_t>(k));
+  for (int i = protocol.num_processes() - 1; i >= k; --i)
+    EXPECT_NE(r.decisions[i], kNoValue) << "survivor " << i;
+}
+
+void run_sim_with_crashes(const Protocol& protocol,
+                          const std::vector<Value>& inputs, int k) {
+  const FaultPlan plan = early_crashes(k, 70 + static_cast<std::uint64_t>(k));
+  Simulation sim(protocol, inputs, {.seed = plan.seed});
+  RandomScheduler inner(plan.seed);
+  FaultPlanScheduler sched(inner, plan);
+  const SimResult r = sim.run(sched);  // consistency is checked online
+  EXPECT_TRUE(r.all_decided) << "k=" << k << ": a survivor failed to decide";
+  EXPECT_EQ(sched.crashes_fired(), k);
+  for (int i = 0; i < k; ++i) EXPECT_TRUE(sim.crashed(i));
+}
+
+class CrashCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashCount, ThreadedUnboundedThreeSurvivors) {
+  UnboundedProtocol protocol(3);
+  run_threaded_with_crashes(protocol, {0, 1, 1}, GetParam());
+}
+
+TEST_P(CrashCount, ThreadedBoundedThreeSurvivors) {
+  BoundedThreeProtocol protocol;
+  run_threaded_with_crashes(protocol, {1, 0, 1}, GetParam());
+}
+
+TEST_P(CrashCount, SimulatedUnboundedThreeSurvivors) {
+  UnboundedProtocol protocol(3);
+  run_sim_with_crashes(protocol, {0, 1, 1}, GetParam());
+}
+
+TEST_P(CrashCount, SimulatedBoundedThreeSurvivors) {
+  BoundedThreeProtocol protocol;
+  run_sim_with_crashes(protocol, {1, 0, 1}, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToNMinusOne, CrashCount, ::testing::Values(1, 2));
+
+TEST(CrashTolerance, ThreadedTwoProcessLoneSurvivorDecides) {
+  TwoProcessProtocol protocol;
+  run_threaded_with_crashes(protocol, {0, 1}, /*k=*/1);
+}
+
+TEST(CrashTolerance, SimulatedTwoProcessLoneSurvivorDecides) {
+  TwoProcessProtocol protocol;
+  run_sim_with_crashes(protocol, {0, 1}, /*k=*/1);
+}
+
+TEST(CrashTolerance, ThreadedStallsDelayButDoNotPreventDecision) {
+  UnboundedProtocol protocol(3);
+  const FaultPlan plan =
+      FaultPlan::parse("fp1;seed=9;stall=0@2+5000,1@1+3000");  // microseconds
+  rt::ThreadedOptions options;
+  options.seed = 9;
+  options.fault_plan = &plan;
+  const auto r = rt::run_threaded(protocol, {0, 1, 0}, options);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_GE(r.faults_injected, 2) << "both stalls must have been taken";
+}
+
+// Satellite 6: a scheduler that tries to crash ALL n processors must be
+// rejected by the engine's survivor rule — a contract violation, not a
+// deadlocked run with nobody left to schedule.
+class CrashEveryoneScheduler final : public Scheduler {
+ public:
+  ProcessId pick(const SystemView& view) override { return inner_.pick(view); }
+  std::vector<ProcessId> crashes(const SystemView& view) override {
+    std::vector<ProcessId> all(static_cast<std::size_t>(view.num_processes()));
+    for (std::size_t i = 0; i < all.size(); ++i)
+      all[i] = static_cast<ProcessId>(i);
+    return all;
+  }
+
+ private:
+  RoundRobinScheduler inner_;
+};
+
+TEST(SurvivorRule, SimulationRejectsCrashingAllProcessors) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {0, 1});
+  CrashEveryoneScheduler sched;
+  EXPECT_THROW(sim.run(sched), ContractViolation);
+}
+
+TEST(SurvivorRule, ThreadedRejectsPlanCrashingAllProcessors) {
+  TwoProcessProtocol protocol;
+  FaultPlan plan;
+  plan.crashes = {{0, 1}, {1, 1}};  // all n: illegal
+  rt::ThreadedOptions options;
+  options.fault_plan = &plan;
+  EXPECT_THROW(rt::run_threaded(protocol, {0, 1}, options), ContractViolation);
+}
+
+// Watchdog: a protocol wedged *inside* a step (not just slow between steps)
+// must produce timed_out=true within the deadline instead of hanging the
+// caller forever. The abandoned thread only touches state kept alive by the
+// runtime's shared ownership, so returning early is safe.
+class WedgeProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "wedge"; }
+  int num_processes() const override { return 1; }
+  std::vector<RegisterSpec> registers() const override {
+    return {{"r", {0}, {0}, 64, 0}};
+  }
+  std::unique_ptr<Process> make_process(ProcessId) const override {
+    return std::make_unique<WedgeProcess>();
+  }
+
+ private:
+  class WedgeProcess final : public Process {
+   public:
+    void init(Value input) override { input_ = input; }
+    void step(StepContext&) override {
+      // Wedged: sleeps through the watchdog deadline, never decides.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+    }
+    bool decided() const override { return false; }
+    Value decision() const override { return kNoValue; }
+    Value input() const override { return input_; }
+    std::vector<std::int64_t> encode_state() const override { return {0}; }
+    std::unique_ptr<Process> clone() const override {
+      return std::make_unique<WedgeProcess>(*this);
+    }
+    std::string debug_string() const override { return "wedged"; }
+
+   private:
+    Value input_ = 0;
+  };
+};
+
+TEST(Watchdog, WedgedThreadTimesOutInsteadOfHanging) {
+  WedgeProtocol protocol;
+  rt::ThreadedOptions options;
+  options.watchdog_ms = 300;
+  const auto start = std::chrono::steady_clock::now();
+  const auto r = rt::run_threaded(protocol, {0}, options);
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.all_decided);
+  EXPECT_LT(elapsed, 1500.0) << "watchdog must bound the wait";
+}
+
+TEST(Watchdog, EveryCallerGetsABoundedFailureModeByDefault) {
+  // The satellite requirement: callers that never heard of the watchdog
+  // still get one.
+  const rt::ThreadedOptions defaults;
+  EXPECT_GT(defaults.watchdog_ms, 0.0);
+  EXPECT_LE(defaults.watchdog_ms, 60'000.0);
+}
+
+}  // namespace
+}  // namespace cil::fault

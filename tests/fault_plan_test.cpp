@@ -1,0 +1,230 @@
+// FaultPlan: deterministic derivation, compact-string round-trip, the
+// simulator-side injection machinery, and the headline reproducibility
+// property — one plan string produces the identical fault sequence in the
+// serialized simulator and on real std::threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/unbounded.h"
+#include "fault/fault_plan.h"
+#include "fault/sim_faults.h"
+#include "runtime/threaded.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+namespace cil::fault {
+namespace {
+
+FaultPlan full_plan() {
+  FaultPlan plan;
+  plan.seed = 123456789;
+  plan.crashes = {{1, 7}, {2, 12}};
+  plan.stalls = {{0, 3, 2000}};
+  plan.registers.flicker_prob = 0.01;
+  plan.registers.flicker_burst = 2;
+  plan.registers.stale_prob = 0.05;
+  plan.registers.stale_depth = 3;
+  plan.registers.delay_prob = 0.125;
+  plan.registers.delay_window = 8;
+  plan.registers.cells.garbage_prob = 0.5;
+  plan.registers.cells.garbage_rounds = 2;
+  plan.registers.cells.settle_spins = 1;
+  return plan;
+}
+
+TEST(FaultPlan, SerializeParseRoundTrip) {
+  const FaultPlan plan = full_plan();
+  const std::string text = plan.serialize();
+  EXPECT_EQ(FaultPlan::parse(text), plan) << text;
+}
+
+TEST(FaultPlan, EmptyPlanRoundTrips) {
+  FaultPlan plan;
+  plan.seed = 42;
+  EXPECT_EQ(plan.serialize(), "fp1;seed=42");
+  EXPECT_EQ(FaultPlan::parse(plan.serialize()), plan);
+}
+
+TEST(FaultPlan, AwkwardDoublesRoundTripExactly) {
+  FaultPlan plan;
+  plan.registers.stale_prob = 0.1;  // not representable exactly in binary
+  plan.registers.flicker_prob = 1.0 / 3.0;
+  EXPECT_EQ(FaultPlan::parse(plan.serialize()), plan);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedStrings) {
+  EXPECT_THROW(FaultPlan::parse(""), ContractViolation);
+  EXPECT_THROW(FaultPlan::parse("fp2;seed=1"), ContractViolation);
+  EXPECT_THROW(FaultPlan::parse("fp1;crash=1"), ContractViolation);
+  EXPECT_THROW(FaultPlan::parse("fp1;crash=1@"), ContractViolation);
+  EXPECT_THROW(FaultPlan::parse("fp1;stall=1@2"), ContractViolation);
+  EXPECT_THROW(FaultPlan::parse("fp1;reg=zz:0.5x1"), ContractViolation);
+  EXPECT_THROW(FaultPlan::parse("fp1;bogus=3"), ContractViolation);
+}
+
+TEST(FaultPlan, RandomIsDeterministicAndLegal) {
+  const FaultPlan a = FaultPlan::random(/*seed=*/7, /*n=*/5, /*crashes=*/4,
+                                        /*stalls=*/3);
+  const FaultPlan b = FaultPlan::random(7, 5, 4, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, FaultPlan::random(8, 5, 4, 3));
+
+  a.validate(5);
+  std::set<ProcessId> victims;
+  for (const auto& e : a.crashes) victims.insert(e.pid);
+  EXPECT_EQ(victims.size(), a.crashes.size()) << "victims must be distinct";
+  EXPECT_LE(a.crash_count(), 4);
+}
+
+TEST(FaultPlan, RandomCapsCrashesAtNMinusOne) {
+  const FaultPlan plan = FaultPlan::random(1, 3, /*crashes=*/99);
+  EXPECT_LE(plan.crash_count(), 2);
+  plan.validate(3);
+}
+
+TEST(FaultPlan, ValidateEnforcesSurvivorRule) {
+  FaultPlan plan;
+  plan.crashes = {{0, 1}, {1, 1}, {2, 1}};
+  EXPECT_THROW(plan.validate(3), ContractViolation);  // all n crash
+  plan.crashes = {{0, 1}, {0, 2}};
+  EXPECT_THROW(plan.validate(3), ContractViolation);  // duplicate victim
+  plan.crashes = {{5, 1}};
+  EXPECT_THROW(plan.validate(3), ContractViolation);  // pid out of range
+  plan.crashes = {{0, 1}, {1, 3}};
+  plan.validate(3);  // legal: n-1 distinct victims
+}
+
+TEST(SimRegisterFaults, StaleReadsStayWithinBound) {
+  RegisterFaultConfig cfg;
+  cfg.stale_prob = 1.0;  // every read that can be stale is stale
+  cfg.stale_depth = 3;
+  SimRegisterFaults hook(cfg, /*seed=*/9, /*num_registers=*/1);
+
+  hook.on_write(0, 0, 10);
+  EXPECT_EQ(hook.on_read(0, 1, 10), 10u) << "one committed value: no past";
+  for (Word v = 11; v <= 40; ++v) {
+    hook.on_write(0, 0, v);
+    const Word seen = hook.on_read(0, 1, v);
+    EXPECT_GE(seen, v - 3) << "staleness bound violated";
+    EXPECT_LE(seen, v);
+  }
+  EXPECT_GT(hook.faults_injected(), 0);
+}
+
+TEST(SimRegisterFaults, DelayedWriteServesOldValueForWindow) {
+  RegisterFaultConfig cfg;
+  cfg.delay_prob = 1.0;
+  cfg.delay_window = 2;
+  SimRegisterFaults hook(cfg, 1, 1);
+
+  hook.on_write(0, 0, 5);   // first write: no previous value, no delay
+  hook.on_write(0, 0, 6);   // delayed: next 2 reads still see 5
+  EXPECT_EQ(hook.on_read(0, 1, 6), 5u);
+  EXPECT_EQ(hook.on_read(0, 1, 6), 5u);
+  EXPECT_EQ(hook.on_read(0, 1, 6), 6u);  // window exhausted
+}
+
+TEST(SimRegisterFaults, DeterministicAcrossRuns) {
+  RegisterFaultConfig cfg;
+  cfg.stale_prob = 0.5;
+  cfg.stale_depth = 2;
+  for (int trial = 0; trial < 2; ++trial) {
+    SimRegisterFaults a(cfg, 77, 2), b(cfg, 77, 2);
+    for (Word v = 1; v <= 50; ++v) {
+      a.on_write(0, 0, v);
+      b.on_write(0, 0, v);
+      EXPECT_EQ(a.on_read(0, 1, v), b.on_read(0, 1, v));
+    }
+  }
+}
+
+TEST(RegisterFile, FaultHookInterceptsReads) {
+  class Negate final : public RegisterFaultHook {
+   public:
+    void on_write(RegisterId, ProcessId, Word) override {}
+    Word on_read(RegisterId, ProcessId, Word actual) override {
+      return ~actual;
+    }
+  };
+  RegisterFile regs({{"r", {0}, {0}, 64, 0}});
+  Negate hook;
+  regs.set_fault_hook(&hook);
+  regs.write(0, 0, 5);
+  EXPECT_EQ(regs.read(0, 0), ~Word{5});
+  EXPECT_EQ(regs.peek(0), 5u) << "stored ground truth is never corrupted";
+  regs.set_fault_hook(nullptr);
+  EXPECT_EQ(regs.read(0, 0), 5u);
+}
+
+// The acceptance headline: a fixed plan string fires the identical
+// (pid, own-step) crash sequence in the simulator and on real threads.
+TEST(FaultPlanReproducibility, SimAndThreadedFireIdenticalCrashSequences) {
+  const std::string text = "fp1;seed=11;crash=1@2,2@5";
+  const FaultPlan plan = FaultPlan::parse(text);
+  UnboundedProtocol protocol(3);
+
+  // Simulator: the plan rides on any inner scheduler.
+  std::vector<CrashEvent> sim_log;
+  {
+    Simulation sim(protocol, {0, 1, 1}, {.seed = 11});
+    RandomScheduler inner(11);
+    FaultPlanScheduler sched(inner, plan);
+    const SimResult r = sim.run(sched);
+    EXPECT_TRUE(r.all_decided);
+    sim_log = sched.crash_log();
+  }
+
+  // Threaded runtime: same plan via ThreadedOptions.
+  std::vector<CrashEvent> threaded_log;
+  {
+    rt::ThreadedOptions options;
+    options.seed = 11;
+    options.fault_plan = &plan;
+    const auto r = rt::run_threaded(protocol, {0, 1, 1}, options);
+    EXPECT_TRUE(r.all_decided);
+    EXPECT_TRUE(r.consistent);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_TRUE(r.crashed[1]);
+    EXPECT_TRUE(r.crashed[2]);
+    threaded_log = r.crash_log;
+  }
+
+  const auto by_pid = [](const CrashEvent& a, const CrashEvent& b) {
+    return a.pid < b.pid;
+  };
+  std::sort(sim_log.begin(), sim_log.end(), by_pid);
+  std::sort(threaded_log.begin(), threaded_log.end(), by_pid);
+  ASSERT_EQ(sim_log.size(), 2u);
+  EXPECT_EQ(sim_log, threaded_log);
+  EXPECT_EQ(sim_log, plan.crashes) << "events fire exactly at their step";
+}
+
+TEST(FaultPlanScheduler, StallHoldsProcessorBack) {
+  UnboundedProtocol protocol(3);
+  const std::string text = "fp1;seed=3;stall=0@1+40";
+  const FaultPlan plan = FaultPlan::parse(text);
+
+  Simulation sim(protocol, {1, 0, 1}, {.seed = 3, .record_schedule = true});
+  RoundRobinScheduler inner;
+  FaultPlanScheduler sched(inner, plan);
+  const SimResult r = sim.run(sched);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_EQ(sched.stalls_fired(), 1);
+
+  // During the stall window P0 must not appear in the schedule.
+  int p0_steps_before = 0;
+  std::size_t stall_start = 0;
+  for (std::size_t i = 0; i < r.schedule.size() && p0_steps_before < 1; ++i) {
+    if (r.schedule[i] == 0) ++p0_steps_before;
+    stall_start = i + 1;
+  }
+  const std::size_t stall_end =
+      std::min(stall_start + 40, r.schedule.size());
+  for (std::size_t i = stall_start; i < stall_end; ++i)
+    EXPECT_NE(r.schedule[i], 0) << "P0 scheduled inside its stall window";
+}
+
+}  // namespace
+}  // namespace cil::fault

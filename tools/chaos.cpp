@@ -1,0 +1,280 @@
+// chaos — the fault-injection soak driver.
+//
+// Sweeps fault rates x register backends x protocols x crash counts across
+// BOTH execution substrates (the serialized simulator and the threaded
+// runtime) and tabulates survival: did the survivors decide, did they agree,
+// how many runs tripped the online consistency checker, how many timed out,
+// how many faults were actually injected.
+//
+// Faults that stay inside the atomic-register envelope (crashes, stalls,
+// write-dwell, cell-level garbage underneath the constructions) must never
+// cost a run its consistency — a violation there is a real bug. Word-level
+// stale/flicker faults demote the registers below atomic, so inconsistent
+// runs in those rows are *findings about the register model*, reported as
+// data rather than failures.
+//
+//   ./tools/chaos                 # full sweep
+//   ./tools/chaos --quick         # CI smoke: fixed seed, ~10 s
+//   ./tools/chaos --trials=100    # more seeds per cell
+//
+// On any unexpected outcome the offending FaultPlan string is printed —
+// paste it back through FaultPlan::parse to reproduce the exact run.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bounded_three.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "fault/fault_plan.h"
+#include "fault/sim_faults.h"
+#include "runtime/threaded.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+using namespace cil;
+
+namespace {
+
+struct Args {
+  bool quick = false;
+  int trials = 60;
+  std::uint64_t seed = 1;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      args.quick = true;
+      args.trials = 25;
+      continue;
+    }
+    try {
+      if (a.rfind("--trials=", 0) == 0) {
+        args.trials = std::stoi(a.substr(9));
+        if (args.trials <= 0) throw std::invalid_argument("trials");
+        continue;
+      }
+      if (a.rfind("--seed=", 0) == 0) {
+        args.seed = std::stoull(a.substr(7));
+        continue;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value in flag: %s\n", a.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+    return false;
+  }
+  return true;
+}
+
+struct ProtocolCase {
+  std::string name;
+  std::unique_ptr<Protocol> protocol;
+  std::vector<Value> inputs;
+};
+
+std::vector<ProtocolCase> make_protocols() {
+  std::vector<ProtocolCase> out;
+  out.push_back({"two-process", std::make_unique<TwoProcessProtocol>(), {0, 1}});
+  out.push_back(
+      {"unbounded-3", std::make_unique<UnboundedProtocol>(3), {0, 1, 1}});
+  out.push_back(
+      {"bounded-3", std::make_unique<BoundedThreeProtocol>(), {1, 0, 1}});
+  return out;
+}
+
+/// A named word/cell fault mix plus where it is meaningful. The envelope
+/// flags are per-substrate: threaded "dwell" is a slow-but-atomic write,
+/// while the simulator's analogue is delayed *visibility* (later reads
+/// still see the old value), which is already outside the atomic envelope.
+struct FaultLevel {
+  std::string name;
+  fault::RegisterFaultConfig reg;
+  bool in_sim = true;           ///< flicker/cells have no simulator analogue
+  bool sim_atomic_safe = true;  ///< sim runs must stay consistent
+  bool thr_atomic_safe = true;  ///< threaded runs must stay consistent
+};
+
+std::vector<FaultLevel> make_levels() {
+  std::vector<FaultLevel> out;
+  out.push_back({"none", {}, true, true, true});
+
+  FaultLevel dwell{"dwell", {}, true, false, true};
+  dwell.reg.delay_prob = 0.2;
+  dwell.reg.delay_window = 50;
+  out.push_back(dwell);
+
+  FaultLevel cells{"cell-garbage", {}, false, true, true};  // constructions
+  cells.reg.cells.garbage_prob = 0.5;
+  cells.reg.cells.garbage_rounds = 2;
+  cells.reg.cells.settle_spins = 1;
+  out.push_back(cells);
+
+  FaultLevel stale{"stale-reads", {}, true, false, false};  // regular only
+  stale.reg.stale_prob = 0.25;
+  stale.reg.stale_depth = 3;
+  out.push_back(stale);
+
+  FaultLevel flicker{"flicker", {}, false, false, false};  // safe-register
+  flicker.reg.flicker_prob = 0.2;
+  flicker.reg.flicker_burst = 2;
+  out.push_back(flicker);
+  return out;
+}
+
+struct Counts {
+  int runs = 0;
+  int decided = 0;     ///< every survivor decided
+  int consistent = 0;  ///< no two survivors disagreed
+  int violations = 0;  ///< simulator's online checker fired
+  int timeouts = 0;
+  long long faults = 0;
+};
+
+void report_unexpected(const char* what, const fault::FaultPlan& plan) {
+  std::fprintf(stderr, "  !! %s — repro: %s\n", what,
+               plan.serialize().c_str());
+}
+
+fault::FaultPlan plan_for(std::uint64_t seed, int n, int crashes,
+                          const fault::RegisterFaultConfig& reg) {
+  // Horizon 12: early enough that planned crashes fire before decisions in
+  // essentially every run, so the crash column means what it says.
+  return fault::FaultPlan::random(seed, n, crashes, /*num_stalls=*/1,
+                                  /*horizon=*/12, /*max_stall_duration=*/500,
+                                  reg);
+}
+
+void run_sim_cell(const ProtocolCase& pc, const FaultLevel& level, int crashes,
+                  const Args& args, bool expect_consistent, Counts& c) {
+  const int n = pc.protocol->num_processes();
+  for (int t = 0; t < args.trials; ++t) {
+    const std::uint64_t seed = args.seed + 1000u * static_cast<unsigned>(t);
+    const fault::FaultPlan plan = plan_for(seed, n, crashes, level.reg);
+    Simulation sim(*pc.protocol, pc.inputs, {.seed = seed});
+    fault::SimRegisterFaults hook(plan.registers, plan.seed,
+                                  sim.regs().size());
+    if (plan.registers.any_word_faults())
+      sim.mutable_regs().set_fault_hook(&hook);
+    RandomScheduler inner(seed);
+    fault::FaultPlanScheduler sched(inner, plan);
+    ++c.runs;
+    try {
+      const SimResult r = sim.run(sched);
+      if (r.all_decided) ++c.decided;
+      ++c.consistent;  // the online checker did not fire
+    } catch (const CoordinationViolation&) {
+      ++c.violations;
+      if (expect_consistent) report_unexpected("consistency violation", plan);
+    }
+    c.faults += hook.faults_injected() + sched.crashes_fired() +
+                sched.stalls_fired();
+  }
+}
+
+void run_threaded_cell(const ProtocolCase& pc, const FaultLevel& level,
+                       rt::RegisterBackend backend, int crashes,
+                       const Args& args, bool expect_consistent, Counts& c) {
+  const int n = pc.protocol->num_processes();
+  for (int t = 0; t < args.trials; ++t) {
+    const std::uint64_t seed = args.seed + 1000u * static_cast<unsigned>(t);
+    const fault::FaultPlan plan = plan_for(seed, n, crashes, level.reg);
+    rt::ThreadedOptions options;
+    options.seed = seed;
+    options.backend = backend;
+    options.fault_plan = &plan;
+    options.watchdog_ms = 10'000;
+    ++c.runs;
+    const auto r = rt::run_threaded(*pc.protocol, pc.inputs, options);
+    if (r.all_decided) ++c.decided;
+    if (r.consistent) {
+      ++c.consistent;
+    } else if (expect_consistent) {
+      report_unexpected("survivors disagreed", plan);
+    }
+    if (r.timed_out) {
+      ++c.timeouts;
+      report_unexpected("watchdog timeout", plan);
+    }
+    c.faults += r.faults_injected;
+  }
+}
+
+void print_row(const std::string& protocol, const char* substrate,
+               const std::string& level, int crashes, const Counts& c) {
+  std::printf("%-12s %-16s %-13s %7d %5d %7d/%d %9d/%d %6d %6d %9lld\n",
+              protocol.c_str(), substrate, level.c_str(), crashes, c.runs,
+              c.decided, c.runs, c.consistent, c.runs, c.violations,
+              c.timeouts, c.faults);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 2;
+
+  std::printf("chaos sweep: trials=%d seed=%llu%s\n\n", args.trials,
+              static_cast<unsigned long long>(args.seed),
+              args.quick ? " (quick)" : "");
+  std::printf("%-12s %-16s %-13s %7s %5s %9s %11s %6s %6s %9s\n", "protocol",
+              "substrate", "faults", "crashes", "runs", "decided",
+              "consistent", "viol", "tmout", "injected");
+
+  int unexpected_bad = 0;
+  const auto protocols = make_protocols();
+  const auto levels = make_levels();
+
+  for (const auto& pc : protocols) {
+    const int n = pc.protocol->num_processes();
+    for (const auto& level : levels) {
+      // In --quick mode sweep only the extreme crash counts.
+      std::vector<int> crash_counts;
+      for (int k = 0; k <= n - 1; ++k)
+        if (!args.quick || k == 0 || k == n - 1) crash_counts.push_back(k);
+
+      for (const int k : crash_counts) {
+        if (level.in_sim) {
+          Counts c;
+          run_sim_cell(pc, level, k, args, level.sim_atomic_safe, c);
+          print_row(pc.name, "sim", level.name, k, c);
+          if (level.sim_atomic_safe)
+            unexpected_bad += c.violations + (c.runs - c.decided);
+        }
+        // Raw backend: word-level faults only (no cells to degrade).
+        if (level.reg.cells.garbage_prob == 0) {
+          Counts c;
+          run_threaded_cell(pc, level, rt::RegisterBackend::kRawAtomic, k,
+                            args, level.thr_atomic_safe, c);
+          print_row(pc.name, "thread-raw", level.name, k, c);
+          if (level.thr_atomic_safe)
+            unexpected_bad +=
+                (c.runs - c.consistent) + c.timeouts + (c.runs - c.decided);
+        }
+        // Constructed backend: the full stack masks cell faults; skip it
+        // for the heavier word-fault rows in --quick mode to stay fast.
+        if (!args.quick || level.thr_atomic_safe) {
+          Counts c;
+          run_threaded_cell(pc, level, rt::RegisterBackend::kConstructed, k,
+                            args, level.thr_atomic_safe, c);
+          print_row(pc.name, "thread-cons", level.name, k, c);
+          if (level.thr_atomic_safe)
+            unexpected_bad +=
+                (c.runs - c.consistent) + c.timeouts + (c.runs - c.decided);
+        }
+      }
+    }
+  }
+
+  std::printf("\n%s\n", unexpected_bad == 0
+                            ? "OK: no unexpected violations, undecided "
+                              "survivors, or timeouts"
+                            : "FAIL: unexpected bad outcomes (see !! lines)");
+  return unexpected_bad == 0 ? 0 : 1;
+}
