@@ -86,48 +86,54 @@ HuntResult hunt(const std::function<std::unique_ptr<Protocol>()>& make_protocol,
   return out;
 }
 
-void report(const char* label, const HuntResult& r) {
+void print_hunt(BenchReport& report, const char* label, const char* key,
+                const HuntResult& r) {
   row({label, fmt_int(r.runs), fmt_int(r.violations),
        r.first_seed ? fmt_int(static_cast<std::int64_t>(*r.first_seed))
                     : "-"},
       44);
+  report.set_value(std::string("violations.") + key,
+                   static_cast<double>(r.violations));
 }
 
 }  // namespace
 
 int main() {
   constexpr std::int64_t kSeeds = 8000;
+  BenchReport report("bench_ablation");
+  report.set_meta("experiment", "ablation");
 
   header("Ablation: consistency violations under adversary+drain hunts");
   row({"configuration", "runs", "violations", "first bad seed"}, 44);
 
-  report("Fig 2, leader-only cond 2 (shipped)", hunt([] {
-           return std::make_unique<UnboundedProtocol>(3);
-         },
-         kSeeds));
-  report("Fig 2, LITERAL cond 2 (paper wording)", hunt([] {
-           UnboundedProtocol::Options o;
-           o.literal_condition2 = true;
-           return std::make_unique<UnboundedProtocol>(3, 1, o);
-         },
-         kSeeds));
+  print_hunt(report, "Fig 2, leader-only cond 2 (shipped)", "fig2_shipped",
+             hunt([] { return std::make_unique<UnboundedProtocol>(3); },
+                  kSeeds));
+  print_hunt(report, "Fig 2, LITERAL cond 2 (paper wording)", "fig2_literal",
+             hunt([] {
+               UnboundedProtocol::Options o;
+               o.literal_condition2 = true;
+               return std::make_unique<UnboundedProtocol>(3, 1, o);
+             },
+             kSeeds));
 
-  report("Fig 3, summary-based T3 (shipped)", hunt([] {
-           return std::make_unique<BoundedThreeProtocol>();
-         },
-         kSeeds));
-  report("Fig 3, instantaneous unanimity", hunt([] {
-           BoundedThreeProtocol::Options o;
-           o.naive_unanimity = true;
-           return std::make_unique<BoundedThreeProtocol>(o);
-         },
-         kSeeds));
-  report("Fig 3, no parked-register guard", hunt([] {
-           BoundedThreeProtocol::Options o;
-           o.no_blocker_guard = true;
-           return std::make_unique<BoundedThreeProtocol>(o);
-         },
-         kSeeds));
+  print_hunt(report, "Fig 3, summary-based T3 (shipped)", "fig3_shipped",
+             hunt([] { return std::make_unique<BoundedThreeProtocol>(); },
+                  kSeeds));
+  print_hunt(report, "Fig 3, instantaneous unanimity", "fig3_naive_unanimity",
+             hunt([] {
+               BoundedThreeProtocol::Options o;
+               o.naive_unanimity = true;
+               return std::make_unique<BoundedThreeProtocol>(o);
+             },
+             kSeeds));
+  print_hunt(report, "Fig 3, no parked-register guard", "fig3_no_guard",
+             hunt([] {
+               BoundedThreeProtocol::Options o;
+               o.no_blocker_guard = true;
+               return std::make_unique<BoundedThreeProtocol>(o);
+             },
+             kSeeds));
 
   std::printf(
       "\nEvery row with violations is a reading the extended abstract's text"

@@ -24,6 +24,8 @@ using namespace cil::bench;
 
 int main() {
   constexpr std::int64_t kBudget = 100'000;
+  BenchReport report("bench_impossibility");
+  report.set_meta("experiment", "T4");
 
   header("T4: deterministic protocols starve forever under BivalenceAdversary");
   row({"protocol", "budget", "steps taken", "decided?", "bivalent picks"},
@@ -40,6 +42,7 @@ int main() {
          r.decision ? "YES (bug!)" : "no — starved",
          fmt_int(adversary.bivalent_picks())},
         22);
+    report.set_value("starved." + protocol.name(), r.decision ? 0.0 : 1.0);
   }
 
   header("Lemma 2: the mixed initial configuration is bivalent");
@@ -67,10 +70,11 @@ int main() {
       steps.add(r.total_steps);
     }
     row({"runs", "undecided", "E[total steps]", "max"}, 22);
-    RunningStats rs;
-    for (const auto x : steps.samples()) rs.add(static_cast<double>(x));
-    row({"5000", fmt_int(undecided), fmt(rs.mean(), 2), fmt_int(steps.max())},
-        22);
+    const Summary m = summarize(steps);
+    row({"5000", fmt_int(undecided), fmt(m.mean, 2), fmt_int(m.max)}, 22);
+    report.add_samples("total_steps.randomized_fig1", steps);
+    report.set_value("undecided.randomized_fig1",
+                     static_cast<double>(undecided));
   }
 
   std::printf("\n");

@@ -77,6 +77,8 @@ int main() {
   constexpr int kN = 5;
   constexpr int kT = 2;  // Ben-Or's maximum legal tolerance: t < n/2
   constexpr int kRuns = 800;
+  BenchReport report("bench_message_passing");
+  report.set_meta("experiment", "X3");
 
   header("X3: crash tolerance — message passing (Ben-Or, t=2) vs registers");
   row({"crashes", "msg decided", "E[deliveries]", "reg decided", "E[steps]"},
@@ -86,6 +88,9 @@ int main() {
     const auto [rp, rs] = reg_side(kN, crashes, kRuns);
     row({fmt_int(crashes), fmt(mp, 3), fmt(md, 1), fmt(rp, 3), fmt(rs, 1)},
         16);
+    const std::string suffix = ".crashes" + std::to_string(crashes);
+    report.set_value("decided_rate.msg" + suffix, mp);
+    report.set_value("decided_rate.reg" + suffix, rp);
   }
   std::printf(
       "\nBen-Or dies at %d crashes (survivors wait forever for n-t "

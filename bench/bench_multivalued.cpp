@@ -17,6 +17,9 @@ using namespace cil::bench;
 int main() {
   constexpr int kRuns = 4000;
   constexpr int kProcs = 3;
+  BenchReport report("bench_multivalued");
+  report.set_meta("protocol", "multivalued");
+  report.set_meta("experiment", "T5");
 
   header("T5: steps vs number of decision values k (n = 3)");
   row({"k", "rounds=log2(k)", "E[total steps]", "ratio to k=2",
@@ -27,7 +30,7 @@ int main() {
   for (const int bits : {1, 2, 4, 6, 8, 10}) {
     const Value max_value = static_cast<Value>((1 << bits) - 1);
     MultiValuedProtocol protocol(kProcs, max_value);
-    RunningStats steps;
+    SampleSet steps;
     for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
       // Spread the inputs across the domain so every round has work to do.
       std::vector<Value> inputs;
@@ -36,13 +39,15 @@ int main() {
         inputs.push_back(static_cast<Value>(rng.below(max_value + 1)));
       RandomScheduler sched(seed ^ 0xfeed);
       const auto r = run_once(protocol, inputs, sched, seed, 2'000'000);
-      steps.add(static_cast<double>(r.total_steps));
+      steps.add(r.total_steps);
     }
-    if (bits == 1) base_steps = steps.mean();
-    row({fmt_int(std::int64_t{1} << bits), fmt_int(bits), fmt(steps.mean(), 1),
-         fmt(steps.mean() / base_steps, 2),
-         fmt(steps.mean() / bits, 1)},
+    const Summary m = summarize(steps);
+    if (bits == 1) base_steps = m.mean;
+    row({fmt_int(std::int64_t{1} << bits), fmt_int(bits), fmt(m.mean, 1),
+         fmt(m.mean / base_steps, 2), fmt(m.mean / bits, 1)},
         18);
+    report.add_samples("total_steps.k" + std::to_string(std::int64_t{1} << bits),
+                       steps);
   }
 
   std::printf(

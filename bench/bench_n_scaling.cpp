@@ -19,6 +19,9 @@ using namespace cil::bench;
 
 int main() {
   const std::vector<int> sizes = {2, 3, 4, 5, 6, 8};
+  BenchReport report("bench_n_scaling");
+  report.set_meta("protocol", "unbounded");
+  report.set_meta("experiment", "X1");
 
   header("X1: expected total steps vs n (Figure 2 generalized)");
   row({"n", "random sched", "adaptive adv", "split-keeping", "crash n-1"},
@@ -62,6 +65,11 @@ int main() {
     row({fmt_int(n), fmt(random_steps.mean(), 1), fmt(adv_steps.mean(), 1),
          fmt(split_steps.mean(), 1), fmt(crash_steps.mean(), 1)},
         16);
+    const std::string suffix = ".n" + std::to_string(n);
+    report.set_value("mean_steps.random" + suffix, random_steps.mean());
+    report.set_value("mean_steps.adaptive" + suffix, adv_steps.mean());
+    report.set_value("mean_steps.split" + suffix, split_steps.mean());
+    report.set_value("mean_steps.crash" + suffix, crash_steps.mean());
   }
 
   // Least-squares slope of log(steps) vs log(n): the polynomial degree.
@@ -74,6 +82,7 @@ int main() {
     sxy += ns[i] * steps_random[i];
   }
   const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  report.set_value("loglog_slope.random", slope);
   std::printf("\nfitted log-log slope (random sched): %.2f  — steps ~ n^%.2f"
               " (paper: polynomial in n)\n\n",
               slope, slope);

@@ -17,6 +17,8 @@ using namespace cil::bench;
 
 int main() {
   constexpr int kRuns = 3000;
+  BenchReport report("bench_naive_adversary");
+  report.set_meta("experiment", "N1");
 
   header("N1: survival under the starve-P2 schedule (inputs {a, b, a})");
   row({"step budget", "naive undecided", "Fig-2 undecided"}, 18);
@@ -48,6 +50,11 @@ int main() {
     row({fmt_int(budget), fmt(static_cast<double>(naive_undecided) / kRuns, 4),
          fmt(static_cast<double>(cil_undecided) / kRuns, 4)},
         18);
+    const std::string suffix = ".budget" + std::to_string(budget);
+    report.set_value("undecided_rate.naive" + suffix,
+                     static_cast<double>(naive_undecided) / kRuns);
+    report.set_value("undecided_rate.fig2" + suffix,
+                     static_cast<double>(cil_undecided) / kRuns);
   }
 
   header("N1b: the naive protocol also breaks nontriviality (inputs all a)");
@@ -68,6 +75,8 @@ int main() {
     }
     row({"runs", "nontriviality violations"}, 26);
     row({fmt_int(kRuns), fmt_int(violations)}, 26);
+    report.set_value("nontriviality_violations.naive",
+                     static_cast<double>(violations));
   }
 
   std::printf("\n");

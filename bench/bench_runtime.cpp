@@ -32,9 +32,9 @@ double now_us() {
 void consensus_latency(const Protocol& protocol,
                        const std::vector<Value>& inputs,
                        rt::RegisterBackend backend, const char* label,
-                       int runs) {
+                       int runs, BenchReport& report, const char* key) {
   RunningStats wall;
-  RunningStats steps;
+  SampleSet steps;
   for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(runs);
        ++seed) {
     rt::ThreadedOptions options;
@@ -46,11 +46,15 @@ void consensus_latency(const Protocol& protocol,
     wall.add(r.wall_ms * 1000.0);
     std::int64_t total = 0;
     for (const auto s : r.steps) total += s;
-    steps.add(static_cast<double>(total));
+    steps.add(total);
   }
   row({label, fmt(wall.mean(), 1), fmt(wall.ci95_halfwidth(), 1),
-       fmt(steps.mean(), 1)},
+       fmt(summarize(steps).mean, 1)},
       34);
+  report.add_samples(std::string("total_steps.") + key, steps);
+  report.set_value(std::string("wall_us.") + key + ".mean", wall.mean());
+  report.set_value(std::string("wall_us.") + key + ".ci95",
+                   wall.ci95_halfwidth());
 }
 
 template <typename LockT>
@@ -67,19 +71,24 @@ double lock_throughput(LockT&& lock_fn, int threads, int iters_each) {
 }  // namespace
 
 int main() {
+  BenchReport report("bench_runtime");
+  report.set_meta("experiment", "M1/X2b");
+
   header("M1a: threaded consensus latency (us incl. thread spawn; 3 procs)");
   row({"configuration", "mean us", "ci95", "E[total steps]"}, 34);
   {
     TwoProcessProtocol two;
     UnboundedProtocol three(3);
     consensus_latency(two, {0, 1}, rt::RegisterBackend::kRawAtomic,
-                      "Fig1 n=2, raw atomics", 300);
+                      "Fig1 n=2, raw atomics", 300, report, "fig1-raw");
     consensus_latency(two, {0, 1}, rt::RegisterBackend::kConstructed,
-                      "Fig1 n=2, constructed registers", 100);
+                      "Fig1 n=2, constructed registers", 100, report,
+                      "fig1-constructed");
     consensus_latency(three, {0, 1, 0}, rt::RegisterBackend::kRawAtomic,
-                      "Fig2 n=3, raw atomics", 300);
+                      "Fig2 n=3, raw atomics", 300, report, "fig2-raw");
     consensus_latency(three, {0, 1, 0}, rt::RegisterBackend::kConstructed,
-                      "Fig2 n=3, constructed registers", 100);
+                      "Fig2 n=3, constructed registers", 100, report,
+                      "fig2-constructed");
   }
 
   header("M1b: CAS baseline (what the paper's model forbids)");
@@ -96,6 +105,7 @@ int main() {
       wall.add(now_us() - start);
     }
     row({"CAS consensus n=3 (us incl. spawn)", fmt(wall.mean(), 1)}, 34);
+    report.set_value("wall_us.cas-baseline.mean", wall.mean());
   }
 
   header("M1c: mutual exclusion throughput (lock+unlock/s, 3 threads)");
@@ -114,6 +124,7 @@ int main() {
           },
           kThreads, kIters);
       row({"CoordinationMutex (register-only)", fmt(ops, 0)}, 34);
+      report.set_value("lock_ops_per_sec.coordination_mutex", ops);
     }
     {
       rt::CasSpinLock lock;
@@ -126,6 +137,7 @@ int main() {
           },
           kThreads, 200000);
       row({"test-and-set spinlock", fmt(ops, 0)}, 34);
+      report.set_value("lock_ops_per_sec.tas_spinlock", ops);
     }
     {
       std::mutex lock;
@@ -138,6 +150,7 @@ int main() {
           },
           kThreads, 200000);
       row({"std::mutex", fmt(ops, 0)}, 34);
+      report.set_value("lock_ops_per_sec.std_mutex", ops);
     }
   }
 

@@ -41,6 +41,9 @@ std::unique_ptr<Scheduler> make_sched(const std::string& name,
 int main() {
   BoundedThreeProtocol protocol;
   constexpr int kRuns = 20000;
+  BenchReport report("bench_three_bounded");
+  report.set_meta("protocol", "bounded_three");
+  report.set_meta("experiment", "F3");
 
   header("F3: consistency (bounded model check to depth 14)");
   {
@@ -74,11 +77,12 @@ int main() {
       total.add(r.total_steps);
       max_bits = std::max(max_bits, r.max_register_bits);
     }
-    RunningStats rs;
-    for (const auto x : total.samples()) rs.add(static_cast<double>(x));
-    row({s.c_str(), fmt(rs.mean(), 2), fmt_int(total.percentile(0.99)),
-         fmt_int(max_bits),
+    const Summary m = summarize(total);
+    row({s.c_str(), fmt(m.mean, 2), fmt_int(m.p99), fmt_int(max_bits),
          (std::to_string(parked) + "/" + std::to_string(kRuns))});
+    report.add_samples("total_steps." + s, total);
+    report.set_value("parked." + s, static_cast<double>(parked));
+    report.set_value("max_register_bits." + s, static_cast<double>(max_bits));
   }
 
   header("F3: circular window invariant (span of live nums <= 4)");
@@ -107,6 +111,7 @@ int main() {
     }
     row({"worst span observed", "invariant bound"});
     row({fmt_int(worst_span), "4"});
+    report.set_value("worst_window_span", static_cast<double>(worst_span));
   }
 
   header("F3 vs F2: bounded vs unbounded protocol, same adversary class");
@@ -127,6 +132,9 @@ int main() {
       }
       row({bounded ? "bounded (Fig 3)" : "unbounded (Fig 2)", fmt(rs.mean(), 2),
            fmt_int(max_bits)});
+      report.set_value(bounded ? "head_to_head.bounded_mean_steps"
+                               : "head_to_head.unbounded_mean_steps",
+                       rs.mean());
     }
   }
 

@@ -28,6 +28,9 @@ using namespace cil::bench;
 int main() {
   UnboundedProtocol protocol(3);
   constexpr int kRuns = 30000;
+  BenchReport report("bench_three_unbounded");
+  report.set_meta("protocol", "unbounded");
+  report.set_meta("experiment", "F2/T8/T9");
 
   header("T8: consistency (bounded model check to depth 14 + 30k checked runs)");
   {
@@ -64,18 +67,24 @@ int main() {
       total_steps.add(static_cast<double>(r.total_steps));
       max_bits = std::max(max_bits, r.max_register_bits);
     }
+    const std::string label = adversarial ? "split-keeping" : "random";
     std::printf("scheduler: %s\n",
                 adversarial ? "split-keeping adaptive adversary" : "random");
-    row({"k", "P[max num>=k]", "(3/4)^{k-1}"});
-    for (const int k : {2, 3, 4, 5, 6, 8, 10, 12}) {
-      row({fmt_int(k), fmt(max_nums.tail_at_least(k), 5),
-           fmt(std::pow(0.75, k - 1), 5)});
-    }
+    tail_table(max_nums, {2, 3, 4, 5, 6, 8, 10, 12}, "k", "(3/4)^{k-1}",
+               [](std::int64_t k) {
+                 return std::pow(0.75, static_cast<double>(k - 1));
+               });
     row({"fit ratio", fmt(fit_geometric_tail_ratio(max_nums, 2), 4), ""});
     row({"E[total steps]", fmt(total_steps.mean(), 2),
          "(paper: small constant)"});
     row({"max register bits used", fmt_int(max_bits),
          "(declared 'unbounded': 56)"});
+    report.add_samples("max_num." + label, max_nums);
+    report.set_value("fit_ratio." + label,
+                     fit_geometric_tail_ratio(max_nums, 2));
+    report.set_value("mean_total_steps." + label, total_steps.mean());
+    report.set_value("max_register_bits." + label,
+                     static_cast<double>(max_bits));
     std::printf("\n");
   }
 
@@ -101,6 +110,9 @@ int main() {
           steps.add(static_cast<double>(sim.run(sched).total_steps));
         }
       }
+      report.set_value(use_swsr ? "mean_total_steps.swsr"
+                                : "mean_total_steps.swmr",
+                       steps.mean());
       const auto& protocol = use_swsr ? static_cast<const Protocol&>(swsr)
                                       : static_cast<const Protocol&>(base);
       const auto specs = protocol.registers();

@@ -1,13 +1,21 @@
 // Shared helpers for the experiment-reproduction benches: fixed-width table
-// printing and common measurement loops. Each bench binary reproduces one
-// row of DESIGN.md §3 and prints paper-claim vs measured.
+// printing, common measurement loops, the single summary/tail code path over
+// util/stats, and the machine-readable run-report every bench emits through
+// an obs::MetricsRegistry. Each bench binary reproduces one row of
+// DESIGN.md §3 and prints paper-claim vs measured.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sched/simulation.h"
+#include "util/stats.h"
 
 namespace cil::bench {
 
@@ -28,6 +36,31 @@ inline std::string fmt(double v, int prec = 3) {
 
 inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
 
+/// The one code path for mean/CI tables: a header row and, per
+/// distribution, its Summary (util/stats) rendered as a row.
+inline void summary_header(const std::string& first_col, int width = 14) {
+  row({first_col, "mean", "ci95", "p50", "p99", "max"}, width);
+}
+
+inline void summary_row(const std::string& name, const SampleSet& s,
+                        int width = 14) {
+  const Summary m = summarize(s);
+  row({name, fmt(m.mean), fmt(m.ci95), fmt_int(m.p50), fmt_int(m.p99),
+       fmt_int(m.max)},
+      width);
+}
+
+/// The one code path for survival-vs-bound tables: P[X >= k] next to a
+/// closed-form bound, for each requested k.
+inline void tail_table(const SampleSet& s, const std::vector<std::int64_t>& ks,
+                       const std::string& k_col, const std::string& bound_col,
+                       const std::function<double(std::int64_t)>& bound,
+                       int width = 14) {
+  row({k_col, "P[X>=k]", bound_col}, width);
+  for (const std::int64_t k : ks)
+    row({fmt_int(k), fmt(s.tail_at_least(k), 5), fmt(bound(k), 5)}, width);
+}
+
 /// Run `protocol` to completion under `sched`; throws CoordinationViolation
 /// on any consistency/nontriviality breach (so a bench that finishes is
 /// itself a correctness certificate for its runs).
@@ -41,5 +74,73 @@ inline SimResult run_once(const Protocol& protocol,
   Simulation sim(protocol, inputs, options);
   return sim.run(sched);
 }
+
+/// Machine-readable companion to the printed tables. A bench creates one
+/// BenchReport, mirrors its headline numbers into it (scalars, sample
+/// distributions, registry metrics), and on destruction the report is
+/// written as an obs::run_report_json document to the path named by the
+/// CIL_RUN_REPORT environment variable — or nowhere, when unset, so
+/// interactive runs stay file-free. CI sets the variable and uploads the
+/// reports as artifacts; EXPERIMENTS.md X6 plots tails straight from them.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  ~BenchReport() { write(); }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_[key] = value;
+  }
+
+  /// A headline scalar ("values" object in the report).
+  void set_value(const std::string& key, double v) {
+    values_[key] = obs::Json(v);
+  }
+
+  /// A full distribution: its Summary under "samples.<key>" plus a
+  /// power-of-two histogram in the registry (the tail-plot source).
+  void add_samples(const std::string& key, const SampleSet& s) {
+    const Summary m = summarize(s);
+    obs::Json j = obs::Json::object();
+    j["count"] = obs::Json(static_cast<double>(m.count));
+    j["mean"] = obs::Json(m.mean);
+    j["stddev"] = obs::Json(m.stddev);
+    j["ci95"] = obs::Json(m.ci95);
+    j["p50"] = obs::Json(static_cast<double>(m.p50));
+    j["p99"] = obs::Json(static_cast<double>(m.p99));
+    j["min"] = obs::Json(static_cast<double>(m.min));
+    j["max"] = obs::Json(static_cast<double>(m.max));
+    samples_[key] = std::move(j);
+    auto& h = metrics_.histogram("samples." + key);
+    for (const std::int64_t x : s.samples())
+      h.observe(static_cast<double>(x));
+  }
+
+  /// Write the report now (idempotent; the destructor calls it). No-op
+  /// unless $CIL_RUN_REPORT names a path.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const char* path = std::getenv("CIL_RUN_REPORT");
+    if (path == nullptr || *path == '\0') return;
+    obs::Json extra = obs::Json::object();
+    extra["values"] = values_;
+    extra["samples"] = samples_;
+    obs::write_text_file(
+        path, obs::run_report_json(name_, meta_, metrics_, extra) + "\n");
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry metrics_;
+  std::map<std::string, std::string> meta_;
+  obs::Json values_ = obs::Json::object();
+  obs::Json samples_ = obs::Json::object();
+  bool written_ = false;
+};
 
 }  // namespace cil::bench

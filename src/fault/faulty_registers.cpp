@@ -43,6 +43,7 @@ Word FaultyRegisters::read(RegisterId r, ProcessId p) {
           std::min<std::uint64_t>(h - 1, kRingDepth - 1));
       const std::uint64_t age = 1 + me.rng.below(max_age);
       me.faults.fetch_add(1, std::memory_order_relaxed);
+      note_fault(p, r);
       return ring.vals[(h - 1 - age) % kRingDepth].load(
           std::memory_order_relaxed);
     }
@@ -61,6 +62,7 @@ void FaultyRegisters::write(RegisterId r, ProcessId p, Word value) {
       std::this_thread::yield();  // widen the dirty window
     }
     me.faults.fetch_add(1, std::memory_order_relaxed);
+    note_fault(p, r);
   }
   if (config_.delay_prob > 0 && me.rng.with_probability(config_.delay_prob)) {
     // Dwell before committing: the old value stays visible (a write may
@@ -68,6 +70,7 @@ void FaultyRegisters::write(RegisterId r, ProcessId p, Word value) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(config_.delay_window));
     me.faults.fetch_add(1, std::memory_order_relaxed);
+    note_fault(p, r);
   }
   inner_->write(r, p, value);
 
@@ -75,6 +78,16 @@ void FaultyRegisters::write(RegisterId r, ProcessId p, Word value) {
   const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
   ring.vals[h % kRingDepth].store(value, std::memory_order_relaxed);
   ring.head.store(h + 1, std::memory_order_release);
+}
+
+void FaultyRegisters::note_fault(ProcessId p, RegisterId r) {
+  if (sink_ == nullptr) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kFaultInjected;
+  e.pid = p;
+  e.reg = r;
+  e.arg = 1;
+  sink_->on_event(e);
 }
 
 std::int64_t FaultyRegisters::faults_injected() const {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "obs/events.h"
 #include "runtime/threaded.h"
 
 namespace cil::fault {
@@ -46,6 +47,13 @@ class FaultyRegisters final : public rt::SharedRegisters {
   rt::SharedRegisters& inner() { return *inner_; }
   /// Total word-level faults injected so far, across all processors.
   std::int64_t faults_injected() const;
+
+  /// Optional observability: emit one kFaultInjected event (pid, reg,
+  /// arg = 1) per injected word fault. The sink is invoked concurrently
+  /// from every worker thread, so it MUST be thread-safe; install it before
+  /// the threads start and keep it alive as long as they may run (the
+  /// threaded runtime parks it inside its watchdog-safe SharedState).
+  void set_event_sink(obs::EventSink* sink) { sink_ = sink; }
 
  private:
   static constexpr int kRingDepth = 16;
@@ -67,7 +75,10 @@ class FaultyRegisters final : public rt::SharedRegisters {
     std::atomic<std::int64_t> faults{0};
   };
 
+  void note_fault(ProcessId p, RegisterId r);
+
   std::unique_ptr<rt::SharedRegisters> inner_;
+  obs::EventSink* sink_ = nullptr;
   RegisterFaultConfig config_;
   std::vector<std::unique_ptr<Ring>> rings_;
   std::vector<std::unique_ptr<PerProcess>> per_proc_;

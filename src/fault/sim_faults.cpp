@@ -88,6 +88,15 @@ ProcessId FaultPlanScheduler::pick(const SystemView& view) {
       s.started = true;
       s.until_total_step = view.total_steps() + s.event.duration;
       ++stalls_fired_;
+      if (sink_ != nullptr) {
+        obs::Event e;
+        e.kind = obs::EventKind::kStall;
+        e.pid = s.event.pid;
+        e.step = view.steps_of(s.event.pid);
+        e.total_step = view.total_steps();
+        e.arg = s.event.duration;
+        sink_->on_event(e);
+      }
     }
   }
 

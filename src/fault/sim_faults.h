@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "obs/events.h"
 #include "sched/simulation.h"
 #include "util/rng.h"
 
@@ -36,7 +37,7 @@ class SimRegisterFaults final : public RegisterFaultHook {
   void on_write(RegisterId r, ProcessId p, Word value) override;
   Word on_read(RegisterId r, ProcessId p, Word actual) override;
 
-  std::int64_t faults_injected() const { return faults_; }
+  std::int64_t faults_injected() const override { return faults_; }
 
  private:
   struct PerRegister {
@@ -65,6 +66,12 @@ class FaultPlanScheduler final : public Scheduler {
 
   std::int64_t crashes_fired() const { return crashes_fired_; }
   std::int64_t stalls_fired() const { return stalls_fired_; }
+
+  /// Optional observability: emit a kStall event (pid, own-step,
+  /// total_step, arg = duration in global steps) whenever a stall
+  /// activates. Crash events are emitted by the engine itself. Borrowed;
+  /// null disables.
+  void set_event_sink(obs::EventSink* sink) { sink_ = sink; }
   /// (pid, own-step) pairs in firing order — the reproducibility witness
   /// compared against the threaded runtime's crash record.
   const std::vector<CrashEvent>& crash_log() const { return crash_log_; }
@@ -78,6 +85,7 @@ class FaultPlanScheduler final : public Scheduler {
   bool stalled(const SystemView& view, ProcessId p) const;
 
   Scheduler& inner_;
+  obs::EventSink* sink_ = nullptr;
   std::vector<CrashEvent> pending_crashes_;
   std::vector<PendingStall> stalls_;
   std::vector<CrashEvent> crash_log_;

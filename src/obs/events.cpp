@@ -1,0 +1,28 @@
+#include "obs/events.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace cil::obs {
+
+namespace {
+constexpr std::array<std::string_view, kNumEventKinds> kKindNames = {
+    "step",  "read",  "write", "coin",     "decision",
+    "crash", "stall", "fault", "watchdog", "phase",
+};
+}  // namespace
+
+std::string_view kind_name(EventKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  CIL_EXPECTS(i < kKindNames.size());
+  return kKindNames[i];
+}
+
+EventKind kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i)
+    if (kKindNames[i] == name) return static_cast<EventKind>(i);
+  throw ContractViolation("unknown event kind: " + std::string(name));
+}
+
+}  // namespace cil::obs

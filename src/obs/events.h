@@ -1,0 +1,107 @@
+// The structured event bus of the observability subsystem.
+//
+// Every execution substrate — the serialized simulator (src/sched) and the
+// threaded runtime (src/runtime) — narrates its runs as a stream of Events
+// through an EventSink. One schema covers both: the same protocol under the
+// same ObsOptions produces field-identical streams from either substrate
+// (the threaded one differs only in interleaving and in carrying wall-clock
+// rather than virtual timestamps). Exporters in obs/export.h turn a
+// recorded stream into Perfetto traces, JSONL logs, and run-reports;
+// obs/metrics.h tallies it into counters and histograms.
+//
+// Observability is strictly opt-in and zero-cost when off: a null sink in
+// ObsOptions means the substrates skip all event construction (a single
+// branch per step), so the interleavings under test are not perturbed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "registers/register_file.h"  // Word, RegisterId, ProcessId
+
+namespace cil::obs {
+
+enum class EventKind : std::uint8_t {
+  kStep = 0,         ///< a processor completed one protocol step
+  kRegisterRead,     ///< one shared-register read (reg, value)
+  kRegisterWrite,    ///< one shared-register write (reg, value)
+  kCoinFlip,         ///< a fair-coin flip (value = 0/1)
+  kDecision,         ///< a processor irrevocably decided (arg = value)
+  kCrash,            ///< fail-stop crash (injected or engine-applied)
+  kStall,            ///< a stall window began (arg = duration)
+  kFaultInjected,    ///< register-level fault served (arg = count/code)
+  kWatchdogFire,     ///< the threaded runtime's wall-clock watchdog fired
+  kPhaseChange,      ///< the automaton's leading state component changed
+};
+inline constexpr int kNumEventKinds = 10;
+
+/// Stable wire name ("step", "read", "write", ...). Used by the JSONL
+/// exporter and parsed back by tools/traceview.
+std::string_view kind_name(EventKind k);
+/// Inverse of kind_name; throws ContractViolation on an unknown name.
+EventKind kind_from_name(std::string_view name);
+
+/// One observed occurrence. The field set is fixed across kinds (unused
+/// fields hold their defaults) so streams are schema-identical everywhere.
+struct Event {
+  EventKind kind = EventKind::kStep;
+  ProcessId pid = -1;           ///< actor; -1 for system-level events
+  std::int64_t step = 0;        ///< actor's own-step count at emission
+  std::int64_t total_step = 0;  ///< global serialization index (simulator)
+  double wall_us = 0.0;         ///< wall time since run start (threaded)
+  RegisterId reg = -1;          ///< register id for read/write/fault events
+  Word value = 0;               ///< register word / coin outcome
+  std::int64_t arg = 0;         ///< decision, stall duration, fault count,
+                                ///< or new phase — the signed payload
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
+/// Appends every event to a vector. Single-threaded consumers only; the
+/// threaded runtime buffers per-thread internally and drains at join, so a
+/// RecordingSink is safe as its ObsOptions sink too.
+class RecordingSink final : public EventSink {
+ public:
+  void on_event(const Event& e) override { events_.push_back(e); }
+  const std::vector<Event>& events() const { return events_; }
+  std::vector<Event> take() { return std::move(events_); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Fan-out to several sinks (all borrowed).
+class MultiSink final : public EventSink {
+ public:
+  void add(EventSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void on_event(const Event& e) override {
+    for (EventSink* s : sinks_) s->on_event(e);
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+/// The single observability config both substrates accept (SimOptions.obs
+/// and ThreadedOptions.obs). The sink is borrowed and must outlive the run.
+struct ObsOptions {
+  EventSink* sink = nullptr;  ///< null = observability off (zero cost)
+  bool register_ops = true;   ///< emit kRegisterRead/kRegisterWrite
+  bool coin_flips = true;     ///< emit kCoinFlip
+  bool phase_changes = true;  ///< emit kPhaseChange (costs one
+                              ///< encode_state() per observed step)
+
+  bool enabled() const { return sink != nullptr; }
+};
+
+}  // namespace cil::obs

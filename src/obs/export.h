@@ -1,0 +1,61 @@
+// Exporters for recorded event streams and metrics:
+//
+//   * JSONL      — one JSON object per event per line; the archival format
+//                  tools/traceview reads back (and re-renders as the text
+//                  trace table).
+//   * Perfetto   — Chrome trace_event JSON ("traceEvents" array): one track
+//                  per processor, steps as duration slices, faults/crashes/
+//                  stalls as instants. Open in https://ui.perfetto.dev or
+//                  chrome://tracing.
+//   * run-report — a JSON summary of a MetricsRegistry plus free-form
+//                  metadata; the before/after artifact every bench and
+//                  tools/chaos emit.
+//
+// Timestamps: simulator events carry virtual time (total_step, one unit per
+// step) and threaded events carry wall_us; the Perfetto exporter uses
+// whichever is set and enforces strictly monotone per-track timestamps.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace cil::obs {
+
+/// One event as a compact single-line JSON object (no trailing newline).
+/// Keys: ev, pid, step, tstep, us, reg, val, arg — always all present, so
+/// simulator and threaded streams are schema-identical.
+std::string event_to_json_line(const Event& e);
+
+/// Inverse of event_to_json_line; throws ContractViolation on a malformed
+/// or schema-incomplete object.
+Event event_from_json(const Json& j);
+
+void write_jsonl(std::ostream& os, const std::vector<Event>& events);
+std::vector<Event> read_jsonl(std::istream& is);
+
+/// Chrome/Perfetto trace_event JSON for a recorded stream. `process_name`
+/// labels the top-level track group (e.g. "sim:unbounded-3 seed=7").
+std::string perfetto_trace_json(const std::vector<Event>& events,
+                                const std::string& process_name);
+
+/// A complete run-report document:
+///   {"report": "cilcoord.run_report.v1", "name": ..., "meta": {...},
+///    "metrics": {...}, ...extra object members }
+/// `extra` must be an object (or null) and is merged at top level — chaos
+/// uses it to attach its per-cell result rows.
+std::string run_report_json(const std::string& name,
+                            const std::map<std::string, std::string>& meta,
+                            const MetricsRegistry& metrics,
+                            const Json& extra = Json());
+
+/// Overwrite `path` with `content`; returns false (and reports to stderr)
+/// on I/O failure. Shared by the tools and benches that emit artifacts.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace cil::obs

@@ -1,0 +1,84 @@
+// A minimal JSON document type: build, serialize, parse.
+//
+// The observability exporters (obs/export.h) emit Chrome/Perfetto traces,
+// JSONL event logs, and run-reports; tools/traceview reads them back and CI
+// validates them. All of that needs exactly one small JSON value type — not
+// a third-party dependency — so this is it. Numbers are doubles (counters
+// stay exact through 2^53, far beyond any step count we record); object
+// keys are kept sorted so dumps are deterministic and diffable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace cil::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;  ///< sorted: stable dumps
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  // Checked accessors; throw ContractViolation on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< as_number, checked integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object access: get-or-insert (mutable) / checked lookup (const).
+  Json& operator[](const std::string& key);
+  const Json& at(const std::string& key) const;
+  /// Object lookup without insertion; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Array access.
+  void push_back(Json v);
+  const Json& at(std::size_t i) const;
+  std::size_t size() const;  ///< elements (array), members (object)
+
+  /// Compact serialization (no insignificant whitespace).
+  std::string dump() const;
+
+  /// Parse a complete JSON document; trailing non-whitespace or any syntax
+  /// error throws ContractViolation with an offset in the message.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  explicit Json(Array a) : value_(std::move(a)) {}
+  explicit Json(Object o) : value_(std::move(o)) {}
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(std::string_view s);
+
+}  // namespace cil::obs

@@ -51,6 +51,9 @@ class RegisterFaultHook {
   virtual ~RegisterFaultHook() = default;
   virtual void on_write(RegisterId r, ProcessId p, Word value) = 0;
   virtual Word on_read(RegisterId r, ProcessId p, Word actual) = 0;
+  /// Running tally of faults served so far. The simulation engine polls the
+  /// delta after each step to emit kFaultInjected observability events.
+  virtual std::int64_t faults_injected() const { return 0; }
 };
 
 class RegisterFile {

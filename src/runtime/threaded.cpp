@@ -93,6 +93,106 @@ class ThreadedStepContext final : public StepContext {
   int io_ops_ = 0;
 };
 
+/// Thread-safe event sink for the register backend (FaultyRegisters word
+/// faults fire from inside reads and writes, concurrently on every worker):
+/// stamps wall time and appends under a mutex. Word faults are rare, so the
+/// lock stays off the hot path; the per-step event stream uses thread-local
+/// buffers instead.
+class StampingSink final : public obs::EventSink {
+ public:
+  void set_start(std::chrono::steady_clock::time_point start) {
+    start_ = start;
+  }
+
+  void on_event(const obs::Event& e) override {
+    obs::Event copy = e;
+    copy.wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(copy);
+  }
+
+  std::vector<obs::Event> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(events_);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+  std::mutex mu_;
+  std::vector<obs::Event> events_;
+};
+
+/// StepContext wrapper that narrates register ops and coin flips into a
+/// thread-local event buffer — the threaded sibling of the simulator's
+/// ObservingStepContext. Purely observational; no locks, no shared state.
+class BufferingStepContext final : public StepContext {
+ public:
+  BufferingStepContext(StepContext& inner, ProcessId pid, std::int64_t step,
+                       std::chrono::steady_clock::time_point start,
+                       bool register_ops, bool coin_flips,
+                       std::vector<obs::Event>& out)
+      : inner_(inner),
+        pid_(pid),
+        step_(step),
+        start_(start),
+        register_ops_(register_ops),
+        coin_flips_(coin_flips),
+        out_(out) {}
+
+  Word read(RegisterId r) override {
+    const Word v = inner_.read(r);
+    if (register_ops_) push_op(obs::EventKind::kRegisterRead, r, v);
+    return v;
+  }
+
+  void write(RegisterId r, Word value) override {
+    inner_.write(r, value);
+    if (register_ops_) push_op(obs::EventKind::kRegisterWrite, r, value);
+  }
+
+  bool flip() override {
+    const bool outcome = inner_.flip();
+    if (coin_flips_) {
+      obs::Event e = base();
+      e.kind = obs::EventKind::kCoinFlip;
+      e.value = outcome ? 1 : 0;
+      out_.push_back(e);
+    }
+    return outcome;
+  }
+
+  ProcessId pid() const override { return inner_.pid(); }
+
+ private:
+  obs::Event base() const {
+    obs::Event e;
+    e.pid = pid_;
+    e.step = step_;
+    e.wall_us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    return e;
+  }
+
+  void push_op(obs::EventKind kind, RegisterId r, Word v) {
+    obs::Event e = base();
+    e.kind = kind;
+    e.reg = r;
+    e.value = v;
+    out_.push_back(e);
+  }
+
+  StepContext& inner_;
+  ProcessId pid_;
+  std::int64_t step_;
+  std::chrono::steady_clock::time_point start_;
+  bool register_ops_;
+  bool coin_flips_;
+  std::vector<obs::Event>& out_;
+};
+
 /// Everything the worker threads touch, owned by shared_ptr: a thread
 /// abandoned by the watchdog keeps its copy alive, so a late step after
 /// run_threaded returned is harmless rather than use-after-free.
@@ -117,6 +217,13 @@ struct SharedState {
   std::vector<std::uint8_t> crashed;
   std::vector<fault::CrashEvent> crash_log;
   std::int64_t crash_stall_faults = 0;
+  /// Per-thread event buffers, published (moved) under mu when a worker
+  /// finishes; a thread the watchdog abandoned never publishes, so its
+  /// events are lost by design rather than raced for.
+  std::vector<std::vector<obs::Event>> events;
+
+  std::chrono::steady_clock::time_point start;  ///< run epoch for wall_us
+  StampingSink fault_sink;  ///< register-backend fault events
 };
 
 /// Park the calling thread for `duration_us`, in slices, bailing out early
@@ -207,6 +314,13 @@ ThreadedResult run_threaded(const Protocol& protocol,
 
   ThreadedResult result;
   const auto start = std::chrono::steady_clock::now();
+  state->start = start;
+  if (options.obs.enabled()) {
+    state->events.resize(static_cast<std::size_t>(n));
+    state->fault_sink.set_start(start);
+    if (state->faulty != nullptr)
+      state->faulty->set_event_sink(&state->fault_sink);
+  }
 
   std::vector<std::thread> threads;
   for (ProcessId pid = 0; pid < n; ++pid) state->thread_done.emplace_back(false);
@@ -220,20 +334,67 @@ ThreadedResult run_threaded(const Protocol& protocol,
       std::size_t next_stall = 0;
       bool crashed = false;
 
+      const bool observing = options.obs.enabled();
+      std::vector<obs::Event> ev;  // thread-local; published at the end
+      const auto make_event = [&](obs::EventKind kind) {
+        obs::Event e;
+        e.kind = kind;
+        e.pid = pid;
+        e.step = steps;
+        e.wall_us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - state->start)
+                        .count();
+        return e;
+      };
+      const auto phase_now = [&] {
+        const auto enc = proc.encode_state();
+        return enc.empty() ? std::int64_t{0} : enc[0];
+      };
+      std::int64_t phase = observing ? phase_now() : 0;
+
       while (!proc.decided() && steps < options.max_steps_per_proc) {
         if (state->stop.load(std::memory_order_relaxed)) break;
         if (crash >= 0 && steps >= crash) {
           crashed = true;  // fail-stop: die silently mid-protocol
+          if (observing) ev.push_back(make_event(obs::EventKind::kCrash));
           break;
         }
         while (next_stall < stalls.size() &&
                steps >= stalls[next_stall].at_step) {
+          if (observing) {
+            obs::Event e = make_event(obs::EventKind::kStall);
+            e.arg = stalls[next_stall].duration;
+            ev.push_back(e);
+          }
           park(*state, stalls[next_stall].duration);
           ++next_stall;
         }
         ThreadedStepContext ctx(*state->regs, pid, rng);
-        proc.step(ctx);
-        ++steps;
+        if (observing) {
+          BufferingStepContext octx(ctx, pid, steps + 1, state->start,
+                                    options.obs.register_ops,
+                                    options.obs.coin_flips, ev);
+          proc.step(octx);
+          ++steps;
+          ev.push_back(make_event(obs::EventKind::kStep));
+          if (options.obs.phase_changes) {
+            const std::int64_t ph = phase_now();
+            if (ph != phase) {
+              phase = ph;
+              obs::Event e = make_event(obs::EventKind::kPhaseChange);
+              e.arg = ph;
+              ev.push_back(e);
+            }
+          }
+          if (proc.decided()) {
+            obs::Event e = make_event(obs::EventKind::kDecision);
+            e.arg = proc.decision();
+            ev.push_back(e);
+          }
+        } else {
+          proc.step(ctx);
+          ++steps;
+        }
         if (options.yield_probability > 0 &&
             rng.with_probability(options.yield_probability)) {
           std::this_thread::yield();
@@ -242,6 +403,7 @@ ThreadedResult run_threaded(const Protocol& protocol,
 
       {
         std::lock_guard<std::mutex> lock(state->mu);
+        if (observing) state->events[pid] = std::move(ev);
         state->steps[pid] = steps;
         if (crashed) {
           state->crashed[pid] = 1;
@@ -260,6 +422,8 @@ ThreadedResult run_threaded(const Protocol& protocol,
   }
 
   // Watchdog: wait for completion against a monotonic deadline.
+  obs::Event watchdog_event;
+  bool watchdog_fired = false;
   {
     std::unique_lock<std::mutex> lock(state->mu);
     const auto all_done = [&] { return state->done == n; };
@@ -270,6 +434,15 @@ ThreadedResult run_threaded(const Protocol& protocol,
                           options.watchdog_ms));
       if (!state->cv.wait_until(lock, deadline, all_done)) {
         result.timed_out = true;
+        if (options.obs.enabled()) {
+          watchdog_fired = true;
+          watchdog_event.kind = obs::EventKind::kWatchdogFire;
+          watchdog_event.pid = -1;  // the watchdog is not a processor
+          watchdog_event.wall_us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+        }
         state->stop.store(true, std::memory_order_relaxed);
         // Grace period: threads that poll `stop` between steps drain out
         // quickly; only a thread wedged *inside* a step stays behind.
@@ -306,6 +479,28 @@ ThreadedResult run_threaded(const Protocol& protocol,
     result.faults_injected += state->faulty->faults_injected();
   result.faults_injected +=
       state->cell_fault_count.load(std::memory_order_relaxed);
+
+  if (options.obs.enabled()) {
+    // Merge the published per-thread buffers plus the backend fault events,
+    // order by wall time, and drain into the caller's sink on this thread —
+    // the sink never sees concurrency.
+    std::vector<obs::Event> all;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      for (auto& buf : state->events) {
+        all.insert(all.end(), buf.begin(), buf.end());
+        buf.clear();
+      }
+    }
+    const std::vector<obs::Event> fault_events = state->fault_sink.take();
+    all.insert(all.end(), fault_events.begin(), fault_events.end());
+    if (watchdog_fired) all.push_back(watchdog_event);
+    std::stable_sort(all.begin(), all.end(),
+                     [](const obs::Event& a, const obs::Event& b) {
+                       return a.wall_us < b.wall_us;
+                     });
+    for (const obs::Event& e : all) options.obs.sink->on_event(e);
+  }
 
   result.all_decided = true;
   Value first = kNoValue;

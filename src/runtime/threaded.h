@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "obs/events.h"
 #include "sched/protocol.h"
 
 namespace cil::rt {
@@ -52,6 +53,15 @@ struct ThreadedOptions {
   /// Optional fault schedule (crashes, stalls, register faults). Borrowed;
   /// must outlive the call. See fault/fault_plan.h.
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Observability (src/obs): the same ObsOptions that drives the simulator
+  /// (SimOptions::obs), producing a schema-identical event stream. Workers
+  /// buffer events in thread-local vectors (no locks, no cross-thread
+  /// traffic on the hot path) and publish them when they finish; the buffers
+  /// are merged by wall time and drained into the sink after the join, so
+  /// the sink itself need not be thread-safe. Timestamps are wall_us since
+  /// run start; total_step stays 0 (no global serialization exists here).
+  /// Events of a thread the watchdog abandoned are lost by design.
+  obs::ObsOptions obs;
 };
 
 struct ThreadedResult {

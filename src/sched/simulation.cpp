@@ -14,6 +14,71 @@ class RngCoinSource final : public CoinSource {
  private:
   Rng& rng_;
 };
+
+/// StepContext wrapper that narrates register ops and coin flips to the
+/// simulation's sinks. Purely observational: all checks and effects stay in
+/// the wrapped DirectStepContext, and no randomness is consumed, so an
+/// observed run is step-for-step identical to an unobserved one.
+class ObservingStepContext final : public StepContext {
+ public:
+  ObservingStepContext(Simulation& sim, StepContext& inner, ProcessId pid,
+                       std::int64_t step, std::int64_t total_step,
+                       bool register_ops, bool coin_flips)
+      : sim_(sim),
+        inner_(inner),
+        pid_(pid),
+        step_(step),
+        total_step_(total_step),
+        register_ops_(register_ops),
+        coin_flips_(coin_flips) {}
+
+  Word read(RegisterId r) override {
+    const Word v = inner_.read(r);
+    if (register_ops_) emit_op(obs::EventKind::kRegisterRead, r, v);
+    return v;
+  }
+
+  void write(RegisterId r, Word value) override {
+    inner_.write(r, value);
+    if (register_ops_) emit_op(obs::EventKind::kRegisterWrite, r, value);
+  }
+
+  bool flip() override {
+    const bool outcome = inner_.flip();
+    if (coin_flips_) {
+      obs::Event e;
+      e.kind = obs::EventKind::kCoinFlip;
+      e.pid = pid_;
+      e.step = step_;
+      e.total_step = total_step_;
+      e.value = outcome ? 1 : 0;
+      sim_.emit(e);
+    }
+    return outcome;
+  }
+
+  ProcessId pid() const override { return inner_.pid(); }
+
+ private:
+  void emit_op(obs::EventKind kind, RegisterId r, Word value) {
+    obs::Event e;
+    e.kind = kind;
+    e.pid = pid_;
+    e.step = step_;
+    e.total_step = total_step_;
+    e.reg = r;
+    e.value = value;
+    sim_.emit(e);
+  }
+
+  Simulation& sim_;
+  StepContext& inner_;
+  ProcessId pid_;
+  std::int64_t step_;
+  std::int64_t total_step_;
+  bool register_ops_;
+  bool coin_flips_;
+};
 }  // namespace
 
 int SystemView::num_processes() const { return sim_.num_processes(); }
@@ -51,6 +116,28 @@ Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
     procs_.push_back(protocol_.make_process(p));
     procs_[p]->init(inputs_[p]);
   }
+  if (options_.obs.sink != nullptr) sinks_.push_back(options_.obs.sink);
+  // Phase baseline for kPhaseChange events (leading encode_state word).
+  phase_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) phase_.push_back(phase_of(p));
+}
+
+std::int64_t Simulation::phase_of(ProcessId p) const {
+  const auto enc = procs_[p]->encode_state();
+  return enc.empty() ? 0 : enc[0];
+}
+
+void Simulation::attach_sink(obs::EventSink* sink) {
+  CIL_EXPECTS(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void Simulation::detach_sink(obs::EventSink* sink) {
+  std::erase(sinks_, sink);
+}
+
+void Simulation::emit(const obs::Event& e) {
+  for (obs::EventSink* s : sinks_) s->on_event(e);
 }
 
 bool Simulation::active(ProcessId p) const {
@@ -66,6 +153,14 @@ void Simulation::crash(ProcessId p) {
     if (!crashed_[q] && q != p) ++alive;
   CIL_CHECK_MSG(alive >= 1, "cannot crash the last live processor");
   crashed_[p] = true;
+  if (!sinks_.empty()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kCrash;
+    e.pid = p;
+    e.step = steps_[p];
+    e.total_step = total_steps_;
+    emit(e);
+  }
 }
 
 bool Simulation::step_once(Scheduler& sched) {
@@ -82,7 +177,26 @@ bool Simulation::step_once(Scheduler& sched) {
 
   RngCoinSource coins(rng_);
   DirectStepContext ctx(regs_, p, coins);
-  procs_[p]->step(ctx);
+  if (sinks_.empty()) {
+    procs_[p]->step(ctx);
+  } else {
+    const std::int64_t faults_before =
+        regs_.fault_hook() != nullptr ? regs_.fault_hook()->faults_injected()
+                                      : 0;
+    ObservingStepContext octx(*this, ctx, p, steps_[p] + 1, total_steps_ + 1,
+                              options_.obs.register_ops,
+                              options_.obs.coin_flips);
+    procs_[p]->step(octx);
+    CIL_CHECK_MSG(ctx.io_ops() == 1,
+                  "a step must perform exactly one register op");
+    ++steps_[p];
+    ++total_steps_;
+    activated_.insert(p);
+    if (options_.record_schedule) schedule_.push_back(p);
+    emit_after_step(p, faults_before);
+    check_properties_after_step(p);
+    return true;
+  }
   CIL_CHECK_MSG(ctx.io_ops() == 1, "a step must perform exactly one register op");
 
   ++steps_[p];
@@ -92,6 +206,55 @@ bool Simulation::step_once(Scheduler& sched) {
 
   check_properties_after_step(p);
   return true;
+}
+
+void Simulation::emit_after_step(ProcessId p, std::int64_t faults_before) {
+  // Fault delta first (the faults happened inside the step), then the step
+  // itself, then its consequences (phase change, decision) — so a consumer
+  // replaying the stream sees the same causal order the run had.
+  if (regs_.fault_hook() != nullptr) {
+    const std::int64_t delta =
+        regs_.fault_hook()->faults_injected() - faults_before;
+    if (delta > 0) {
+      obs::Event e;
+      e.kind = obs::EventKind::kFaultInjected;
+      e.pid = p;
+      e.step = steps_[p];
+      e.total_step = total_steps_;
+      e.arg = delta;
+      emit(e);
+    }
+  }
+  {
+    obs::Event e;
+    e.kind = obs::EventKind::kStep;
+    e.pid = p;
+    e.step = steps_[p];
+    e.total_step = total_steps_;
+    emit(e);
+  }
+  if (options_.obs.phase_changes) {
+    const std::int64_t ph = phase_of(p);
+    if (ph != phase_[p]) {
+      phase_[p] = ph;
+      obs::Event e;
+      e.kind = obs::EventKind::kPhaseChange;
+      e.pid = p;
+      e.step = steps_[p];
+      e.total_step = total_steps_;
+      e.arg = ph;
+      emit(e);
+    }
+  }
+  if (procs_[p]->decided()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kDecision;
+    e.pid = p;
+    e.step = steps_[p];
+    e.total_step = total_steps_;
+    e.arg = procs_[p]->decision();
+    emit(e);
+  }
 }
 
 void Simulation::check_properties_after_step(ProcessId stepped) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.h"
 #include "sched/protocol.h"
 #include "util/rng.h"
 
@@ -61,6 +62,13 @@ struct SimOptions {
   bool check_consistency = true;
   bool check_nontriviality = true;
   bool record_schedule = false;
+  /// Observability (src/obs): with a sink set, the engine narrates the run
+  /// as a structured event stream — step, register read/write, coin flip,
+  /// decision, crash, fault-injected, phase-change. Null sink = off, at the
+  /// cost of one branch per step. The same ObsOptions drives the threaded
+  /// runtime (rt::ThreadedOptions::obs) with an identical event schema;
+  /// simulator timestamps are virtual (total_step), wall_us stays 0.
+  obs::ObsOptions obs;
 };
 
 struct SimResult {
@@ -108,8 +116,22 @@ class Simulation {
   /// Summarize the current state into a SimResult.
   SimResult result() const;
 
+  /// Attach/detach an event sink in addition to the SimOptions one —
+  /// TraceRecorder subscribes this way. Sinks are borrowed and must
+  /// outlive the simulation (or detach first).
+  void attach_sink(obs::EventSink* sink);
+  void detach_sink(obs::EventSink* sink);
+  bool observed() const { return !sinks_.empty(); }
+
+  /// Dispatch an event to every attached sink (no-op when unobserved).
+  /// Public for the engine's own instrumentation helpers; regular callers
+  /// consume events through a sink instead of emitting them.
+  void emit(const obs::Event& e);
+
  private:
   void check_properties_after_step(ProcessId p);
+  void emit_after_step(ProcessId p, std::int64_t faults_before);
+  std::int64_t phase_of(ProcessId p) const;
 
   const Protocol& protocol_;
   SimOptions options_;
@@ -122,6 +144,8 @@ class Simulation {
   std::set<ProcessId> activated_;  ///< processes that took >= 1 step
   std::int64_t total_steps_ = 0;
   Rng rng_;
+  std::vector<obs::EventSink*> sinks_;
+  std::vector<std::int64_t> phase_;  ///< last observed leading state word
 };
 
 /// Thrown when a run violates consistency or nontriviality — i.e. when the

@@ -5,28 +5,18 @@
 
 namespace cil {
 
+TraceRecorder::TraceRecorder(Simulation& sim, std::size_t keep_last)
+    : sim_(sim), keep_last_(keep_last) {
+  sim_.attach_sink(this);
+}
+
+TraceRecorder::~TraceRecorder() { sim_.detach_sink(this); }
+
 bool TraceRecorder::step_once(Scheduler& sched) {
-  // SimResult.schedule is only populated when recording was requested, so
-  // determine the actor by diffing per-process step counts.
-  std::vector<std::int64_t> before(sim_.num_processes());
-  for (ProcessId p = 0; p < sim_.num_processes(); ++p)
-    before[p] = sim_.steps_of(p);
-  const auto actor_of_step = [&]() {
-    ProcessId actor = -1;
-    for (ProcessId p = 0; p < sim_.num_processes(); ++p)
-      if (sim_.steps_of(p) != before[p]) actor = p;
-    return actor;
-  };
-  try {
-    if (!sim_.step_once(sched)) return false;
-  } catch (const CoordinationViolation&) {
-    // The step executed (the violation is detected after the transition);
-    // record the offending configuration before propagating.
-    record(actor_of_step());
-    throw;
-  }
-  record(actor_of_step());
-  return true;
+  // Recording rides on the kStep event, which the engine emits before the
+  // property checks — a CoordinationViolation propagates with the offending
+  // configuration already in the window.
+  return sim_.step_once(sched);
 }
 
 SimResult TraceRecorder::run(Scheduler& sched) {
@@ -35,24 +25,25 @@ SimResult TraceRecorder::run(Scheduler& sched) {
   return sim_.result();
 }
 
-void TraceRecorder::record(ProcessId actor) {
-  TraceEntry e;
-  e.step = sim_.total_steps();
-  e.actor = actor;
+void TraceRecorder::on_event(const obs::Event& e) {
+  if (e.kind != obs::EventKind::kStep) return;
+  TraceEntry entry;
+  entry.step = e.total_step;
+  entry.actor = e.pid;
   for (RegisterId r = 0; r < sim_.regs().size(); ++r)
-    e.registers.push_back(
+    entry.registers.push_back(
         sim_.protocol().describe_word(r, sim_.regs().peek(r)));
   for (ProcessId p = 0; p < sim_.num_processes(); ++p)
-    e.processes.push_back(sim_.process(p).debug_string());
-  entries_.push_back(std::move(e));
+    entry.processes.push_back(sim_.process(p).debug_string());
+  entries_.push_back(std::move(entry));
   if (keep_last_ > 0 && entries_.size() > keep_last_) entries_.pop_front();
 }
 
-std::string TraceRecorder::render() const {
+std::string render_trace_table(const std::deque<TraceEntry>& entries) {
   // Column widths across the retained window, for alignment.
   std::size_t reg_cols = 0, proc_cols = 0;
   std::size_t reg_w = 0, proc_w = 0;
-  for (const auto& e : entries_) {
+  for (const auto& e : entries) {
     reg_cols = std::max(reg_cols, e.registers.size());
     proc_cols = std::max(proc_cols, e.processes.size());
     for (const auto& s : e.registers) reg_w = std::max(reg_w, s.size());
@@ -60,7 +51,7 @@ std::string TraceRecorder::render() const {
   }
 
   std::ostringstream os;
-  for (const auto& e : entries_) {
+  for (const auto& e : entries) {
     os << "#" << e.step << "\tP" << e.actor << " | ";
     for (std::size_t i = 0; i < reg_cols; ++i) {
       const std::string cell = i < e.registers.size() ? e.registers[i] : "";

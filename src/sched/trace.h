@@ -1,11 +1,12 @@
 // Human-readable execution tracing.
 //
 // Debugging an asynchronous protocol means staring at interleavings; this
-// module renders them. A TraceRecorder wraps a Simulation and logs, per
-// step, who moved and the resulting registers and process states, using the
-// protocol's own register formatter (Protocol::describe_word). The
-// violation hunts in this repository were driven by exactly this view —
-// the traces dissected in EXPERIMENTS.md are TraceRecorder output.
+// module renders them. A TraceRecorder subscribes to a Simulation's event
+// stream (src/obs) and logs, per step, who moved and the resulting registers
+// and process states, using the protocol's own register formatter
+// (Protocol::describe_word). The violation hunts in this repository were
+// driven by exactly this view — the traces dissected in EXPERIMENTS.md are
+// TraceRecorder output.
 //
 // Typical use:
 //   Simulation sim(protocol, inputs, options);
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.h"
 #include "sched/schedulers.h"
 #include "sched/simulation.h"
 
@@ -35,14 +37,27 @@ struct TraceEntry {
   std::vector<std::string> processes;  ///< one debug string per process
 };
 
-/// Wraps a Simulation; records a sliding window of rendered steps.
-class TraceRecorder {
+/// Render entries as an aligned text table (one line per step: global step
+/// index, actor, register cells, process states). Shared by
+/// TraceRecorder::render() and tools/traceview.
+std::string render_trace_table(const std::deque<TraceEntry>& entries);
+
+/// An EventSink that records a sliding window of rendered steps. Attaches
+/// itself to the simulation on construction and detaches on destruction, so
+/// any driver — its own step_once/run, a bare sim.run(), or external
+/// step_once calls — feeds the trace. Because the engine emits the kStep
+/// event before checking coordination properties, the violating step is in
+/// the window even when the step throws.
+class TraceRecorder final : public obs::EventSink {
  public:
   /// Keeps the most recent `keep_last` entries (0 = keep everything).
-  explicit TraceRecorder(Simulation& sim, std::size_t keep_last = 0)
-      : sim_(sim), keep_last_(keep_last) {}
+  explicit TraceRecorder(Simulation& sim, std::size_t keep_last = 0);
+  ~TraceRecorder() override;
 
-  /// Steps the simulation once and records the outcome.
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Steps the simulation once (recording happens via the event stream).
   bool step_once(Scheduler& sched);
 
   /// Drives to completion (or the simulation's budget), recording along.
@@ -51,11 +66,12 @@ class TraceRecorder {
   const std::deque<TraceEntry>& entries() const { return entries_; }
 
   /// Render all retained entries as an aligned text table.
-  std::string render() const;
+  std::string render() const { return render_trace_table(entries_); }
+
+  /// EventSink: snapshots the configuration on every kStep event.
+  void on_event(const obs::Event& e) override;
 
  private:
-  void record(ProcessId actor);
-
   Simulation& sim_;
   std::size_t keep_last_;
   std::deque<TraceEntry> entries_;

@@ -143,6 +143,22 @@ std::string Histogram::ascii(int width) const {
   return os.str();
 }
 
+Summary summarize(const SampleSet& s) {
+  CIL_EXPECTS(s.count() > 0);
+  Summary out;
+  out.count = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.ci95 = s.count() >= 2 ? 1.96 * out.stddev /
+                                  std::sqrt(static_cast<double>(s.count()))
+                            : 0.0;
+  out.p50 = s.percentile(0.5);
+  out.p99 = s.percentile(0.99);
+  out.min = s.min();
+  out.max = s.max();
+  return out;
+}
+
 double fit_geometric_tail_ratio(const SampleSet& s, std::int64_t k_min,
                                 std::int64_t min_count) {
   CIL_EXPECTS(s.count() > 0);

@@ -71,6 +71,22 @@ class Histogram {
   std::map<std::int64_t, std::int64_t> bins_;
 };
 
+/// One-stop summary of a SampleSet: the single code path behind every bench
+/// mean/CI table and machine-readable run-report (bench/bench_util.h).
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< unbiased (n-1)
+  double ci95 = 0.0;    ///< half-width of the 95% CI (normal approximation)
+  std::int64_t p50 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+/// Requires at least one sample.
+Summary summarize(const SampleSet& s);
+
 /// Fit P[X >= k] ≈ C * r^k on the tail of a sample set by least squares on
 /// log-survival, ignoring bins with fewer than `min_count` samples. Returns
 /// the estimated ratio r — e.g. the paper's Theorem 9 predicts r <= 3/4 for

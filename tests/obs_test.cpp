@@ -1,0 +1,422 @@
+// Tests for the observability subsystem (src/obs): JSON, metrics, the
+// event streams both substrates emit, and the exporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "fault/fault_plan.h"
+#include "fault/sim_faults.h"
+#include "obs/events.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "runtime/threaded.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+#include "util/check.h"
+
+namespace cil {
+namespace {
+
+using obs::Event;
+using obs::EventKind;
+using obs::Json;
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(ObsJson, DumpParseRoundTrip) {
+  Json doc = Json::object();
+  doc["name"] = Json("two-process");
+  doc["count"] = Json(std::int64_t{42});
+  doc["ratio"] = Json(0.75);
+  doc["flag"] = Json(true);
+  doc["nothing"] = Json();
+  Json arr = Json::array();
+  arr.push_back(Json(1));
+  arr.push_back(Json("x\"y\\z\n"));  // exercises escaping
+  doc["items"] = std::move(arr);
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back, doc);
+  EXPECT_EQ(back.at("name").as_string(), "two-process");
+  EXPECT_EQ(back.at("count").as_int(), 42);
+  EXPECT_TRUE(back.at("flag").as_bool());
+  EXPECT_TRUE(back.at("nothing").is_null());
+  EXPECT_EQ(back.at("items").at(1).as_string(), "x\"y\\z\n");
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru",
+                          "\"unterminated", "{\"a\":1} trailing", "01",
+                          "[1 2]", "{'a':1}"}) {
+    EXPECT_THROW((void)Json::parse(bad), ContractViolation) << bad;
+  }
+}
+
+TEST(ObsJson, CheckedAccessorsThrowOnTypeMismatch) {
+  const Json num = Json(3.5);
+  EXPECT_THROW((void)num.as_string(), ContractViolation);
+  EXPECT_THROW((void)num.as_int(), ContractViolation);  // non-integral
+  const Json obj = Json::object();
+  EXPECT_THROW((void)obj.at("missing"), ContractViolation);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(ObsMetrics, HistogramBucketsAndTail) {
+  obs::FixedHistogram h({1.0, 2.0, 4.0});
+  for (const double x : {0.5, 1.0, 2.0, 3.0, 100.0}) h.observe(x);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Buckets: (-inf,1] = {0.5, 1.0}; (1,2] = {2.0}; (2,4] = {3.0};
+  // overflow = {100.0}.
+  const auto& counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  // Tail just above a bound is exact: P[X >= 2+eps] -> buckets (2,4] + inf.
+  EXPECT_DOUBLE_EQ(h.tail_at_least(2.5), 2.0 / 5.0);
+}
+
+TEST(ObsMetrics, RegistryIsGetOrCreateAndExports) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.b").inc();
+  registry.counter("a.b").inc(2);
+  registry.histogram("h").observe(3.0);
+  EXPECT_EQ(registry.counter("a.b").value(), 3);
+
+  const Json j = registry.to_json();
+  EXPECT_EQ(j.at("counters").at("a.b").as_int(), 3);
+  EXPECT_EQ(j.at("histograms").at("h").at("count").as_int(), 1);
+}
+
+TEST(ObsMetrics, MetricsSinkTalliesEvents) {
+  obs::MetricsRegistry registry;
+  obs::MetricsSink sink(registry);
+  Event read;
+  read.kind = EventKind::kRegisterRead;
+  sink.on_event(read);
+  sink.on_event(read);
+  Event fault;
+  fault.kind = EventKind::kFaultInjected;
+  fault.arg = 3;  // batched count
+  sink.on_event(fault);
+  Event decision;
+  decision.kind = EventKind::kDecision;
+  decision.step = 17;
+  sink.on_event(decision);
+
+  EXPECT_EQ(registry.counter("events.read").value(), 2);
+  EXPECT_EQ(registry.counter("registers.reads").value(), 2);
+  EXPECT_EQ(registry.counter("faults.injected").value(), 3);
+  EXPECT_EQ(registry.counter("events.decision").value(), 1);
+  EXPECT_EQ(registry.histogram("steps_to_decide").count(), 1);
+  EXPECT_DOUBLE_EQ(registry.histogram("steps_to_decide").mean(), 17.0);
+}
+
+// -------------------------------------------------- simulator emission --
+
+std::vector<Event> record_sim_run(std::uint64_t seed) {
+  TwoProcessProtocol protocol;
+  obs::RecordingSink rec;
+  SimOptions options;
+  options.seed = seed;
+  options.obs.sink = &rec;
+  Simulation sim(protocol, {0, 1}, options);
+  RandomScheduler sched(seed ^ 0xbeef);
+  sim.run(sched);
+  return rec.take();
+}
+
+TEST(ObsSim, StreamNarratesTheRunInOrder) {
+  const auto events = record_sim_run(7);
+  ASSERT_FALSE(events.empty());
+
+  // kStep events carry the global serialization: strictly increasing
+  // total_step, 1..T, and per-pid own-step counts increase by one.
+  std::int64_t last_total = 0;
+  std::int64_t own_step[2] = {0, 0};
+  int decisions = 0;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kStep) {
+      EXPECT_EQ(e.total_step, last_total + 1);
+      last_total = e.total_step;
+      ASSERT_TRUE(e.pid == 0 || e.pid == 1);
+      EXPECT_EQ(e.step, own_step[e.pid] + 1);
+      own_step[e.pid] = e.step;
+      EXPECT_EQ(e.wall_us, 0.0);  // simulator time is virtual
+    }
+    if (e.kind == EventKind::kDecision) {
+      ++decisions;
+      // The deciding step's kStep event precedes its kDecision.
+      EXPECT_EQ(e.total_step, last_total);
+      EXPECT_TRUE(e.arg == 0 || e.arg == 1);
+    }
+  }
+  EXPECT_EQ(decisions, 2);
+
+  // Register traffic and coin flips are present (Figure 1 uses both).
+  const auto has_kind = [&](EventKind k) {
+    return std::any_of(events.begin(), events.end(),
+                       [&](const Event& e) { return e.kind == k; });
+  };
+  EXPECT_TRUE(has_kind(EventKind::kRegisterRead));
+  EXPECT_TRUE(has_kind(EventKind::kRegisterWrite));
+  EXPECT_TRUE(has_kind(EventKind::kCoinFlip));
+  EXPECT_TRUE(has_kind(EventKind::kPhaseChange));
+}
+
+TEST(ObsSim, ObservedRunIsStepIdenticalToUnobserved) {
+  // Instrumentation must not consume randomness or perturb scheduling:
+  // the observed run and the bare run are the same execution.
+  TwoProcessProtocol protocol;
+  SimOptions bare_options;
+  bare_options.seed = 21;
+  Simulation bare(protocol, {0, 1}, bare_options);
+  RandomScheduler bare_sched(99);
+  const auto bare_result = bare.run(bare_sched);
+
+  obs::RecordingSink rec;
+  SimOptions obs_options;
+  obs_options.seed = 21;
+  obs_options.obs.sink = &rec;
+  Simulation observed(protocol, {0, 1}, obs_options);
+  RandomScheduler obs_sched(99);
+  const auto obs_result = observed.run(obs_sched);
+
+  EXPECT_EQ(obs_result.total_steps, bare_result.total_steps);
+  EXPECT_EQ(obs_result.decisions, bare_result.decisions);
+  EXPECT_FALSE(rec.events().empty());
+}
+
+TEST(ObsSim, ObsOptionFlagsPruneTheStream) {
+  TwoProcessProtocol protocol;
+  obs::RecordingSink rec;
+  SimOptions options;
+  options.seed = 5;
+  options.obs.sink = &rec;
+  options.obs.register_ops = false;
+  options.obs.coin_flips = false;
+  options.obs.phase_changes = false;
+  Simulation sim(protocol, {0, 1}, options);
+  RandomScheduler sched(5);
+  sim.run(sched);
+  for (const Event& e : rec.events()) {
+    EXPECT_TRUE(e.kind == EventKind::kStep ||
+                e.kind == EventKind::kDecision)
+        << static_cast<int>(e.kind);
+  }
+}
+
+TEST(ObsSim, FaultStallAndCrashEventsAppear) {
+  UnboundedProtocol protocol(3);
+  obs::RecordingSink rec;
+  SimOptions options;
+  options.seed = 3;
+  options.max_total_steps = 100000;
+  options.obs.sink = &rec;
+  Simulation sim(protocol, {0, 1, 1}, options);
+
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.crashes = {{/*pid=*/0, /*at_step=*/2}};
+  plan.stalls = {{/*pid=*/1, /*at_step=*/1, /*duration=*/10}};
+  plan.registers.stale_prob = 1.0;  // every read is served stale
+  plan.registers.stale_depth = 2;
+
+  fault::SimRegisterFaults hook(plan.registers, plan.seed, sim.regs().size());
+  sim.mutable_regs().set_fault_hook(&hook);
+  RandomScheduler inner(3);
+  fault::FaultPlanScheduler sched(inner, plan);
+  sched.set_event_sink(&rec);
+  sim.run(sched);
+
+  const auto& events = rec.events();
+  const auto count_kind = [&](EventKind k) {
+    return std::count_if(events.begin(), events.end(),
+                         [&](const Event& e) { return e.kind == k; });
+  };
+  EXPECT_EQ(count_kind(EventKind::kCrash), 1);
+  const auto crash = std::find_if(
+      events.begin(), events.end(),
+      [](const Event& e) { return e.kind == EventKind::kCrash; });
+  EXPECT_EQ(crash->pid, 0);
+
+  EXPECT_EQ(count_kind(EventKind::kStall), 1);
+  const auto stall = std::find_if(
+      events.begin(), events.end(),
+      [](const Event& e) { return e.kind == EventKind::kStall; });
+  EXPECT_EQ(stall->pid, 1);
+  EXPECT_EQ(stall->arg, 10);
+
+  EXPECT_GT(count_kind(EventKind::kFaultInjected), 0);
+}
+
+// -------------------------------------------------- threaded emission --
+
+TEST(ObsThreaded, CrashEventsMatchTheFaultPlanExactly) {
+  UnboundedProtocol protocol(3);
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  plan.crashes = {{/*pid=*/0, /*at_step=*/1}, {/*pid=*/2, /*at_step=*/2}};
+
+  obs::RecordingSink rec;
+  rt::ThreadedOptions options;
+  options.seed = 9;
+  options.fault_plan = &plan;
+  options.watchdog_ms = 20'000;
+  options.obs.sink = &rec;
+  const auto r = rt::run_threaded(protocol, {0, 1, 1}, options);
+  ASSERT_FALSE(r.timed_out);
+
+  std::multiset<ProcessId> crashed;
+  for (const Event& e : rec.events())
+    if (e.kind == EventKind::kCrash) crashed.insert(e.pid);
+  EXPECT_EQ(crashed, (std::multiset<ProcessId>{0, 2}));
+}
+
+TEST(ObsThreaded, StreamIsSchemaIdenticalToTheSimulator) {
+  // Same protocol, both substrates, same ObsOptions: the JSONL field set
+  // and the emitted kinds line up; only the clocks differ (simulator runs
+  // on total_step with wall_us == 0, the threaded runtime the reverse).
+  const auto sim_events = record_sim_run(13);
+
+  TwoProcessProtocol protocol;
+  obs::RecordingSink rec;
+  rt::ThreadedOptions options;
+  options.seed = 13;
+  options.watchdog_ms = 20'000;
+  options.obs.sink = &rec;
+  const auto r = rt::run_threaded(protocol, {0, 1}, options);
+  ASSERT_TRUE(r.all_decided);
+  const auto thr_events = rec.events();
+  ASSERT_FALSE(thr_events.empty());
+
+  const auto keys_of = [](const Event& e) {
+    std::set<std::string> keys;
+    const Json parsed = Json::parse(obs::event_to_json_line(e));
+    for (const auto& [key, value] : parsed.as_object()) keys.insert(key);
+    return keys;
+  };
+  EXPECT_EQ(keys_of(sim_events.front()), keys_of(thr_events.front()));
+
+  const auto kinds_of = [](const std::vector<Event>& events) {
+    std::set<EventKind> kinds;
+    for (const Event& e : events) kinds.insert(e.kind);
+    return kinds;
+  };
+  // A fault-free decided run exercises the same vocabulary on both sides.
+  const std::set<EventKind> expected = {
+      EventKind::kStep,     EventKind::kRegisterRead,
+      EventKind::kRegisterWrite, EventKind::kCoinFlip,
+      EventKind::kDecision, EventKind::kPhaseChange};
+  EXPECT_EQ(kinds_of(sim_events), expected);
+  EXPECT_EQ(kinds_of(thr_events), expected);
+
+  // Clock conventions.
+  for (const Event& e : sim_events) EXPECT_EQ(e.wall_us, 0.0);
+  for (const Event& e : thr_events) {
+    EXPECT_EQ(e.total_step, 0);
+    EXPECT_GE(e.wall_us, 0.0);
+  }
+  // The merged threaded stream is ordered by wall time.
+  for (std::size_t i = 1; i < thr_events.size(); ++i)
+    EXPECT_LE(thr_events[i - 1].wall_us, thr_events[i].wall_us);
+}
+
+// ------------------------------------------------------------ exporters --
+
+TEST(ObsExport, EventJsonLineRoundTrips) {
+  std::vector<Event> events;
+  Event e;
+  e.kind = EventKind::kRegisterWrite;
+  e.pid = 2;
+  e.step = 5;
+  e.total_step = 11;
+  e.reg = 1;
+  e.value = 0xdeadbeefULL;
+  events.push_back(e);
+  e = Event{};
+  e.kind = EventKind::kWatchdogFire;
+  e.wall_us = 1234.5;
+  events.push_back(e);
+  e = Event{};
+  e.kind = EventKind::kDecision;
+  e.pid = 0;
+  e.arg = 1;
+  events.push_back(e);
+
+  std::ostringstream os;
+  obs::write_jsonl(os, events);
+  std::istringstream is(os.str());
+  const auto back = obs::read_jsonl(is);
+  EXPECT_EQ(back, events);
+}
+
+TEST(ObsExport, KindNamesRoundTrip) {
+  for (int k = 0; k < obs::kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    EXPECT_EQ(obs::kind_from_name(obs::kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)obs::kind_from_name("bogus"), ContractViolation);
+}
+
+TEST(ObsExport, PerfettoTraceParsesAndIsMonotonePerTrack) {
+  const auto events = record_sim_run(17);
+  const std::string text =
+      obs::perfetto_trace_json(events, "obs_test sim run");
+  const Json doc = Json::parse(text);
+
+  const Json& trace_events = doc.at("traceEvents");
+  ASSERT_TRUE(trace_events.is_array());
+  ASSERT_GT(trace_events.size(), 0u);
+
+  std::map<std::int64_t, double> last_ts;
+  std::int64_t timed = 0;
+  for (std::size_t i = 0; i < trace_events.size(); ++i) {
+    const Json& ev = trace_events.at(i);
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") continue;  // metadata records carry no timestamp
+    ASSERT_TRUE(ph == "X" || ph == "i") << ph;
+    const std::int64_t tid = ev.at("tid").as_int();
+    const double ts = ev.at("ts").as_number();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) EXPECT_GT(ts, it->second) << "tid " << tid;
+    last_ts[tid] = ts;
+    ++timed;
+  }
+  EXPECT_GT(timed, 0);
+  // One track per processor plus the metadata names.
+  EXPECT_GE(last_ts.size(), 2u);
+}
+
+TEST(ObsExport, RunReportHasTheDocumentedShape) {
+  obs::MetricsRegistry registry;
+  registry.counter("runs").inc(4);
+  registry.histogram("steps").observe(12.0);
+  Json extra = Json::object();
+  extra["cells"] = Json::array();
+  const std::string text = obs::run_report_json(
+      "obs_test", {{"seed", "1"}, {"quick", "true"}}, registry, extra);
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.at("report").as_string(), "cilcoord.run_report.v1");
+  EXPECT_EQ(doc.at("name").as_string(), "obs_test");
+  EXPECT_EQ(doc.at("meta").at("seed").as_string(), "1");
+  EXPECT_EQ(doc.at("metrics").at("counters").at("runs").as_int(), 4);
+  EXPECT_TRUE(doc.at("cells").is_array());
+}
+
+}  // namespace
+}  // namespace cil

@@ -45,6 +45,63 @@ TEST(Trace, EntriesIdentifyTheActor) {
   EXPECT_EQ(trace.entries()[1].actor, 0);
 }
 
+TEST(Trace, KeepLastWindowHoldsExactlyTheLastEntries) {
+  // Pins the keep_last contract precisely: with a window of k and a run of
+  // T >= k steps, the recorder holds exactly k entries whose step numbers
+  // are T-k+1 .. T in order.
+  UnboundedProtocol protocol(3);
+  SimOptions options;
+  options.seed = 11;
+  Simulation sim(protocol, {0, 1, 0}, options);
+  constexpr std::size_t kWindow = 4;
+  TraceRecorder trace(sim, kWindow);
+  RandomScheduler sched(3);
+  trace.run(sched);
+  const std::int64_t total = sim.total_steps();
+  ASSERT_GE(total, static_cast<std::int64_t>(kWindow));
+  ASSERT_EQ(trace.entries().size(), kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    EXPECT_EQ(trace.entries()[i].step,
+              total - static_cast<std::int64_t>(kWindow) + 1 +
+                  static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Trace, KeepLastLargerThanRunKeepsEverything) {
+  TwoProcessProtocol protocol;
+  Simulation sim(protocol, {0, 1});
+  TraceRecorder trace(sim, /*keep_last=*/100000);
+  RoundRobinScheduler rr;
+  const auto r = trace.run(rr);
+  EXPECT_EQ(static_cast<std::int64_t>(trace.entries().size()), r.total_steps);
+  EXPECT_EQ(trace.entries().front().step, 1);
+}
+
+TEST(Trace, RenderIsStableForAFixedSchedule) {
+  // Golden output: a fixed seed and a fixed schedule prefix must render the
+  // exact same table forever. This pins column layout, the register
+  // formatter hookup, and the step/actor numbering — downstream tooling
+  // (EXPERIMENTS.md dissections, traceview) reads this format.
+  TwoProcessProtocol protocol;
+  SimOptions options;
+  options.seed = 1;
+  Simulation sim(protocol, {0, 1}, options);
+  TraceRecorder trace(sim);
+  ReplayScheduler replay({0, 1, 0, 1});
+  for (int i = 0; i < 4 && trace.step_once(replay); ++i) {
+  }
+  EXPECT_EQ(
+      trace.render(),
+      "#1\tP0 | 0   ⊥ | "
+      "P0{pc=1 mine=0 seen=-1 dec=-1} P1{pc=0 mine=1 seen=-1 dec=-1} \n"
+      "#2\tP1 | 0   1   | "
+      "P0{pc=1 mine=0 seen=-1 dec=-1} P1{pc=1 mine=1 seen=-1 dec=-1} \n"
+      "#3\tP0 | 0   1   | "
+      "P0{pc=2 mine=0 seen=1 dec=-1}  P1{pc=1 mine=1 seen=-1 dec=-1} \n"
+      "#4\tP1 | 0   1   | "
+      "P0{pc=2 mine=0 seen=1 dec=-1}  P1{pc=2 mine=1 seen=0 dec=-1}  \n");
+}
+
 TEST(Trace, RenderUsesProtocolFormatters) {
   TwoProcessProtocol protocol;
   Simulation sim(protocol, {0, 1});

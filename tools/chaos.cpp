@@ -16,12 +16,18 @@
 //   ./tools/chaos                 # full sweep
 //   ./tools/chaos --quick         # CI smoke: fixed seed, ~10 s
 //   ./tools/chaos --trials=100    # more seeds per cell
+//   ./tools/chaos --report=r.json # machine-readable run-report (obs)
+//   ./tools/chaos --trace=DIR     # exemplar instrumented sim+threaded runs:
+//                                 # JSONL event logs + Perfetto traces
 //
 // On any unexpected outcome the offending FaultPlan string is printed —
 // paste it back through FaultPlan::parse to reproduce the exact run.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -31,6 +37,9 @@
 #include "core/unbounded.h"
 #include "fault/fault_plan.h"
 #include "fault/sim_faults.h"
+#include "obs/events.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "runtime/threaded.h"
 #include "sched/schedulers.h"
 #include "sched/simulation.h"
@@ -43,6 +52,8 @@ struct Args {
   bool quick = false;
   int trials = 60;
   std::uint64_t seed = 1;
+  std::string report_path;  ///< --report=: run-report JSON destination
+  std::string trace_dir;    ///< --trace=: exemplar trace destination dir
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -61,6 +72,16 @@ bool parse(int argc, char** argv, Args& args) {
       }
       if (a.rfind("--seed=", 0) == 0) {
         args.seed = std::stoull(a.substr(7));
+        continue;
+      }
+      if (a.rfind("--report=", 0) == 0) {
+        args.report_path = a.substr(9);
+        if (args.report_path.empty()) throw std::invalid_argument("report");
+        continue;
+      }
+      if (a.rfind("--trace=", 0) == 0) {
+        args.trace_dir = a.substr(8);
+        if (args.trace_dir.empty()) throw std::invalid_argument("trace");
         continue;
       }
     } catch (const std::exception&) {
@@ -214,6 +235,82 @@ void print_row(const std::string& protocol, const char* substrate,
               c.timeouts, c.faults);
 }
 
+/// Folds one sweep cell into the run-report aggregates: global counters in
+/// `registry` plus a per-cell row in the `cells` JSON array.
+void record_cell(obs::MetricsRegistry& registry, obs::Json& cells,
+                 const std::string& protocol, const char* substrate,
+                 const std::string& level, int crashes, const Counts& c) {
+  registry.counter("chaos.runs").inc(c.runs);
+  registry.counter("chaos.decided").inc(c.decided);
+  registry.counter("chaos.consistent").inc(c.consistent);
+  registry.counter("chaos.violations").inc(c.violations);
+  registry.counter("chaos.timeouts").inc(c.timeouts);
+  registry.counter("chaos.faults_injected").inc(c.faults);
+
+  obs::Json cell = obs::Json::object();
+  cell["protocol"] = obs::Json(protocol);
+  cell["substrate"] = obs::Json(substrate);
+  cell["faults"] = obs::Json(level);
+  cell["crashes"] = obs::Json(crashes);
+  cell["runs"] = obs::Json(c.runs);
+  cell["decided"] = obs::Json(c.decided);
+  cell["consistent"] = obs::Json(c.consistent);
+  cell["violations"] = obs::Json(c.violations);
+  cell["timeouts"] = obs::Json(c.timeouts);
+  cell["faults_injected"] = obs::Json(static_cast<std::int64_t>(c.faults));
+  cells.push_back(std::move(cell));
+}
+
+/// Writes one instrumented simulator run and one instrumented threaded run
+/// (both with a planned crash + stall) into `dir` as JSONL event logs plus
+/// Chrome/Perfetto trace JSON. Returns false if any file failed to write.
+bool write_exemplar_traces(const Args& args, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; open reports
+  const int n = 3;
+  UnboundedProtocol protocol(n);
+  const std::vector<Value> inputs = {0, 1, 1};
+  const fault::FaultPlan plan =
+      plan_for(args.seed, n, /*crashes=*/1, fault::RegisterFaultConfig{});
+
+  bool ok = true;
+  const auto emit = [&](const char* stem, const std::vector<obs::Event>& ev,
+                        const char* process_name) {
+    std::ostringstream jsonl;
+    obs::write_jsonl(jsonl, ev);
+    ok &= obs::write_text_file(dir + "/" + stem + "_events.jsonl",
+                               jsonl.str());
+    ok &= obs::write_text_file(
+        dir + "/" + stem + "_trace.json",
+        obs::perfetto_trace_json(ev, process_name) + "\n");
+  };
+
+  {
+    obs::RecordingSink rec;
+    SimOptions options;
+    options.seed = args.seed;
+    options.max_total_steps = 100'000;
+    options.obs.sink = &rec;
+    Simulation sim(protocol, inputs, options);
+    RandomScheduler inner(args.seed);
+    fault::FaultPlanScheduler sched(inner, plan);
+    sched.set_event_sink(&rec);
+    sim.run(sched);
+    emit("sim", rec.events(), "chaos sim (unbounded-3)");
+  }
+  {
+    obs::RecordingSink rec;
+    rt::ThreadedOptions options;
+    options.seed = args.seed;
+    options.fault_plan = &plan;
+    options.watchdog_ms = 10'000;
+    options.obs.sink = &rec;
+    rt::run_threaded(protocol, inputs, options);
+    emit("threaded", rec.events(), "chaos threaded (unbounded-3)");
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +325,8 @@ int main(int argc, char** argv) {
               "consistent", "viol", "tmout", "injected");
 
   int unexpected_bad = 0;
+  obs::MetricsRegistry registry;
+  obs::Json cells = obs::Json::array();
   const auto protocols = make_protocols();
   const auto levels = make_levels();
 
@@ -244,6 +343,7 @@ int main(int argc, char** argv) {
           Counts c;
           run_sim_cell(pc, level, k, args, level.sim_atomic_safe, c);
           print_row(pc.name, "sim", level.name, k, c);
+          record_cell(registry, cells, pc.name, "sim", level.name, k, c);
           if (level.sim_atomic_safe)
             unexpected_bad += c.violations + (c.runs - c.decided);
         }
@@ -253,6 +353,8 @@ int main(int argc, char** argv) {
           run_threaded_cell(pc, level, rt::RegisterBackend::kRawAtomic, k,
                             args, level.thr_atomic_safe, c);
           print_row(pc.name, "thread-raw", level.name, k, c);
+          record_cell(registry, cells, pc.name, "thread-raw", level.name, k,
+                      c);
           if (level.thr_atomic_safe)
             unexpected_bad +=
                 (c.runs - c.consistent) + c.timeouts + (c.runs - c.decided);
@@ -264,6 +366,8 @@ int main(int argc, char** argv) {
           run_threaded_cell(pc, level, rt::RegisterBackend::kConstructed, k,
                             args, level.thr_atomic_safe, c);
           print_row(pc.name, "thread-cons", level.name, k, c);
+          record_cell(registry, cells, pc.name, "thread-cons", level.name, k,
+                      c);
           if (level.thr_atomic_safe)
             unexpected_bad +=
                 (c.runs - c.consistent) + c.timeouts + (c.runs - c.decided);
@@ -276,5 +380,29 @@ int main(int argc, char** argv) {
                             ? "OK: no unexpected violations, undecided "
                               "survivors, or timeouts"
                             : "FAIL: unexpected bad outcomes (see !! lines)");
+
+  if (!args.report_path.empty()) {
+    obs::Json extra = obs::Json::object();
+    extra["cells"] = std::move(cells);
+    extra["unexpected_bad"] = obs::Json(unexpected_bad);
+    std::map<std::string, std::string> meta;
+    meta["trials"] = std::to_string(args.trials);
+    meta["seed"] = std::to_string(args.seed);
+    meta["quick"] = args.quick ? "true" : "false";
+    const std::string report =
+        obs::run_report_json("chaos", meta, registry, extra);
+    const auto parent =
+        std::filesystem::path(args.report_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    if (!obs::write_text_file(args.report_path, report + "\n")) return 2;
+    std::printf("run-report written to %s\n", args.report_path.c_str());
+  }
+  if (!args.trace_dir.empty()) {
+    if (!write_exemplar_traces(args, args.trace_dir)) return 2;
+    std::printf("exemplar traces written to %s\n", args.trace_dir.c_str());
+  }
   return unexpected_bad == 0 ? 0 : 1;
 }
