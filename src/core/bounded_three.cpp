@@ -177,6 +177,24 @@ class BoundedThreeProcess final : public Process {
     return std::make_unique<BoundedThreeProcess>(*this);
   }
 
+  /// Crash-recovery entry (called on a freshly init()ed instance): resume
+  /// from the persisted own-register word at the top of a phase.
+  void resume_from(Word persisted) {
+    const Reg r = BoundedThreeProtocol::unpack(persisted);
+    if (!r.started()) return;  // initial write never landed: restart cold
+    cur_ = r;
+    if (r.mode == Mode::kDec) {
+      // The dec write and the decision are one step; re-announce it.
+      decision_ = r.pref;
+      return;
+    }
+    // What we held within the current section is volatile and lost; claim
+    // "both" so the next boundary crossing stamps a mixed summary, which
+    // can only block T3 (it needs pure sections), never enable it.
+    held_mask_ = 0b11;
+    pc_ = Pc::kReadFirst;
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " num=" << cur_.num
@@ -449,6 +467,16 @@ std::unique_ptr<Process> BoundedThreeProtocol::make_process(
     ProcessId pid) const {
   CIL_EXPECTS(pid >= 0 && pid < 3);
   return std::make_unique<BoundedThreeProcess>(pid, options_);
+}
+
+std::unique_ptr<Process> BoundedThreeProtocol::recover(
+    const RecoveryContext& ctx) const {
+  CIL_EXPECTS(ctx.pid >= 0 && ctx.pid < 3);
+  CIL_EXPECTS(ctx.own_values.size() == 1);  // r_pid is this pid's only reg
+  auto p = std::make_unique<BoundedThreeProcess>(ctx.pid, options_);
+  p->init(ctx.input);
+  p->resume_from(ctx.own_values[0]);
+  return p;
 }
 
 std::string BoundedThreeProtocol::describe_word(RegisterId, Word w) const {

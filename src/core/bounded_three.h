@@ -70,6 +70,14 @@ class BoundedThreeProtocol final : public Protocol {
   int num_processes() const override { return 3; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Conservative re-read recovery: resume from the persisted [num, mode,
+  /// pref, summary] own register at the top of a phase (the state right
+  /// after the write that produced it). A persisted dec marker re-announces
+  /// the same decision. The volatile held-preference history of the current
+  /// section is over-approximated as "both held": a mixed summary can only
+  /// *block* T3 decisions (they require pure sections), never enable one —
+  /// the safe direction.
+  std::unique_ptr<Process> recover(const RecoveryContext& ctx) const override;
   std::string describe_word(RegisterId r, Word w) const override;
 
   enum class Mode : std::int64_t { kVal = 0, kPref = 1, kDec = 2 };

@@ -73,6 +73,25 @@ class TwoProcessProcess final : public Process {
     return std::make_unique<TwoProcessProcess>(*this);
   }
 
+  /// Crash-recovery entry (called on a freshly init()ed instance). The
+  /// persisted own-register word is the only state that survived; resume at
+  /// the top of the read loop with it as the current preference.
+  void resume_from(Word persisted, std::int64_t steps_missed,
+                   bool buggy_warm, std::int64_t warm_lease) {
+    const Value v = decode(persisted);
+    if (!preinitialized_ && v == kNoValue) return;  // initial write never
+                                                    // landed: restart cold
+    if (buggy_warm && steps_missed <= warm_lease && v != input_) {
+      // PLANTED BUG: the warm lease trusts the startup checkpoint over the
+      // persistent register and decides the stale input. See
+      // TwoProcessProtocol::Options::buggy_warm_recovery.
+      decision_ = input_;
+      return;
+    }
+    mine_ = v;
+    pc_ = Pc::kRead;
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " mine=" << mine_
@@ -140,6 +159,18 @@ std::unique_ptr<Process> TwoProcessProtocol::make_process(ProcessId pid) const {
   CIL_EXPECTS(pid == 0 || pid == 1);
   return std::make_unique<TwoProcessProcess>(
       pid, options_.preinitialized_registers);
+}
+
+std::unique_ptr<Process> TwoProcessProtocol::recover(
+    const RecoveryContext& ctx) const {
+  CIL_EXPECTS(ctx.pid == 0 || ctx.pid == 1);
+  CIL_EXPECTS(ctx.own_values.size() == 1);  // r_own is this pid's only reg
+  auto p = std::make_unique<TwoProcessProcess>(
+      ctx.pid, options_.preinitialized_registers);
+  p->init(ctx.input);
+  p->resume_from(ctx.own_values[0], ctx.steps_missed,
+                 options_.buggy_warm_recovery, options_.warm_lease_steps);
+  return p;
 }
 
 }  // namespace cil

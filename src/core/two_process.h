@@ -31,6 +31,22 @@ class TwoProcessProtocol final : public Protocol {
     /// exactly one bit for binary values. The ⊥-decide arm of Figure 1 is
     /// then dead code; consistency is Theorem 6's argument verbatim.
     bool preinitialized_registers = false;
+
+    /// PLANTED BUG (ablation, off by default; tools/hunt
+    /// --ablation=warm-recovery). Models a warm-restart shortcut seen in
+    /// real session-cache designs: a processor that restarts within
+    /// `warm_lease_steps` global steps of its crash trusts its startup
+    /// checkpoint instead of re-reading its persistent register — and when
+    /// the two disagree (it had adopted the peer's preference before
+    /// crashing) it decides the stale checkpointed input outright. The
+    /// Triggering it needs a conjunction uniform chaos almost never deals:
+    /// the crash must land after the processor adopted the peer's value but
+    /// before it decided, AND the plan's recovery delay must itself be
+    /// <= warm_lease_steps (the engine idles the clock while everyone
+    /// waits, so steps_missed honestly reflects the planned outage). The
+    /// adversarial searcher finds it quickly; see tests/search_test.cpp.
+    bool buggy_warm_recovery = false;
+    std::int64_t warm_lease_steps = 8;
   };
 
   /// `max_value` bounds the inputs (the register width is declared from it;
@@ -43,6 +59,13 @@ class TwoProcessProtocol final : public Protocol {
   int num_processes() const override { return 2; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Conservative re-read recovery: resume from what r_own still publishes
+  /// (the persisted preference IS the automaton's live state component), at
+  /// the top of the read loop — a legal Figure 1 state, so Theorem 6's
+  /// consistency argument carries over. A processor that never completed
+  /// its initial write restarts cold. With Options::buggy_warm_recovery,
+  /// deliberately broken (see Options).
+  std::unique_ptr<Process> recover(const RecoveryContext& ctx) const override;
   std::string describe_word(RegisterId, Word w) const override {
     if (options_.preinitialized_registers) return std::to_string(w);
     const Value v = decode(w);

@@ -97,6 +97,16 @@ class UnboundedProcess final : public Process {
     return std::make_unique<UnboundedProcess>(*this);
   }
 
+  /// Crash-recovery entry (called on a freshly init()ed instance): resume
+  /// from the persisted own-register word at the top of a new phase.
+  void resume_from(Word persisted) {
+    const Value pref = UnboundedProtocol::unpack_pref(persisted);
+    if (pref == kNoValue) return;  // initial write never landed: cold start
+    cur_ = {pref, UnboundedProtocol::unpack_num(persisted)};
+    pc_ = Pc::kRead;
+    begin_phase();
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_)
@@ -187,6 +197,16 @@ std::vector<RegisterSpec> UnboundedProtocol::registers() const {
 std::unique_ptr<Process> UnboundedProtocol::make_process(ProcessId pid) const {
   CIL_EXPECTS(pid >= 0 && pid < n_);
   return std::make_unique<UnboundedProcess>(pid, n_, options_);
+}
+
+std::unique_ptr<Process> UnboundedProtocol::recover(
+    const RecoveryContext& ctx) const {
+  CIL_EXPECTS(ctx.pid >= 0 && ctx.pid < n_);
+  CIL_EXPECTS(ctx.own_values.size() == 1);  // r_pid is this pid's only reg
+  auto p = std::make_unique<UnboundedProcess>(ctx.pid, n_, options_);
+  p->init(ctx.input);
+  p->resume_from(ctx.own_values[0]);
+  return p;
 }
 
 }  // namespace cil

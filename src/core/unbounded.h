@@ -45,6 +45,12 @@ class UnboundedProtocol final : public Protocol {
   int num_processes() const override { return n_; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Conservative re-read recovery: resume with (pref, num) as the own
+  /// register still publishes them, at the top of a fresh phase — exactly
+  /// the automaton state following the write that produced that register
+  /// value, so Theorem 8 consistency carries over. In particular the
+  /// monotone num is preserved (a cold restart would illegally reset it).
+  std::unique_ptr<Process> recover(const RecoveryContext& ctx) const override;
   std::string describe_word(RegisterId, Word w) const override {
     const Value pref = unpack_pref(w);
     if (pref == kNoValue) return "⊥";

@@ -65,10 +65,13 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int num_processes,
                             int num_crashes, int num_stalls,
                             std::int64_t horizon,
                             std::int64_t max_stall_duration,
-                            const RegisterFaultConfig& reg) {
+                            const RegisterFaultConfig& reg,
+                            int num_recoveries,
+                            std::int64_t max_recovery_delay) {
   CIL_EXPECTS(num_processes >= 1);
-  CIL_EXPECTS(num_crashes >= 0 && num_stalls >= 0);
+  CIL_EXPECTS(num_crashes >= 0 && num_stalls >= 0 && num_recoveries >= 0);
   CIL_EXPECTS(horizon >= 0 && max_stall_duration >= 1);
+  CIL_EXPECTS(max_recovery_delay >= 1);
   FaultPlan plan;
   plan.seed = seed;
   plan.registers = reg;
@@ -103,6 +106,18 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int num_processes,
               return a.at_step != b.at_step ? a.at_step < b.at_step
                                             : a.pid < b.pid;
             });
+
+  // Recoveries restart a prefix of the (already shuffled) crash victims.
+  num_recoveries = std::min<int>(num_recoveries, plan.crash_count());
+  for (int i = 0; i < num_recoveries; ++i) {
+    plan.recoveries.push_back(
+        {plan.crashes[static_cast<std::size_t>(i)].pid,
+         1 + static_cast<std::int64_t>(rng.below(max_recovery_delay))});
+  }
+  std::sort(plan.recoveries.begin(), plan.recoveries.end(),
+            [](const RecoveryEvent& a, const RecoveryEvent& b) {
+              return a.pid < b.pid;
+            });
   return plan;
 }
 
@@ -114,6 +129,13 @@ std::string FaultPlan::serialize() const {
     for (std::size_t i = 0; i < crashes.size(); ++i) {
       if (i > 0) os << ',';
       os << crashes[i].pid << '@' << crashes[i].at_step;
+    }
+  }
+  if (!recoveries.empty()) {
+    os << ";recover=";
+    for (std::size_t i = 0; i < recoveries.size(); ++i) {
+      if (i > 0) os << ',';
+      os << recoveries[i].pid << '@' << recoveries[i].delay;
     }
   }
   if (!stalls.empty()) {
@@ -149,6 +171,27 @@ std::string FaultPlan::serialize() const {
     os << ";cell=gp:" << fmt_double(r.cells.garbage_prob) << 'r'
        << r.cells.garbage_rounds << 's' << r.cells.settle_spins;
   }
+  const MessageFaultConfig& m = messages;
+  if (m.any()) {
+    os << ";msg=";
+    bool first = true;
+    const auto sep = [&] {
+      if (!first) os << ',';
+      first = false;
+    };
+    if (m.drop_prob > 0) {
+      sep();
+      os << "dr:" << fmt_double(m.drop_prob);
+    }
+    if (m.dup_prob > 0) {
+      sep();
+      os << "du:" << fmt_double(m.dup_prob);
+    }
+    if (m.delay_prob > 0) {
+      sep();
+      os << "de:" << fmt_double(m.delay_prob) << 'w' << m.delay_max;
+    }
+  }
   return os.str();
 }
 
@@ -178,6 +221,16 @@ FaultPlan FaultPlan::parse(const std::string& text) {
         e.at_step = parse_num<std::int64_t>(item, pos);
         if (pos != item.size()) bad(text, "malformed crash event");
         plan.crashes.push_back(e);
+      }
+    } else if (key == "recover") {
+      for (const std::string& item : split(val, ',')) {
+        std::size_t pos = 0;
+        RecoveryEvent e;
+        e.pid = parse_num<ProcessId>(item, pos);
+        expect(item, pos, '@');
+        e.delay = parse_num<std::int64_t>(item, pos);
+        if (pos != item.size()) bad(text, "malformed recover event");
+        plan.recoveries.push_back(e);
       }
     } else if (key == "stall") {
       for (const std::string& item : split(val, ',')) {
@@ -213,6 +266,25 @@ FaultPlan FaultPlan::parse(const std::string& text) {
           bad(text, "unknown reg fault tag '" + tag + "'");
         }
         if (pos != item.size()) bad(text, "malformed reg token");
+      }
+    } else if (key == "msg") {
+      for (const std::string& item : split(val, ',')) {
+        if (item.size() < 4 || item[2] != ':') bad(text, "malformed msg token");
+        const std::string tag = item.substr(0, 2);
+        std::size_t pos = 3;
+        const double prob = parse_num<double>(item, pos);
+        if (tag == "dr") {
+          plan.messages.drop_prob = prob;
+        } else if (tag == "du") {
+          plan.messages.dup_prob = prob;
+        } else if (tag == "de") {
+          plan.messages.delay_prob = prob;
+          expect(item, pos, 'w');
+          plan.messages.delay_max = parse_num<int>(item, pos);
+        } else {
+          bad(text, "unknown msg fault tag '" + tag + "'");
+        }
+        if (pos != item.size()) bad(text, "malformed msg token");
       }
     } else if (key == "cell") {
       if (val.rfind("gp:", 0) != 0) bad(text, "malformed cell section");
@@ -250,6 +322,20 @@ void FaultPlan::validate(int num_processes) const {
                   "stall pid out of range");
     CIL_CHECK_MSG(e.at_step >= 0 && e.duration >= 0, "stall must be bounded");
   }
+  std::vector<ProcessId> recoverers;
+  for (const RecoveryEvent& e : recoveries) {
+    CIL_CHECK_MSG(e.pid >= 0 && e.pid < num_processes,
+                  "recover pid out of range");
+    CIL_CHECK_MSG(e.delay >= 1, "recovery delay must be >= 1");
+    CIL_CHECK_MSG(std::find(victims.begin(), victims.end(), e.pid) !=
+                      victims.end(),
+                  "a recovery needs a matching crash event");
+    recoverers.push_back(e.pid);
+  }
+  std::sort(recoverers.begin(), recoverers.end());
+  CIL_CHECK_MSG(std::adjacent_find(recoverers.begin(), recoverers.end()) ==
+                    recoverers.end(),
+                "a processor can recover only once");
   const RegisterFaultConfig& r = registers;
   const auto is_prob = [](double p) { return p >= 0.0 && p <= 1.0; };
   CIL_CHECK_MSG(is_prob(r.flicker_prob) && is_prob(r.stale_prob) &&
@@ -259,6 +345,11 @@ void FaultPlan::validate(int num_processes) const {
                     r.delay_window >= 1 && r.cells.garbage_rounds >= 1,
                 "fault magnitudes must be >= 1");
   CIL_CHECK_MSG(r.cells.settle_spins >= 0, "settle_spins must be >= 0");
+  const MessageFaultConfig& m = messages;
+  CIL_CHECK_MSG(is_prob(m.drop_prob) && is_prob(m.dup_prob) &&
+                    is_prob(m.delay_prob),
+                "message fault rates must be probabilities");
+  CIL_CHECK_MSG(m.delay_max >= 1, "message delay_max must be >= 1");
 }
 
 }  // namespace cil::fault

@@ -65,11 +65,40 @@ struct RegisterFaultConfig {
                          const RegisterFaultConfig&) = default;
 };
 
+/// Message-level fault rates for the message-passing substrate (src/msg).
+/// Applied per delivery attempt by msg::run_msg_chaos: a picked message may
+/// be dropped, duplicated back into flight, or deferred. Ben-Or with t <
+/// n/2 must stay safe under all of them (the asynchronous model already
+/// allows arbitrary delay and the protocol never relies on single
+/// delivery); what chaos may legitimately kill is liveness.
+struct MessageFaultConfig {
+  double drop_prob = 0.0;   ///< P[picked message is silently lost]
+  double dup_prob = 0.0;    ///< P[delivered message is also re-enqueued]
+  double delay_prob = 0.0;  ///< P[picked message is deferred instead]
+  int delay_max = 8;        ///< max deliveries a deferred message waits
+
+  bool any() const { return drop_prob > 0 || dup_prob > 0 || delay_prob > 0; }
+
+  friend bool operator==(const MessageFaultConfig&,
+                         const MessageFaultConfig&) = default;
+};
+
 struct CrashEvent {
   ProcessId pid = 0;
   std::int64_t at_step = 0;  ///< fail-stop after taking this many own steps
 
   friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// Crash-recovery: a crashed processor restarts `delay` *global* steps
+/// after its crash fires, with volatile state wiped and shared (persistent)
+/// registers intact — Protocol::recover decides what automaton state it
+/// resumes in. Only meaningful for a pid that also has a CrashEvent.
+struct RecoveryEvent {
+  ProcessId pid = 0;
+  std::int64_t delay = 1;  ///< global steps between crash and restart
+
+  friend bool operator==(const RecoveryEvent&, const RecoveryEvent&) = default;
 };
 
 struct StallEvent {
@@ -89,20 +118,27 @@ class FaultPlan {
   std::uint64_t seed = 1;  ///< drives all register-fault coin flips
   std::vector<CrashEvent> crashes;
   std::vector<StallEvent> stalls;
+  std::vector<RecoveryEvent> recoveries;
   RegisterFaultConfig registers;
+  MessageFaultConfig messages;
 
   /// Derive a plan deterministically from a seed: `num_crashes` distinct
   /// victims (capped at n-1 — the engine's survivor rule) crashing within
   /// the first `horizon` own steps, `num_stalls` stalls of up to
-  /// `max_stall_duration`. Same arguments => same plan, always.
+  /// `max_stall_duration`, and `num_recoveries` of the crash victims
+  /// restarting within `max_recovery_delay` global steps. Same arguments
+  /// => same plan, always.
   static FaultPlan random(std::uint64_t seed, int num_processes,
                           int num_crashes, int num_stalls = 0,
                           std::int64_t horizon = 64,
                           std::int64_t max_stall_duration = 2000,
-                          const RegisterFaultConfig& reg = {});
+                          const RegisterFaultConfig& reg = {},
+                          int num_recoveries = 0,
+                          std::int64_t max_recovery_delay = 64);
 
   /// Compact one-line form, e.g.
-  ///   "fp1;seed=42;crash=1@7,2@12;stall=0@3+2000;reg=fl:0.01x2,st:0.05d3"
+  ///   "fp1;seed=42;crash=1@7,2@12;recover=1@9;stall=0@3+2000;
+  ///    reg=fl:0.01x2,st:0.05d3;msg=dr:0.1,du:0.05,de:0.2w8"
   /// Log it when a chaos run fails; parse() reproduces the identical run.
   std::string serialize() const;
 

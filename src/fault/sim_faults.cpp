@@ -58,6 +58,9 @@ FaultPlanScheduler::FaultPlanScheduler(Scheduler& inner, const FaultPlan& plan)
       rng_(plan.seed ^ 0x57a11e4d5c8e2fULL) {
   stalls_.reserve(plan.stalls.size());
   for (const StallEvent& e : plan.stalls) stalls_.push_back({e, false, 0});
+  recoveries_.reserve(plan.recoveries.size());
+  for (const RecoveryEvent& e : plan.recoveries)
+    recoveries_.push_back({e, false, 0});
 }
 
 std::vector<ProcessId> FaultPlanScheduler::crashes(const SystemView& view) {
@@ -68,9 +71,39 @@ std::vector<ProcessId> FaultPlanScheduler::crashes(const SystemView& view) {
     out.push_back(e.pid);
     crash_log_.push_back({e.pid, view.steps_of(e.pid)});
     ++crashes_fired_;
+    // Arm this pid's recovery (if the plan has one): it fires `delay`
+    // global steps from now.
+    for (PendingRecovery& r : recoveries_) {
+      if (r.event.pid == e.pid && !r.armed) {
+        r.armed = true;
+        r.due_total_step = view.total_steps() + r.event.delay;
+      }
+    }
     return true;
   });
   return out;
+}
+
+std::vector<ProcessId> FaultPlanScheduler::recoveries(const SystemView& view) {
+  std::vector<ProcessId> out;
+  std::erase_if(recoveries_, [&](const PendingRecovery& r) {
+    if (!r.armed) return false;
+    if (!view.crashed(r.event.pid)) return true;  // already back somehow
+    if (view.total_steps() < r.due_total_step) return false;
+    out.push_back(r.event.pid);
+    ++recoveries_fired_;
+    return true;
+  });
+  return out;
+}
+
+bool FaultPlanScheduler::recovery_pending(const SystemView& view) const {
+  for (const PendingRecovery& r : recoveries_) {
+    if (r.armed && view.crashed(r.event.pid) &&
+        view.total_steps() < r.due_total_step)
+      return true;
+  }
+  return false;
 }
 
 bool FaultPlanScheduler::stalled(const SystemView& view, ProcessId p) const {

@@ -63,9 +63,16 @@ class FaultPlanScheduler final : public Scheduler {
 
   ProcessId pick(const SystemView& view) override;
   std::vector<ProcessId> crashes(const SystemView& view) override;
+  /// Recovery events fire exactly `delay` global steps after their pid's
+  /// crash fired. When the plan kills the last undecided processor the
+  /// engine idles the clock forward (Scheduler::recovery_pending) until the
+  /// due step, so steps_missed always reflects the planned outage.
+  std::vector<ProcessId> recoveries(const SystemView& view) override;
+  bool recovery_pending(const SystemView& view) const override;
 
   std::int64_t crashes_fired() const { return crashes_fired_; }
   std::int64_t stalls_fired() const { return stalls_fired_; }
+  std::int64_t recoveries_fired() const { return recoveries_fired_; }
 
   /// Optional observability: emit a kStall event (pid, own-step,
   /// total_step, arg = duration in global steps) whenever a stall
@@ -82,16 +89,23 @@ class FaultPlanScheduler final : public Scheduler {
     bool started = false;
     std::int64_t until_total_step = 0;
   };
+  struct PendingRecovery {
+    RecoveryEvent event;
+    bool armed = false;  ///< true once the matching crash fired
+    std::int64_t due_total_step = 0;
+  };
   bool stalled(const SystemView& view, ProcessId p) const;
 
   Scheduler& inner_;
   obs::EventSink* sink_ = nullptr;
   std::vector<CrashEvent> pending_crashes_;
   std::vector<PendingStall> stalls_;
+  std::vector<PendingRecovery> recoveries_;
   std::vector<CrashEvent> crash_log_;
   Rng rng_;
   std::int64_t crashes_fired_ = 0;
   std::int64_t stalls_fired_ = 0;
+  std::int64_t recoveries_fired_ = 0;
 };
 
 }  // namespace cil::fault

@@ -1,6 +1,8 @@
 #include "msg/ben_or.h"
 
+#include <set>
 #include <sstream>
+#include <tuple>
 
 namespace cil::msg {
 
@@ -33,6 +35,11 @@ class BenOrProcess final : public MsgProcess {
     // floods the network forever and an adversarial (e.g. LIFO) delivery
     // order could bury a slow process's messages indefinitely.
     if (decided_ && round_ > decision_round_ + 1) return {};
+    // At-most-once per (round, phase, sender): the classic protocol counts
+    // processes, not packets. A faulty network (msg_faults) may duplicate
+    // deliveries; without this dedup a doubled message could fake a
+    // majority and break agreement at the implementation layer.
+    if (!seen_.insert({round, phase, m.from}).second) return {};
     counts_[{round, phase}][value] += 1;
 
     // Process every threshold we can now cross (buffered future-round
@@ -112,10 +119,12 @@ class BenOrProcess final : public MsgProcess {
   bool decided_ = false;
   Value decision_ = kNoValue;
   std::int64_t decision_round_ = -1;
-  /// counts_[{round, phase}][value] = messages received.
+  /// counts_[{round, phase}][value] = distinct senders heard.
   std::map<std::pair<std::int64_t, std::int64_t>,
            std::map<std::int64_t, std::int64_t>>
       counts_;
+  /// (round, phase, sender) triples already counted (duplicate filter).
+  std::set<std::tuple<std::int64_t, std::int64_t, ProcId>> seen_;
 };
 
 }  // namespace

@@ -1,0 +1,138 @@
+#include "msg/msg_faults.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sched/simulation.h"  // CoordinationViolation
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cil::msg {
+
+MsgChaosResult run_msg_chaos(const MsgProtocol& protocol,
+                             const std::vector<Value>& inputs,
+                             const fault::FaultPlan& plan,
+                             std::uint64_t sched_seed,
+                             std::int64_t max_picks) {
+  const int n = protocol.num_processes();
+  plan.validate(n);
+  CIL_CHECK_MSG(plan.recoveries.empty(),
+                "message processes have no persistent registers to recover "
+                "from; recovery events are register-substrate only");
+  CIL_EXPECTS(max_picks >= 1);
+
+  MsgSystem sys(protocol, inputs, sched_seed);
+  // Three independent deterministic streams: protocol coins live inside
+  // MsgSystem (sched_seed), delivery picks and network-fault coins are
+  // domain-separated here so adding a fault knob never perturbs the
+  // interleaving of a fault-free run.
+  Rng pick_rng(sched_seed ^ 0x9d2c5b7e3a1f48ULL);
+  Rng fault_rng(plan.seed ^ 0x3e8b1a6f5d4c27ULL);
+
+  struct Held {
+    Message m;
+    std::int64_t release_pick = 0;
+  };
+  std::vector<fault::CrashEvent> pending_crashes = plan.crashes;
+  std::vector<Held> held;
+  MsgChaosResult out;
+
+  const auto decided_count = [&] {
+    int c = 0;
+    for (ProcId p = 0; p < n; ++p)
+      if (sys.process(p).decided()) ++c;
+    return c;
+  };
+
+  bool first_decision_seen = false;
+  std::int64_t picks = 0;
+  try {
+    while (picks < max_picks) {
+      // Crashes keyed on messages received (the own-step analog).
+      std::erase_if(pending_crashes, [&](const fault::CrashEvent& e) {
+        if (sys.crashed(e.pid)) return true;
+        if (sys.received(e.pid) < e.at_step) return false;
+        sys.crash(e.pid);
+        ++out.crashes_fired;
+        return true;
+      });
+      std::erase_if(held, [&](const Held& h) {
+        return sys.crashed(h.m.to) || (h.m.from >= 0 && sys.crashed(h.m.from));
+      });
+      // Release held (delayed) messages that have served their time.
+      std::erase_if(held, [&](Held& h) {
+        if (h.release_pick > picks) return false;
+        sys.inject(std::move(h.m));
+        return true;
+      });
+
+      if (!sys.any_live_undecided()) break;
+      if (sys.in_flight().empty()) {
+        if (held.empty()) break;  // genuinely stuck
+        // Delay is finite in the asynchronous model: when nothing else is
+        // deliverable the earliest held message arrives now.
+        const auto it = std::min_element(
+            held.begin(), held.end(), [](const Held& a, const Held& b) {
+              return a.release_pick < b.release_pick;
+            });
+        sys.inject(std::move(it->m));
+        held.erase(it);
+        continue;
+      }
+
+      ++picks;
+      const std::size_t idx = pick_rng.below(sys.in_flight().size());
+      const fault::MessageFaultConfig& cfg = plan.messages;
+      if (cfg.drop_prob > 0 && fault_rng.with_probability(cfg.drop_prob)) {
+        sys.drop_at(idx);
+        ++out.drops;
+        continue;
+      }
+      if (cfg.delay_prob > 0 && fault_rng.with_probability(cfg.delay_prob)) {
+        held.push_back(
+            {sys.drop_at(idx),
+             picks + 1 + static_cast<std::int64_t>(
+                             fault_rng.below(
+                                 static_cast<std::uint64_t>(cfg.delay_max)))});
+        ++out.delays;
+        continue;
+      }
+      if (cfg.dup_prob > 0 && fault_rng.with_probability(cfg.dup_prob)) {
+        sys.duplicate_at(idx);  // the copy stays in flight
+        ++out.dups;
+      }
+      sys.deliver_at(idx);
+      if (first_decision_seen) {
+        ++out.signals.post_first_decision_steps;
+      } else if (decided_count() > 0) {
+        first_decision_seen = true;
+        out.signals.steps_to_first_decision = sys.deliveries();
+      }
+    }
+  } catch (const CoordinationViolation& v) {
+    out.violation = true;
+    out.violation_what = v.what();
+  }
+
+  out.result = sys.result();
+  out.deliveries = sys.deliveries();
+
+  obs::BadnessSignals& s = out.signals;
+  s.violation = out.violation;
+  s.total_steps = sys.deliveries();
+  s.crashes = out.crashes_fired;
+  s.faults_injected = out.drops + out.dups + out.delays;
+  s.timed_out = picks >= max_picks;
+  s.undecided = !out.violation && !out.result.all_live_decided;
+  std::set<Value> values;
+  for (const Value v : out.result.decisions) {
+    if (v != kNoValue) {
+      ++s.decisions;
+      values.insert(v);
+    }
+  }
+  s.decision_spread = static_cast<std::int64_t>(values.size());
+  return out;
+}
+
+}  // namespace cil::msg

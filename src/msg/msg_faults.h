@@ -1,0 +1,62 @@
+// FaultPlan-driven chaos for the message-passing substrate: the same
+// seeded, serializable plans that crash shared-register processors (see
+// src/fault) applied to Ben-Or-style protocols over a faulty network.
+//
+// Mapping of the plan onto the message world:
+//   * crash events      — fail-stop pid after it has RECEIVED at_step
+//                         messages (the message-passing analog of the
+//                         own-step key; substrate independent in the same
+//                         spirit: what is preserved is *where* in its
+//                         protocol progress the process dies);
+//   * messages (msg=)   — per-pick network faults: drop (lose the picked
+//                         message), delay (hold it back and re-inject a few
+//                         picks later), duplicate (deliver AND re-enqueue);
+//   * recoveries        — rejected: a message process has no persistent
+//                         registers to restart from;
+//   * stalls/registers  — ignored (no registers here); a stall is just
+//                         delay, which the delivery adversary already owns.
+//
+// Ben-Or with t < n/2 must keep agreement under ALL of this — the
+// asynchronous model already allows arbitrary delay, and the protocol
+// (with at-most-once delivery restored by sender dedup) never relies on a
+// message arriving. What chaos may legitimately kill is liveness: a run can
+// end stuck or undecided, which the result reports rather than hides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "msg/msg_system.h"
+#include "obs/badness.h"
+
+namespace cil::msg {
+
+struct MsgChaosResult {
+  MsgResult result;
+  bool violation = false;        ///< agreement broke (CoordinationViolation)
+  std::string violation_what;
+  std::int64_t deliveries = 0;   ///< messages actually delivered
+  std::int64_t drops = 0;
+  std::int64_t dups = 0;
+  std::int64_t delays = 0;
+  std::int64_t crashes_fired = 0;
+  /// Badness features for the adversarial searcher (total_steps counts
+  /// deliveries; post-first-decision activity and decision spread are
+  /// computed over the delivery sequence).
+  obs::BadnessSignals signals;
+};
+
+/// Run `protocol` under `plan`'s message faults and crashes. Deterministic:
+/// same plan + same sched_seed + same inputs => same run. `max_picks`
+/// bounds scheduler picks (dropped and delayed picks included), so a
+/// drop-everything plan still terminates. Throws ContractViolation if the
+/// plan carries recovery events or is invalid for the protocol size.
+MsgChaosResult run_msg_chaos(const MsgProtocol& protocol,
+                             const std::vector<Value>& inputs,
+                             const fault::FaultPlan& plan,
+                             std::uint64_t sched_seed,
+                             std::int64_t max_picks = 200'000);
+
+}  // namespace cil::msg

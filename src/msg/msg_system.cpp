@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sched/simulation.h"  // CoordinationViolation
+
 namespace cil::msg {
 
 MsgSystem::MsgSystem(const MsgProtocol& protocol, std::vector<Value> inputs,
@@ -11,6 +13,7 @@ MsgSystem::MsgSystem(const MsgProtocol& protocol, std::vector<Value> inputs,
   const int n = protocol.num_processes();
   CIL_EXPECTS(static_cast<int>(inputs.size()) == n);
   crashed_.assign(n, false);
+  received_.assign(n, 0);
   procs_.reserve(n);
   for (ProcId p = 0; p < n; ++p) procs_.push_back(protocol.make_process(p));
   for (ProcId p = 0; p < n; ++p)
@@ -34,21 +37,45 @@ void MsgSystem::enqueue(std::vector<Message> msgs, ProcId from) {
   }
 }
 
-bool MsgSystem::step_once(DeliveryScheduler& sched) {
-  bool any_live_undecided = false;
+bool MsgSystem::any_live_undecided() const {
   for (ProcId p = 0; p < static_cast<ProcId>(procs_.size()); ++p)
-    any_live_undecided |= (!crashed_[p] && !procs_[p]->decided());
-  if (!any_live_undecided || in_flight_.empty()) return false;
+    if (!crashed_[p] && !procs_[p]->decided()) return true;
+  return false;
+}
+
+bool MsgSystem::step_once(DeliveryScheduler& sched) {
+  if (!any_live_undecided() || in_flight_.empty()) return false;
 
   const std::size_t idx = sched.pick(in_flight_, rng_);
   CIL_CHECK_MSG(idx < in_flight_.size(), "scheduler picked a bad message");
-  const Message m = in_flight_[idx];
-  in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(idx));
-  ++deliveries_;
+  deliver_at(idx);
+  return true;
+}
 
+void MsgSystem::deliver_at(std::size_t idx) {
+  const Message m = drop_at(idx);
+  ++deliveries_;
+  ++received_[m.to];
   enqueue(procs_[m.to]->on_message(m, rng_), m.to);
   check_agreement();
-  return true;
+}
+
+Message MsgSystem::drop_at(std::size_t idx) {
+  CIL_EXPECTS(idx < in_flight_.size());
+  Message m = std::move(in_flight_[idx]);
+  in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return m;
+}
+
+void MsgSystem::duplicate_at(std::size_t idx) {
+  CIL_EXPECTS(idx < in_flight_.size());
+  in_flight_.push_back(in_flight_[idx]);
+}
+
+void MsgSystem::inject(Message m) {
+  CIL_EXPECTS(m.to >= 0 && m.to < static_cast<ProcId>(procs_.size()));
+  if (crashed_[m.to] || (m.from >= 0 && crashed_[m.from])) return;
+  in_flight_.push_back(std::move(m));
 }
 
 void MsgSystem::check_agreement() const {
@@ -61,7 +88,9 @@ void MsgSystem::check_agreement() const {
       std::ostringstream os;
       os << "message-passing agreement violated: " << first << " vs "
          << p->decision();
-      throw std::runtime_error(os.str());
+      // Same exception type as the shared-register simulator, so one chaos
+      // driver / searcher handles violations from either substrate.
+      throw CoordinationViolation(os.str());
     }
   }
 }

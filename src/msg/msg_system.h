@@ -100,10 +100,27 @@ class MsgSystem {
   const std::vector<Message>& in_flight() const { return in_flight_; }
   const MsgProcess& process(ProcId p) const { return *procs_[p]; }
   std::int64_t deliveries() const { return deliveries_; }
+  /// Messages delivered TO process `p` so far — the message-passing analog
+  /// of a processor's own step count; fault plans key crashes on it.
+  std::int64_t received(ProcId p) const { return received_[p]; }
+  bool any_live_undecided() const;
 
   /// Deliver one message chosen by `sched`. Returns false if nothing is
   /// deliverable or every live process has decided.
   bool step_once(DeliveryScheduler& sched);
+
+  // Chaos primitives (msg_faults drives these directly instead of going
+  // through a DeliveryScheduler):
+  /// Deliver the in-flight message at `idx` now.
+  void deliver_at(std::size_t idx);
+  /// Remove the message at `idx` without delivering it (message loss);
+  /// returns it so a delaying adversary can hold and re-inject it later.
+  Message drop_at(std::size_t idx);
+  /// Re-enqueue a copy of the message at `idx` (duplicate delivery).
+  void duplicate_at(std::size_t idx);
+  /// Put a previously drop_at()-taken message back in flight (delayed
+  /// delivery). Silently discarded if either endpoint has crashed since.
+  void inject(Message m);
 
   /// Run until quiescent / decided / the delivery budget.
   MsgResult run(DeliveryScheduler& sched, std::int64_t max_deliveries);
@@ -118,6 +135,7 @@ class MsgSystem {
   std::vector<std::unique_ptr<MsgProcess>> procs_;
   std::vector<bool> crashed_;
   std::vector<Message> in_flight_;
+  std::vector<std::int64_t> received_;
   std::int64_t deliveries_ = 0;
   Rng rng_;
 };

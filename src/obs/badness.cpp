@@ -1,0 +1,113 @@
+#include "obs/badness.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace cil::obs {
+
+BadnessSignals signals_from_events(const std::vector<Event>& events) {
+  BadnessSignals s;
+  bool decided = false;
+  std::set<std::int64_t> values;
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kStep:
+        ++s.total_steps;
+        if (decided) ++s.post_first_decision_steps;
+        break;
+      case EventKind::kDecision:
+        ++s.decisions;
+        values.insert(e.arg);
+        if (!decided) {
+          decided = true;
+          s.steps_to_first_decision = s.total_steps;
+        }
+        break;
+      case EventKind::kCrash:
+        ++s.crashes;
+        break;
+      case EventKind::kRecover:
+        ++s.recoveries;
+        if (decided) ++s.recoveries_after_decision;
+        break;
+      case EventKind::kFaultInjected:
+        s.faults_injected += std::max<std::int64_t>(1, e.arg);
+        break;
+      case EventKind::kWatchdogFire:
+        ++s.watchdog_fires;
+        break;
+      default:
+        break;
+    }
+  }
+  s.decision_spread = static_cast<std::int64_t>(values.size());
+  return s;
+}
+
+namespace {
+
+std::int64_t counter_or_zero(const Json& counters, const std::string& name) {
+  const auto& obj = counters.as_object();
+  const auto it = obj.find(name);
+  return it == obj.end() ? 0 : it->second.as_int();
+}
+
+}  // namespace
+
+BadnessSignals signals_from_run_report(const Json& report) {
+  CIL_EXPECTS(report.is_object());
+  const auto& obj = report.as_object();
+  const auto rep = obj.find("report");
+  CIL_CHECK_MSG(rep != obj.end() &&
+                    rep->second.as_string() == "cilcoord.run_report.v1",
+                "badness: not a cilcoord.run_report.v1 document");
+  BadnessSignals s;
+  const auto metrics = obj.find("metrics");
+  if (metrics == obj.end()) return s;
+  const auto& counters = metrics->second.at("counters");
+  s.total_steps = counter_or_zero(counters, "events.step");
+  s.decisions = counter_or_zero(counters, "events.decision");
+  s.crashes = counter_or_zero(counters, "events.crash");
+  s.recoveries = counter_or_zero(counters, "events.recover");
+  s.watchdog_fires = counter_or_zero(counters, "events.watchdog");
+  s.faults_injected = counter_or_zero(counters, "faults.injected");
+  s.timed_out = s.watchdog_fires > 0;
+  return s;
+}
+
+double badness_score(const BadnessSignals& s) {
+  // A real violation dominates unconditionally: nothing a violation-free
+  // run accumulates below can reach 1e12.
+  double score = 0.0;
+  if (s.violation) score += 1e12;
+
+  // Liveness trouble: the run burned its whole budget, or left an
+  // uncrashed processor undecided.
+  if (s.timed_out) score += 1e6;
+  if (s.undecided) score += 2e5;
+  score += static_cast<double>(s.watchdog_fires) * 1e5;
+
+  // Near-violation structure. Post-first-decision stepping is the
+  // precondition of every consistency break; a recovery landing after a
+  // decision is the precise precursor of a recovery-semantics break.
+  score += static_cast<double>(s.post_first_decision_steps) * 50.0;
+  score += static_cast<double>(s.recoveries_after_decision) * 1e4;
+  if (s.decision_spread > 1)
+    score += static_cast<double>(s.decision_spread - 1) * 1e9;
+
+  // Slow runs are bad runs: the steps-to-decide tail is what the paper's
+  // adversary fights for.
+  score += static_cast<double>(s.total_steps);
+  score += static_cast<double>(s.steps_to_first_decision) * 4.0;
+
+  // A weak pull toward plans whose faults actually land, so the search
+  // does not drift into schedules where the plan is a no-op.
+  score += static_cast<double>(s.crashes) * 16.0;
+  score += static_cast<double>(s.recoveries) * 64.0;
+  score += std::min<double>(static_cast<double>(s.faults_injected), 256.0);
+  return score;
+}
+
+}  // namespace cil::obs

@@ -1,0 +1,65 @@
+// "Badness" — the fitness signal the adversarial fault-plan search
+// (src/search) maximizes.
+//
+// A run's badness condenses how close it came to breaking the protocol:
+// an actual CoordinationViolation dominates everything; below that, the
+// generic near-violation indicators. The key one is *post-first-decision
+// activity*: every consistency violation requires a second, conflicting
+// decision after the first, so runs where processors keep stepping —
+// and especially keep recovering — after a decision exists are the runs
+// one mutation away from a violation. Steps-to-decide tail, undecided
+// processors, and watchdog trips round out the score so the optimizer has
+// a gradient even in the (normal) regime where nothing breaks.
+//
+// Signals can be extracted either from a recorded event stream
+// (signals_from_events) or from a run-report JSON document emitted by
+// obs/export.h (signals_from_run_report) — the latter is what lets the
+// search consume the same artifacts chaos and the benches already write.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/json.h"
+
+namespace cil::obs {
+
+/// The raw per-run features badness_score combines. All counts are over
+/// one run.
+struct BadnessSignals {
+  bool violation = false;    ///< check_properties_after_step threw
+  bool timed_out = false;    ///< threaded watchdog fired / budget exhausted
+  bool undecided = false;    ///< an uncrashed processor never decided
+  std::int64_t total_steps = 0;
+  std::int64_t steps_to_first_decision = 0;  ///< 0 when no decision happened
+  std::int64_t post_first_decision_steps = 0;
+  std::int64_t decisions = 0;
+  std::int64_t decision_spread = 0;  ///< distinct decision values observed
+  std::int64_t crashes = 0;
+  std::int64_t recoveries = 0;
+  std::int64_t recoveries_after_decision = 0;
+  std::int64_t faults_injected = 0;
+  std::int64_t watchdog_fires = 0;
+
+  friend bool operator==(const BadnessSignals&, const BadnessSignals&) =
+      default;
+};
+
+/// Extract signals from a recorded stream (stream order = serialization
+/// order in the simulator; merge order in the threaded runtime). The
+/// violation/timed_out/undecided bits are not derivable from events alone —
+/// set them from the run result afterwards.
+BadnessSignals signals_from_events(const std::vector<Event>& events);
+
+/// Extract what a run-report's metrics section carries (event-kind
+/// counters, faults.injected); per-stream ordering signals that the
+/// flattened report cannot express stay zero. Throws ContractViolation if
+/// `report` is not a cilcoord.run_report.v1 document.
+BadnessSignals signals_from_run_report(const Json& report);
+
+/// Scalar fitness, higher = worse for the protocol. Deterministic in the
+/// signals; an actual violation dominates every violation-free run.
+double badness_score(const BadnessSignals& s);
+
+}  // namespace cil::obs

@@ -9,7 +9,7 @@ namespace cil::obs {
 namespace {
 constexpr std::array<std::string_view, kNumEventKinds> kKindNames = {
     "step",  "read",  "write", "coin",     "decision",
-    "crash", "stall", "fault", "watchdog", "phase",
+    "crash", "stall", "fault", "watchdog", "phase",    "recover",
 };
 }  // namespace
 

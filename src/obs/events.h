@@ -33,8 +33,10 @@ enum class EventKind : std::uint8_t {
   kFaultInjected,    ///< register-level fault served (arg = count/code)
   kWatchdogFire,     ///< the threaded runtime's wall-clock watchdog fired
   kPhaseChange,      ///< the automaton's leading state component changed
+  kRecover,          ///< a crashed processor restarted from persistent state
+                     ///< (arg = global steps it spent down)
 };
-inline constexpr int kNumEventKinds = 10;
+inline constexpr int kNumEventKinds = 11;
 
 /// Stable wire name ("step", "read", "write", ...). Used by the JSONL
 /// exporter and parsed back by tools/traceview.

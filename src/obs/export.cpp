@@ -51,6 +51,37 @@ std::vector<Event> read_jsonl(std::istream& is) {
   return out;
 }
 
+JsonlStreamSink::JsonlStreamSink(const std::string& path)
+    : os_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  ok_ = static_cast<bool>(os_);
+  if (!ok_)
+    std::fprintf(stderr, "obs: cannot open %s for streaming\n", path.c_str());
+}
+
+JsonlStreamSink::~JsonlStreamSink() { close(); }
+
+void JsonlStreamSink::on_event(const Event& e) {
+  if (closed_ || !ok_) return;
+  os_ << event_to_json_line(e) << '\n';
+  ++events_written_;
+  if (!os_) {
+    ok_ = false;
+    std::fprintf(stderr, "obs: streaming write to %s failed\n", path_.c_str());
+  }
+}
+
+bool JsonlStreamSink::close() {
+  if (!closed_) {
+    closed_ = true;
+    if (os_.is_open()) {
+      os_.flush();
+      if (!os_) ok_ = false;
+      os_.close();
+    }
+  }
+  return ok_;
+}
+
 namespace {
 
 /// The exporter's timebase: virtual steps in the simulator (wall_us stays

@@ -16,6 +16,7 @@
 // whichever is set and enforces strictly monotone per-track timestamps.
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -38,6 +39,34 @@ Event event_from_json(const Json& j);
 
 void write_jsonl(std::ostream& os, const std::vector<Event>& events);
 std::vector<Event> read_jsonl(std::istream& is);
+
+/// An EventSink that streams each event to a JSONL file as it is emitted,
+/// instead of buffering the run in memory — the sink long chaos searches
+/// need (a RecordingSink over a 50k-evaluation hunt grows without bound).
+/// Single-threaded consumers only, like RecordingSink: the threaded runtime
+/// buffers per-thread and drains through this at join, which is safe.
+/// Events are flushed on close()/destruction; `ok()` reports I/O health.
+class JsonlStreamSink final : public EventSink {
+ public:
+  explicit JsonlStreamSink(const std::string& path);
+  ~JsonlStreamSink() override;
+
+  void on_event(const Event& e) override;
+
+  /// Flush and close the underlying file. Idempotent; called by the
+  /// destructor. Returns ok().
+  bool close();
+  /// True while the file opened and every write so far succeeded.
+  bool ok() const { return ok_; }
+  std::int64_t events_written() const { return events_written_; }
+
+ private:
+  std::ofstream os_;
+  std::string path_;
+  bool ok_ = false;
+  bool closed_ = false;
+  std::int64_t events_written_ = 0;
+};
 
 /// Chrome/Perfetto trace_event JSON for a recorded stream. `process_name`
 /// labels the top-level track group (e.g. "sim:unbounded-3 seed=7").

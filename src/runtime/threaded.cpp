@@ -263,7 +263,14 @@ ThreadedResult run_threaded(const Protocol& protocol,
   CIL_EXPECTS(static_cast<int>(inputs.size()) == n);
 
   const fault::FaultPlan* plan = options.fault_plan;
-  if (plan != nullptr) plan->validate(n);
+  if (plan != nullptr) {
+    plan->validate(n);
+    // Crash-recovery is a simulator-only fault model for now: restarting a
+    // worker thread mid-run would race the watchdog and the per-thread
+    // event buffers. The searcher uses the serialized substrate for it.
+    CIL_CHECK_MSG(plan->recoveries.empty(),
+                  "run_threaded does not support recovery events");
+  }
 
   auto state = std::make_shared<SharedState>();
   state->decisions.assign(n, kNoValue);
@@ -369,6 +376,9 @@ ThreadedResult run_threaded(const Protocol& protocol,
           park(*state, stalls[next_stall].duration);
           ++next_stall;
         }
+        // park() bails out early when the watchdog stops the run; a stopped
+        // run must not take another protocol step.
+        if (state->stop.load(std::memory_order_relaxed)) break;
         ThreadedStepContext ctx(*state->regs, pid, rng);
         if (observing) {
           BufferingStepContext octx(ctx, pid, steps + 1, state->start,

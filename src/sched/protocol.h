@@ -11,6 +11,21 @@
 
 namespace cil {
 
+/// What survives a crash-recovery (fault model extension, PR 3): the
+/// processor's identity and input, plus the *persistent* shared registers
+/// it owns — volatile automaton state is gone. Protocol::recover builds the
+/// restarted process from exactly this.
+struct RecoveryContext {
+  ProcessId pid = 0;
+  Value input = kNoValue;  ///< the original input value supplied to init()
+  /// The registers this pid is a declared writer of (its persistent state),
+  /// as parallel id/value vectors in registers() order.
+  std::vector<RegisterId> own_registers;
+  std::vector<Word> own_values;
+  std::int64_t steps_taken = 0;   ///< own steps completed before the crash
+  std::int64_t steps_missed = 0;  ///< global steps elapsed while down
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -31,6 +46,22 @@ class Protocol {
   virtual std::string describe_word(RegisterId r, Word w) const {
     (void)r;
     return std::to_string(w);
+  }
+
+  /// Restart a crashed processor from its persistent registers. The default
+  /// is a cold restart — a fresh automaton re-initialized with the original
+  /// input, ignoring the persisted words. A cold restart forgets adopted
+  /// preferences and resets any monotone counters the processor had
+  /// published, so protocols whose safety argument leans on their own
+  /// registers (all three core ones) override this with a *conservative
+  /// re-read*: resume from what the persistent registers still say, which
+  /// keeps the recovered state a legal automaton state and carries the
+  /// paper's consistency proofs over unchanged. Called by
+  /// Simulation::recover.
+  virtual std::unique_ptr<Process> recover(const RecoveryContext& ctx) const {
+    auto p = make_process(ctx.pid);
+    p->init(ctx.input);
+    return p;
   }
 
   /// Convenience: build the register file from registers().

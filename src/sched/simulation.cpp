@@ -110,6 +110,8 @@ Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
   CIL_EXPECTS(static_cast<int>(inputs_.size()) == n);
   crashed_.assign(n, false);
   steps_.assign(n, 0);
+  crash_total_step_.assign(n, -1);
+  decisions_ever_.assign(n, kNoValue);
   procs_.reserve(n);
   for (ProcessId p = 0; p < n; ++p) {
     CIL_EXPECTS(inputs_[p] >= 0);
@@ -153,6 +155,7 @@ void Simulation::crash(ProcessId p) {
     if (!crashed_[q] && q != p) ++alive;
   CIL_CHECK_MSG(alive >= 1, "cannot crash the last live processor");
   crashed_[p] = true;
+  crash_total_step_[p] = total_steps_;
   if (!sinks_.empty()) {
     obs::Event e;
     e.kind = obs::EventKind::kCrash;
@@ -163,13 +166,73 @@ void Simulation::crash(ProcessId p) {
   }
 }
 
+bool Simulation::recover(ProcessId p) {
+  CIL_EXPECTS(p >= 0 && p < num_processes());
+  CIL_CHECK_MSG(crashed_[p], "recover of a processor that is not crashed");
+  if (procs_[p]->decided()) return false;
+
+  RecoveryContext ctx;
+  ctx.pid = p;
+  ctx.input = inputs_[p];
+  const auto specs = protocol_.registers();
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    const auto& writers = specs[r].writers;
+    if (std::find(writers.begin(), writers.end(), p) != writers.end()) {
+      ctx.own_registers.push_back(static_cast<RegisterId>(r));
+      ctx.own_values.push_back(regs_.peek(static_cast<RegisterId>(r)));
+    }
+  }
+  ctx.steps_taken = steps_[p];
+  ctx.steps_missed = total_steps_ - crash_total_step_[p];
+
+  procs_[p] = protocol_.recover(ctx);
+  CIL_CHECK_MSG(procs_[p] != nullptr, "Protocol::recover returned null");
+  crashed_[p] = false;
+  ++recoveries_;
+  if (!sinks_.empty()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kRecover;
+    e.pid = p;
+    e.step = steps_[p];
+    e.total_step = total_steps_;
+    e.arg = ctx.steps_missed;
+    emit(e);
+  }
+  // A recovered automaton may already be decided (a conservative re-read of
+  // a decision register, or a planted bug); announce it and hold it to the
+  // same properties as a decision reached by stepping.
+  if (!sinks_.empty() && procs_[p]->decided()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kDecision;
+    e.pid = p;
+    e.step = steps_[p];
+    e.total_step = total_steps_;
+    e.arg = procs_[p]->decision();
+    emit(e);
+  }
+  check_properties_after_step(p);
+  return true;
+}
+
 bool Simulation::step_once(Scheduler& sched) {
   const SystemView view(*this);
+  // Recoveries first: they may be the only way the run can continue (every
+  // live processor decided, a crashed one still has a restart pending).
+  for (ProcessId p : sched.recoveries(view)) recover(p);
   for (ProcessId p : sched.crashes(view)) crash(p);
 
   bool any_active = false;
   for (ProcessId p = 0; p < num_processes(); ++p) any_active |= active(p);
-  if (!any_active) return false;
+  if (!any_active) {
+    // Nothing runnable, but a restart is still scheduled: let global time
+    // idle forward one tick so the recovery comes due at its planned step.
+    // The run() budget (max_total_steps) still bounds the wait.
+    if (sched.recovery_pending(view)) {
+      ++total_steps_;
+      return true;
+    }
+    return false;
+  }
 
   const ProcessId p = sched.pick(view);
   CIL_CHECK_MSG(p >= 0 && p < num_processes(), "scheduler picked a bad pid");
@@ -271,7 +334,20 @@ void Simulation::check_properties_after_step(ProcessId stepped) {
         throw CoordinationViolation(os.str());
       }
     }
+    // Decisions are write-once: also check against every decision *ever*
+    // announced, so a recovered processor (whose pre-crash Process object is
+    // gone) cannot contradict the past — not even its own.
+    for (ProcessId q = 0; q < num_processes(); ++q) {
+      if (decisions_ever_[q] != kNoValue && decisions_ever_[q] != v) {
+        std::ostringstream os;
+        os << "consistency violated: P" << stepped << " decided " << v
+           << " but P" << q << " had decided " << decisions_ever_[q]
+           << (q == stepped ? " before crashing" : "");
+        throw CoordinationViolation(os.str());
+      }
+    }
   }
+  if (decisions_ever_[stepped] == kNoValue) decisions_ever_[stepped] = v;
 
   if (options_.check_nontriviality) {
     bool is_input_of_active = false;
@@ -306,6 +382,7 @@ SimResult Simulation::result() const {
   r.total_steps = total_steps_;
   r.schedule = schedule_;
   r.max_register_bits = regs_.max_bits_written();
+  r.recoveries = recoveries_;
   return r;
 }
 

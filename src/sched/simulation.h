@@ -54,6 +54,24 @@ class Scheduler {
     (void)view;
     return {};
   }
+  /// Consulted before crashes() each step: crashed pids to restart via
+  /// Protocol::recover (crash-recovery fault model). Consulted even when
+  /// nothing is active, so a plan whose last survivor(s) decided can still
+  /// bring a crashed processor back and keep the run going.
+  virtual std::vector<ProcessId> recoveries(const SystemView& view) {
+    (void)view;
+    return {};
+  }
+  /// True iff a restart is scheduled but not yet due. When nothing is
+  /// active, the engine idles the global clock forward (one tick per
+  /// step_once, still bounded by max_total_steps) instead of ending the run,
+  /// so a delayed recovery fires at its planned due step and steps_missed
+  /// honestly reflects the planned outage — time does not compress just
+  /// because every survivor already decided.
+  virtual bool recovery_pending(const SystemView& view) const {
+    (void)view;
+    return false;
+  }
 };
 
 struct SimOptions {
@@ -81,6 +99,7 @@ struct SimResult {
   std::int64_t total_steps = 0;
   std::vector<ProcessId> schedule;  ///< recorded iff requested
   int max_register_bits = 0;  ///< high-water mark (Theorem 9 probe)
+  std::int64_t recoveries = 0;  ///< crash-recoveries applied during the run
 };
 
 class Simulation {
@@ -97,8 +116,16 @@ class Simulation {
   /// step_once() calls.
   SimResult run(Scheduler& sched);
 
-  /// Fail-stop a processor: it will never be scheduled again.
+  /// Fail-stop a processor: it will never be scheduled again (unless a
+  /// recovery brings it back).
   void crash(ProcessId p);
+
+  /// Crash-recovery: restart crashed processor `p` from its persistent
+  /// registers via Protocol::recover (volatile state wiped). Returns false
+  /// — and leaves the processor down — when it had already decided before
+  /// crashing: its decision is already part of the run's output, and a
+  /// restarted automaton could only re-decide. Emits kRecover on success.
+  bool recover(ProcessId p);
 
   // Introspection (also used by SystemView).
   const Protocol& protocol() const { return protocol_; }
@@ -140,6 +167,15 @@ class Simulation {
   std::vector<Value> inputs_;
   std::vector<bool> crashed_;
   std::vector<std::int64_t> steps_;
+  /// total_steps_ at each processor's crash (-1 = never crashed); feeds
+  /// RecoveryContext::steps_missed.
+  std::vector<std::int64_t> crash_total_step_;
+  /// First decision each processor ever announced (kNoValue = none). The
+  /// consistency check compares against this latch, not just live Process
+  /// objects, so a recovered processor contradicting any *past* decision —
+  /// including its own — is caught even after objects were replaced.
+  std::vector<Value> decisions_ever_;
+  std::int64_t recoveries_ = 0;
   std::vector<ProcessId> schedule_;
   std::set<ProcessId> activated_;  ///< processes that took >= 1 step
   std::int64_t total_steps_ = 0;

@@ -1,0 +1,74 @@
+// The worst-plan artifact: the replayable JSON document tools/hunt emits
+// when a search finishes ("cilcoord.worst_plan.v1"). It pins everything a
+// replay needs — protocol name and size, inputs, substrate, the serialized
+// FaultPlan, the scheduler seed — plus what the search claimed about it
+// (fitness, violation text, budget spent), so `hunt --replay=FILE` can
+// re-run the genome and check the claim instead of trusting it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "search/evaluate.h"
+#include "search/genome.h"
+#include "search/optimize.h"
+
+namespace cil::search {
+
+inline constexpr const char* kWorstPlanArtifactName = "cilcoord.worst_plan.v1";
+
+struct WorstPlanArtifact {
+  std::string protocol;   ///< e.g. "two_process", "ben_or"
+  std::string substrate;  ///< "sim" | "msg"
+  std::string ablation;   ///< "" or the deliberately-broken variant name
+  std::string search;     ///< "uniform" | "anneal" | "evo" | "manual"
+  int num_processes = 0;
+  int tolerance = -1;  ///< msg substrate: Ben-Or's t (-1 = default (n-1)/2)
+  std::vector<Value> inputs;
+  PlanGenome genome;
+  /// Per-evaluation step budget (sim: max_total_steps, msg: max_picks) —
+  /// pinned here because fitness depends on it; replay must use the same.
+  std::int64_t eval_steps = 20'000;
+  // What the search observed for this genome:
+  double fitness = 0.0;
+  bool violation = false;
+  std::string violation_what;
+  std::int64_t evaluations = 0;          ///< budget actually spent
+  std::int64_t evaluations_to_best = 0;  ///< 1-based index that found it
+};
+
+/// Build an artifact from a finished search. Caller fills the identity
+/// fields (protocol/substrate/ablation/inputs); this copies the rest out of
+/// the SearchResult.
+WorstPlanArtifact make_artifact(const SearchResult& r, std::string protocol,
+                                std::string substrate, std::string ablation,
+                                std::string search_name, int num_processes,
+                                std::vector<Value> inputs);
+
+obs::Json artifact_to_json(const WorstPlanArtifact& a);
+
+/// Inverse of artifact_to_json. Throws ContractViolation on a document that
+/// is not a well-formed cilcoord.worst_plan.v1.
+WorstPlanArtifact artifact_from_json(const obs::Json& j);
+
+/// Write as pretty-enough JSON (single dump() line + trailing newline).
+/// Returns false and reports to stderr on I/O failure.
+bool write_artifact_file(const std::string& path, const WorstPlanArtifact& a);
+
+/// Read + parse an artifact file. Throws ContractViolation on unreadable or
+/// malformed input.
+WorstPlanArtifact load_artifact_file(const std::string& path);
+
+/// Re-evaluate the stored genome with `eval` (which the caller builds to
+/// match the artifact's protocol/substrate/inputs) and report whether the
+/// replay reproduced the stored outcome: same violation bit and, when no
+/// violation, same fitness.
+struct ReplayOutcome {
+  Evaluation eval;
+  bool matches = false;
+};
+ReplayOutcome replay_artifact(const WorstPlanArtifact& a,
+                              const Evaluator& eval);
+
+}  // namespace cil::search

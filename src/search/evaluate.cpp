@@ -1,0 +1,82 @@
+#include "search/evaluate.h"
+
+#include <memory>
+#include <utility>
+
+#include "fault/sim_faults.h"
+#include "msg/msg_faults.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+namespace cil::search {
+namespace {
+
+// Domain separation: the scheduler's pick stream must not be the stream
+// that drives protocol coins (SimOptions.seed), or mutating the
+// interleaving would silently re-deal every coin flip too.
+constexpr std::uint64_t kPickSalt = 0x5bd1e995a4c93b1dULL;
+
+}  // namespace
+
+Evaluator make_sim_evaluator(const Protocol& protocol, SimEvalOptions opts) {
+  return [&protocol, opts = std::move(opts)](const PlanGenome& g) {
+    g.plan.validate(protocol.num_processes());
+
+    Evaluation ev;
+    obs::RecordingSink rec;
+    SimOptions so;
+    so.seed = g.sched_seed;
+    so.max_total_steps = opts.max_total_steps;
+    so.check_nontriviality = opts.check_nontriviality;
+    so.obs.sink = &rec;
+    Simulation sim(protocol, opts.inputs, so);
+    if (opts.extra_sink != nullptr) sim.attach_sink(opts.extra_sink);
+
+    std::unique_ptr<fault::SimRegisterFaults> hook;
+    if (g.plan.registers.any()) {
+      hook = std::make_unique<fault::SimRegisterFaults>(
+          g.plan.registers, g.plan.seed, sim.regs().size());
+      sim.mutable_regs().set_fault_hook(hook.get());
+    }
+
+    RandomScheduler inner(g.sched_seed ^ kPickSalt);
+    fault::FaultPlanScheduler sched(inner, g.plan);
+    sched.set_event_sink(&rec);
+
+    SimResult r;
+    try {
+      r = sim.run(sched);
+    } catch (const CoordinationViolation& v) {
+      ev.violation = true;
+      ev.violation_what = v.what();
+      r = sim.result();
+    }
+    sim.mutable_regs().set_fault_hook(nullptr);
+
+    ev.events = rec.take();
+    ev.signals = obs::signals_from_events(ev.events);
+    ev.signals.violation = ev.violation;
+    ev.signals.undecided = !ev.violation && !r.all_decided;
+    ev.signals.timed_out =
+        !ev.violation && !r.all_decided && r.total_steps >= opts.max_total_steps;
+    if (hook != nullptr) ev.signals.faults_injected = hook->faults_injected();
+    ev.fitness = obs::badness_score(ev.signals);
+    return ev;
+  };
+}
+
+Evaluator make_msg_evaluator(const msg::MsgProtocol& protocol,
+                             MsgEvalOptions opts) {
+  return [&protocol, opts = std::move(opts)](const PlanGenome& g) {
+    Evaluation ev;
+    const msg::MsgChaosResult r = msg::run_msg_chaos(
+        protocol, opts.inputs, g.plan, g.sched_seed, opts.max_picks);
+    ev.violation = r.violation;
+    ev.violation_what = r.violation_what;
+    ev.signals = r.signals;
+    ev.fitness = obs::badness_score(ev.signals);
+    return ev;
+  };
+}
+
+}  // namespace cil::search

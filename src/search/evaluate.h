@@ -1,0 +1,65 @@
+// Evaluators: run one genome on a substrate and condense the run into a
+// fitness (obs::badness_score over BadnessSignals). The optimizers in
+// optimize.h are substrate-agnostic — they only see the Evaluator functor —
+// so the same annealer hunts shared-register protocols in the serialized
+// simulator and Ben-Or under message chaos.
+//
+// Determinism contract: an Evaluator is a pure function of the genome.
+// Same genome => same Evaluation, every time, on every machine. This is
+// what makes the emitted worst-plan artifact replayable: re-evaluating the
+// stored genome reproduces the stored fitness (and violation) exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "msg/msg_system.h"
+#include "obs/badness.h"
+#include "obs/events.h"
+#include "sched/protocol.h"
+#include "search/genome.h"
+
+namespace cil::search {
+
+/// The outcome of evaluating one genome.
+struct Evaluation {
+  double fitness = 0.0;  ///< obs::badness_score(signals); higher = worse
+  bool violation = false;
+  std::string violation_what;
+  obs::BadnessSignals signals;
+  /// Recorded event stream (simulator substrate only; empty for msg). Fed
+  /// back into mutate() as homing hints.
+  std::vector<obs::Event> events;
+};
+
+using Evaluator = std::function<Evaluation(const PlanGenome&)>;
+
+struct SimEvalOptions {
+  std::vector<Value> inputs;
+  std::int64_t max_total_steps = 20'000;
+  bool check_nontriviality = true;
+  /// Optional extra sink attached to every evaluation's Simulation —
+  /// tools/hunt passes a JsonlStreamSink here to stream a replay's events
+  /// to disk as they happen. Borrowed; must outlive the evaluator.
+  obs::EventSink* extra_sink = nullptr;
+};
+
+/// Evaluator over the serialized simulator: RandomScheduler(sched_seed)
+/// wrapped in a FaultPlanScheduler, register faults via SimRegisterFaults,
+/// full event recording. `protocol` is borrowed and must outlive the
+/// returned functor.
+Evaluator make_sim_evaluator(const Protocol& protocol, SimEvalOptions opts);
+
+struct MsgEvalOptions {
+  std::vector<Value> inputs;
+  std::int64_t max_picks = 50'000;
+};
+
+/// Evaluator over the message-passing substrate (msg::run_msg_chaos).
+/// `protocol` is borrowed and must outlive the returned functor.
+Evaluator make_msg_evaluator(const msg::MsgProtocol& protocol,
+                             MsgEvalOptions opts);
+
+}  // namespace cil::search

@@ -1,0 +1,320 @@
+#include "search/genome.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace cil::search {
+namespace {
+
+std::int64_t clamp_step(std::int64_t s, const GenomeSpace& space) {
+  return std::clamp<std::int64_t>(s, 0, space.crash_horizon - 1);
+}
+
+double nudge_prob(double p, Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return 0.0;
+    case 1: return p <= 0.0 ? 0.05 : std::min(1.0, p * 2.0);
+    case 2: return p / 2.0;
+    default: return rng.uniform() * 0.3;
+  }
+}
+
+bool has_crash(const fault::FaultPlan& plan, ProcessId pid) {
+  return std::any_of(plan.crashes.begin(), plan.crashes.end(),
+                     [&](const fault::CrashEvent& c) { return c.pid == pid; });
+}
+
+/// Restore the invariants FaultPlan::validate checks: distinct crash
+/// victims, at most n-1 of them, recoveries matched 1:1 to crashes, all
+/// pids/steps/rates in range. Mutation operators may leave any of these
+/// momentarily broken; every mutate() call ends here.
+void repair(fault::FaultPlan& plan, const GenomeSpace& space) {
+  const int n = space.num_processes;
+  // Distinct victims, first occurrence wins; then the survivor-rule cap.
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::erase_if(plan.crashes, [&](const fault::CrashEvent& c) {
+    if (c.pid < 0 || c.pid >= n) return true;
+    if (seen[static_cast<std::size_t>(c.pid)]) return true;
+    seen[static_cast<std::size_t>(c.pid)] = true;
+    return false;
+  });
+  const std::size_t cap = static_cast<std::size_t>(space.crash_cap());
+  if (plan.crashes.size() > cap) plan.crashes.resize(cap);
+  for (fault::CrashEvent& c : plan.crashes)
+    c.at_step = clamp_step(c.at_step, space);
+
+  // Recoveries: one per pid, pid must still be a crash victim, delay >= 1.
+  std::vector<bool> rec_seen(static_cast<std::size_t>(n), false);
+  std::erase_if(plan.recoveries, [&](const fault::RecoveryEvent& r) {
+    if (r.pid < 0 || r.pid >= n || !has_crash(plan, r.pid)) return true;
+    if (rec_seen[static_cast<std::size_t>(r.pid)]) return true;
+    rec_seen[static_cast<std::size_t>(r.pid)] = true;
+    return false;
+  });
+  for (fault::RecoveryEvent& r : plan.recoveries)
+    r.delay = std::clamp<std::int64_t>(r.delay, 1, space.max_recovery_delay);
+
+  for (fault::StallEvent& s : plan.stalls) {
+    s.pid = std::clamp(s.pid, ProcessId{0}, static_cast<ProcessId>(n - 1));
+    s.at_step = clamp_step(s.at_step, space);
+    s.duration =
+        std::clamp<std::int64_t>(s.duration, 1, space.max_stall_duration);
+  }
+  if (plan.stalls.size() > static_cast<std::size_t>(space.max_stalls))
+    plan.stalls.resize(static_cast<std::size_t>(space.max_stalls));
+
+  auto clamp01 = [](double& p) { p = std::clamp(p, 0.0, 1.0); };
+  clamp01(plan.registers.stale_prob);
+  clamp01(plan.registers.delay_prob);
+  clamp01(plan.registers.flicker_prob);
+  plan.registers.stale_depth = std::max(plan.registers.stale_depth, 1);
+  plan.registers.delay_window = std::max(plan.registers.delay_window, 1);
+  clamp01(plan.messages.drop_prob);
+  clamp01(plan.messages.dup_prob);
+  clamp01(plan.messages.delay_prob);
+  plan.messages.delay_max = std::max(plan.messages.delay_max, 1);
+}
+
+/// The mutation operators. Applicability is checked per genome, so the
+/// chosen operator always has something to act on.
+enum class Op {
+  kCrashJitter1,
+  kCrashJitter8,
+  kCrashResample,
+  kCrashHome,     ///< retarget onto an observed coin-flip/write own-step
+  kCrashRepid,
+  kCrashAdd,
+  kCrashRemove,
+  kRecoveryToggle,
+  kRecoveryDelay,
+  kStallPerturb,
+  kRegisterNudge,
+  kMessageNudge,
+  kSchedSeed,
+  kFaultSeed,
+};
+
+}  // namespace
+
+int GenomeSpace::crash_cap() const {
+  return std::clamp(max_crashes, 0, num_processes - 1);
+}
+
+PlanGenome random_genome(const GenomeSpace& space, Rng& rng) {
+  const int cap = space.crash_cap();
+  const int num_crashes =
+      cap > 0 ? static_cast<int>(rng.below(static_cast<std::uint64_t>(cap) + 1))
+              : 0;
+  const int num_stalls =
+      space.max_stalls > 0
+          ? static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(space.max_stalls) + 1))
+          : 0;
+  fault::RegisterFaultConfig reg;
+  if (space.allow_register_faults && rng.flip()) {
+    reg.stale_prob = rng.uniform() * 0.25;
+    reg.stale_depth = 1 + static_cast<int>(rng.below(3));
+    if (rng.flip()) {
+      reg.delay_prob = rng.uniform() * 0.25;
+      reg.delay_window = 1 + static_cast<int>(rng.below(4));
+    }
+  }
+  const int num_recoveries =
+      (space.allow_recovery && num_crashes > 0)
+          ? static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(num_crashes) + 1))
+          : 0;
+
+  PlanGenome g;
+  g.plan = fault::FaultPlan::random(
+      rng.bits(), space.num_processes, num_crashes, num_stalls,
+      space.crash_horizon, space.max_stall_duration, reg, num_recoveries,
+      space.max_recovery_delay);
+  if (space.allow_message_faults) {
+    if (rng.flip()) g.plan.messages.drop_prob = rng.uniform() * 0.3;
+    if (rng.flip()) g.plan.messages.dup_prob = rng.uniform() * 0.3;
+    if (rng.flip()) {
+      g.plan.messages.delay_prob = rng.uniform() * 0.3;
+      g.plan.messages.delay_max = 1 + static_cast<int>(rng.below(16));
+    }
+  }
+  g.sched_seed = rng.bits();
+  return g;
+}
+
+PlanGenome mutate(const PlanGenome& g, const GenomeSpace& space, Rng& rng,
+                  const std::vector<obs::Event>& hints) {
+  PlanGenome out = g;
+  fault::FaultPlan& plan = out.plan;
+
+  std::vector<Op> ops;
+  const bool have_crash = !plan.crashes.empty();
+  if (have_crash) {
+    ops.insert(ops.end(), {Op::kCrashJitter1, Op::kCrashJitter1,
+                           Op::kCrashJitter8, Op::kCrashResample,
+                           Op::kCrashRepid, Op::kCrashRemove});
+    if (!hints.empty()) {
+      // Homing is the highest-value move when a trace is available: list it
+      // thrice so roughly a quarter of crash mutations aim at commit points.
+      ops.insert(ops.end(), {Op::kCrashHome, Op::kCrashHome, Op::kCrashHome});
+    }
+  }
+  if (static_cast<int>(plan.crashes.size()) < space.crash_cap())
+    ops.push_back(Op::kCrashAdd);
+  if (space.allow_recovery && have_crash) ops.push_back(Op::kRecoveryToggle);
+  if (!plan.recoveries.empty()) ops.push_back(Op::kRecoveryDelay);
+  if (space.max_stalls > 0) ops.push_back(Op::kStallPerturb);
+  if (space.allow_register_faults) ops.push_back(Op::kRegisterNudge);
+  if (space.allow_message_faults) ops.push_back(Op::kMessageNudge);
+  ops.push_back(Op::kSchedSeed);
+  if (plan.registers.any() || plan.messages.any())
+    ops.push_back(Op::kFaultSeed);
+
+  CIL_CHECK_MSG(!ops.empty(), "empty mutation operator set");
+  const Op op = ops[rng.below(ops.size())];
+  const auto pick_crash = [&]() -> fault::CrashEvent& {
+    return plan.crashes[rng.below(plan.crashes.size())];
+  };
+
+  switch (op) {
+    case Op::kCrashJitter1:
+      pick_crash().at_step += rng.flip() ? 1 : -1;
+      break;
+    case Op::kCrashJitter8:
+      pick_crash().at_step +=
+          (rng.flip() ? 1 : -1) * (1 + static_cast<std::int64_t>(rng.below(8)));
+      break;
+    case Op::kCrashResample:
+      pick_crash().at_step =
+          static_cast<std::int64_t>(rng.below(
+              static_cast<std::uint64_t>(space.crash_horizon)));
+      break;
+    case Op::kCrashHome: {
+      fault::CrashEvent& c = pick_crash();
+      // Own-steps at which this pid did something irreversible last run.
+      std::vector<std::int64_t> targets;
+      for (const obs::Event& e : hints) {
+        if (e.pid != c.pid) continue;
+        if (e.kind == obs::EventKind::kCoinFlip ||
+            e.kind == obs::EventKind::kRegisterWrite)
+          targets.push_back(e.step);
+      }
+      if (targets.empty()) {
+        c.at_step += rng.flip() ? 1 : -1;  // no trace for this pid: jitter
+      } else {
+        c.at_step = targets[rng.below(targets.size())];
+      }
+      break;
+    }
+    case Op::kCrashRepid:
+      pick_crash().pid = static_cast<ProcessId>(
+          rng.below(static_cast<std::uint64_t>(space.num_processes)));
+      break;
+    case Op::kCrashAdd: {
+      fault::CrashEvent c;
+      c.pid = static_cast<ProcessId>(
+          rng.below(static_cast<std::uint64_t>(space.num_processes)));
+      c.at_step = static_cast<std::int64_t>(
+          rng.below(static_cast<std::uint64_t>(space.crash_horizon)));
+      plan.crashes.push_back(c);
+      break;
+    }
+    case Op::kCrashRemove:
+      plan.crashes.erase(plan.crashes.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             rng.below(plan.crashes.size())));
+      break;
+    case Op::kRecoveryToggle: {
+      const ProcessId pid = pick_crash().pid;
+      const auto it = std::find_if(
+          plan.recoveries.begin(), plan.recoveries.end(),
+          [&](const fault::RecoveryEvent& r) { return r.pid == pid; });
+      if (it != plan.recoveries.end()) {
+        plan.recoveries.erase(it);
+      } else {
+        plan.recoveries.push_back(
+            {pid, 1 + static_cast<std::int64_t>(rng.below(
+                          static_cast<std::uint64_t>(
+                              space.max_recovery_delay)))});
+      }
+      break;
+    }
+    case Op::kRecoveryDelay: {
+      fault::RecoveryEvent& r =
+          plan.recoveries[rng.below(plan.recoveries.size())];
+      switch (rng.below(4)) {
+        case 0: r.delay = 1; break;  // warm restart: race the others
+        case 1: r.delay *= 2; break;
+        case 2: r.delay = std::max<std::int64_t>(1, r.delay / 2); break;
+        default: r.delay += rng.flip() ? 1 : -1; break;
+      }
+      break;
+    }
+    case Op::kStallPerturb: {
+      if (plan.stalls.empty() ||
+          (static_cast<int>(plan.stalls.size()) < space.max_stalls &&
+           rng.flip())) {
+        fault::StallEvent s;
+        s.pid = static_cast<ProcessId>(
+            rng.below(static_cast<std::uint64_t>(space.num_processes)));
+        s.at_step = static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(space.crash_horizon)));
+        s.duration = 1 + static_cast<std::int64_t>(rng.below(
+                             static_cast<std::uint64_t>(
+                                 space.max_stall_duration)));
+        plan.stalls.push_back(s);
+      } else {
+        fault::StallEvent& s = plan.stalls[rng.below(plan.stalls.size())];
+        switch (rng.below(3)) {
+          case 0: s.at_step += rng.flip() ? 1 : -1; break;
+          case 1: s.duration *= 2; break;
+          default:
+            plan.stalls.erase(plan.stalls.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  &s - plan.stalls.data()));
+            break;
+        }
+      }
+      break;
+    }
+    case Op::kRegisterNudge:
+      if (rng.flip()) {
+        plan.registers.stale_prob = nudge_prob(plan.registers.stale_prob, rng);
+        plan.registers.stale_depth = 1 + static_cast<int>(rng.below(3));
+      } else {
+        plan.registers.delay_prob = nudge_prob(plan.registers.delay_prob, rng);
+        plan.registers.delay_window = 1 + static_cast<int>(rng.below(4));
+      }
+      break;
+    case Op::kMessageNudge:
+      switch (rng.below(4)) {
+        case 0:
+          plan.messages.drop_prob = nudge_prob(plan.messages.drop_prob, rng);
+          break;
+        case 1:
+          plan.messages.dup_prob = nudge_prob(plan.messages.dup_prob, rng);
+          break;
+        case 2:
+          plan.messages.delay_prob = nudge_prob(plan.messages.delay_prob, rng);
+          break;
+        default:
+          plan.messages.delay_max = 1 + static_cast<int>(rng.below(32));
+          break;
+      }
+      break;
+    case Op::kSchedSeed:
+      out.sched_seed = rng.bits();
+      break;
+    case Op::kFaultSeed:
+      plan.seed = rng.bits();
+      break;
+  }
+
+  repair(plan, space);
+  plan.validate(space.num_processes);
+  return out;
+}
+
+}  // namespace cil::search

@@ -1,0 +1,72 @@
+// The search space of the adversarial fault-plan optimizer (tools/hunt
+// --search): a genome is a complete, replayable chaos configuration — a
+// FaultPlan (crash times, recovery delays, stall windows, register and
+// message fault rates) plus the scheduler seed that fixes the interleaving.
+// Everything the searcher varies is in the genome; everything else
+// (protocol, inputs, step budget) is fixed by the evaluator, so a genome
+// found bad once is bad forever.
+//
+// Mutation is the searcher's only move (the optimizers in optimize.h are
+// gradient-free), so the operator set encodes the domain knowledge:
+//   * crash-time moves at three scales (±1, ±8, uniform resample) — the
+//     windows worth hitting are often one own-step wide;
+//   * event-guided homing — retarget a crash onto an own-step where the
+//     previous evaluation observed that pid flip a coin or write a
+//     register, i.e. onto the protocol's actual commit points rather than
+//     blind step indices;
+//   * recovery toggling and delay moves (including the "warm restart"
+//     delay=1 extreme, where recovery races the other processors);
+//   * rate nudges for register/message faults on a multiplicative scale;
+//   * seed resampling for the fault-coin and scheduler streams.
+// All moves are closed over GenomeSpace: mutate() always returns a plan
+// that FaultPlan::validate accepts for the space's system size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "obs/events.h"
+#include "util/rng.h"
+
+namespace cil::search {
+
+/// Bounds and feature gates of the search space. The defaults describe the
+/// smallest interesting space: one crash, no recovery, clean registers.
+struct GenomeSpace {
+  int num_processes = 2;
+  int max_crashes = 1;      ///< capped at num_processes - 1 (survivor rule)
+  int max_stalls = 0;
+  std::int64_t crash_horizon = 64;    ///< crash/stall at_step in [0, horizon)
+  std::int64_t max_stall_duration = 512;
+  std::int64_t max_recovery_delay = 64;
+  bool allow_recovery = false;        ///< crash-recovery events in the space
+  bool allow_register_faults = false; ///< stale/delayed register reads
+  bool allow_message_faults = false;  ///< drop/dup/delay (msg substrate)
+
+  /// max_crashes after the survivor-rule cap.
+  int crash_cap() const;
+};
+
+/// One point in the search space. Value type; cheap to copy.
+struct PlanGenome {
+  fault::FaultPlan plan;
+  std::uint64_t sched_seed = 1;  ///< interleaving + protocol coins
+
+  friend bool operator==(const PlanGenome&, const PlanGenome&) = default;
+};
+
+/// Sample a genome uniformly from `space` — this is exactly the baseline
+/// chaos distribution the searcher is benchmarked against (EXPERIMENTS.md
+/// X7), so "searched beats uniform" compares like with like.
+PlanGenome random_genome(const GenomeSpace& space, Rng& rng);
+
+/// Apply one mutation operator, chosen uniformly among those applicable to
+/// `g` under `space`. `hints` is the event stream of a previous evaluation
+/// of (an ancestor of) `g` — pass {} when none is available; the homing
+/// operator uses it to aim crashes at observed coin-flip / register-write
+/// own-steps. Deterministic in (g, rng state, hints).
+PlanGenome mutate(const PlanGenome& g, const GenomeSpace& space, Rng& rng,
+                  const std::vector<obs::Event>& hints);
+
+}  // namespace cil::search

@@ -1,0 +1,121 @@
+#include "search/optimize.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace cil::search {
+namespace {
+
+constexpr std::uint64_t kSearchSalt = 0x7f4a7c15d3b9e8a1ULL;
+
+/// Shared bookkeeping: count evaluations, remember the best, honor the
+/// budget and the stop-on-violation rule.
+struct Tracker {
+  const Evaluator& eval;
+  const SearchOptions& opts;
+  SearchResult result;
+
+  Tracker(const Evaluator& e, const SearchOptions& o) : eval(e), opts(o) {
+    CIL_EXPECTS(o.budget >= 1);
+  }
+
+  bool exhausted() const {
+    if (result.evaluations >= opts.budget) return true;
+    return opts.stop_on_violation && result.best_eval.violation;
+  }
+
+  Evaluation evaluate(const PlanGenome& g) {
+    Evaluation e = eval(g);
+    ++result.evaluations;
+    if (result.evaluations_to_best == 0 ||
+        e.fitness > result.best_eval.fitness) {
+      result.best = g;
+      result.best_eval = e;
+      result.evaluations_to_best = result.evaluations;
+    }
+    return e;
+  }
+};
+
+}  // namespace
+
+SearchResult uniform_search(const GenomeSpace& space, const Evaluator& eval,
+                            const SearchOptions& opts) {
+  Rng rng(opts.seed ^ kSearchSalt);
+  Tracker t(eval, opts);
+  while (!t.exhausted()) t.evaluate(random_genome(space, rng));
+  return std::move(t.result);
+}
+
+SearchResult anneal(const GenomeSpace& space, const Evaluator& eval,
+                    const SearchOptions& opts) {
+  Rng rng(opts.seed ^ kSearchSalt);
+  Tracker t(eval, opts);
+
+  PlanGenome cur = random_genome(space, rng);
+  Evaluation cur_eval = t.evaluate(cur);
+
+  while (!t.exhausted()) {
+    const double progress =
+        static_cast<double>(t.result.evaluations) /
+        static_cast<double>(opts.budget);
+    const double temp =
+        opts.init_temperature +
+        (opts.min_temperature - opts.init_temperature) * progress;
+
+    const PlanGenome cand =
+        rng.with_probability(opts.restart_prob)
+            ? random_genome(space, rng)
+            : mutate(cur, space, rng, cur_eval.events);
+    const Evaluation cand_eval = t.evaluate(cand);
+
+    // Scale-free Metropolis: fitness spans ~1e2 (quiet run) to 1e12
+    // (violation), so the acceptance test works on the relative delta.
+    const double delta = (cand_eval.fitness - cur_eval.fitness) /
+                         (std::abs(cur_eval.fitness) + 1.0);
+    if (delta >= 0.0 || rng.uniform() < std::exp(delta / temp)) {
+      cur = cand;
+      cur_eval = cand_eval;
+    }
+  }
+  return std::move(t.result);
+}
+
+SearchResult evolve_one_plus_lambda(const GenomeSpace& space,
+                                    const Evaluator& eval,
+                                    const SearchOptions& opts) {
+  CIL_EXPECTS(opts.lambda >= 1);
+  Rng rng(opts.seed ^ kSearchSalt);
+  Tracker t(eval, opts);
+
+  PlanGenome parent = random_genome(space, rng);
+  Evaluation parent_eval = t.evaluate(parent);
+
+  while (!t.exhausted()) {
+    PlanGenome best_child;
+    Evaluation best_child_eval;
+    bool have_child = false;
+    for (int i = 0; i < opts.lambda && !t.exhausted(); ++i) {
+      PlanGenome child = mutate(parent, space, rng, parent_eval.events);
+      if (rng.with_probability(opts.double_mutate_prob))
+        child = mutate(child, space, rng, parent_eval.events);
+      Evaluation child_eval = t.evaluate(child);
+      if (!have_child || child_eval.fitness > best_child_eval.fitness) {
+        best_child = std::move(child);
+        best_child_eval = std::move(child_eval);
+        have_child = true;
+      }
+    }
+    // >= : plateaus are common (most plans decide cleanly at the same
+    // fitness), and drifting across them beats being pinned to the parent.
+    if (have_child && best_child_eval.fitness >= parent_eval.fitness) {
+      parent = std::move(best_child);
+      parent_eval = std::move(best_child_eval);
+    }
+  }
+  return std::move(t.result);
+}
+
+}  // namespace cil::search

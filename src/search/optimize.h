@@ -1,0 +1,61 @@
+// Gradient-free optimizers over fault-plan genomes: uniform sampling (the
+// baseline), simulated annealing, and a (1+λ) evolution strategy. All three
+// are deterministic in (space, evaluator, options) — the searcher itself is
+// seeded, and the evaluators are pure — so a hunt is exactly reproducible
+// and its result replayable from the emitted artifact.
+//
+// Fitness is obs::badness_score: smooth near-violation shaping (post-first-
+// decision activity, recoveries after a decision, steps-to-decide tail)
+// with an actual CoordinationViolation dominating everything. The
+// optimizers stop early on a violation by default — the point of the hunt
+// is to find one, not to rank them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/evaluate.h"
+#include "search/genome.h"
+
+namespace cil::search {
+
+struct SearchOptions {
+  std::int64_t budget = 1000;  ///< total evaluator calls allowed
+  std::uint64_t seed = 1;
+  bool stop_on_violation = true;
+  // Annealing: scale-free Metropolis on relative fitness deltas,
+  // temperature decaying linearly init -> min over the budget.
+  double init_temperature = 0.5;
+  double min_temperature = 0.01;
+  double restart_prob = 0.02;  ///< chance a proposal is a fresh random genome
+  // (1+λ) ES:
+  int lambda = 8;              ///< offspring per generation
+  double double_mutate_prob = 0.3;  ///< chance an offspring gets two moves
+};
+
+struct SearchResult {
+  PlanGenome best;
+  Evaluation best_eval;
+  std::int64_t evaluations = 0;          ///< evaluator calls actually spent
+  std::int64_t evaluations_to_best = 0;  ///< 1-based index that found best
+};
+
+/// Baseline: `budget` independent uniform samples from the space. This is
+/// what "chaos testing without a searcher" does; EXPERIMENTS.md X7 and the
+/// planted-violation harness measure the other two against it.
+SearchResult uniform_search(const GenomeSpace& space, const Evaluator& eval,
+                            const SearchOptions& opts);
+
+/// Simulated annealing: single chain of mutate() moves, accepting downhill
+/// moves with probability exp(relative_delta / T).
+SearchResult anneal(const GenomeSpace& space, const Evaluator& eval,
+                    const SearchOptions& opts);
+
+/// (1+λ) evolution strategy: each generation spawns λ mutants of the
+/// parent, the best child replaces the parent unless strictly worse
+/// (accepting equals lets the search drift across plateaus).
+SearchResult evolve_one_plus_lambda(const GenomeSpace& space,
+                                    const Evaluator& eval,
+                                    const SearchOptions& opts);
+
+}  // namespace cil::search

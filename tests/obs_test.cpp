@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -13,6 +15,7 @@
 #include "core/unbounded.h"
 #include "fault/fault_plan.h"
 #include "fault/sim_faults.h"
+#include "obs/badness.h"
 #include "obs/events.h"
 #include "obs/export.h"
 #include "obs/json.h"
@@ -416,6 +419,93 @@ TEST(ObsExport, RunReportHasTheDocumentedShape) {
   EXPECT_EQ(doc.at("meta").at("seed").as_string(), "1");
   EXPECT_EQ(doc.at("metrics").at("counters").at("runs").as_int(), 4);
   EXPECT_TRUE(doc.at("cells").is_array());
+}
+
+TEST(ObsExport, JsonlStreamSinkWritesDuringTheRunAndRoundTrips) {
+  const std::string path = testing::TempDir() + "/stream_sink_test.jsonl";
+  std::vector<Event> events;
+  {
+    obs::JsonlStreamSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    // Drive a real simulated run through the streaming sink — the events
+    // land on disk as they are emitted, no in-memory buffering required.
+    obs::RecordingSink rec;
+    obs::MultiSink multi;
+    multi.add(&rec);
+    multi.add(&sink);
+    TwoProcessProtocol protocol;
+    SimOptions opts;
+    opts.seed = 21;
+    opts.obs.sink = &multi;
+    Simulation sim(protocol, {0, 1}, opts);
+    RandomScheduler sched(21);
+    (void)sim.run(sched);
+    events = rec.events();
+    EXPECT_EQ(sink.events_written(),
+              static_cast<std::int64_t>(events.size()));
+    EXPECT_TRUE(sink.close());
+    EXPECT_TRUE(sink.close());  // idempotent
+  }
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  const std::vector<Event> back = obs::read_jsonl(is);
+  EXPECT_EQ(back, events);
+  EXPECT_FALSE(events.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ObsBadness, ViolationDominatesEveryViolationFreeRun) {
+  obs::BadnessSignals bad;
+  bad.violation = true;
+  obs::BadnessSignals grim;  // the nastiest violation-free run imaginable
+  grim.timed_out = true;
+  grim.undecided = true;
+  grim.total_steps = 1'000'000;
+  grim.post_first_decision_steps = 1'000'000;
+  grim.recoveries_after_decision = 1'000;
+  grim.crashes = 10;
+  grim.recoveries = 10;
+  grim.watchdog_fires = 5;
+  EXPECT_GT(obs::badness_score(bad), obs::badness_score(grim));
+}
+
+TEST(ObsBadness, NearViolationIndicatorsGiveAGradient) {
+  obs::BadnessSignals base;
+  base.decisions = 2;
+  base.total_steps = 20;
+  base.steps_to_first_decision = 10;
+  obs::BadnessSignals post = base;
+  post.post_first_decision_steps = 15;
+  obs::BadnessSignals rec_after = post;
+  rec_after.recoveries = 1;
+  rec_after.recoveries_after_decision = 1;
+  EXPECT_GT(obs::badness_score(post), obs::badness_score(base));
+  EXPECT_GT(obs::badness_score(rec_after), obs::badness_score(post));
+}
+
+TEST(ObsBadness, SignalsFromEventsSeeTheRecoveryStory) {
+  // A crashed-then-recovered run on the simulator: the extracted signals
+  // carry the crash, the recovery, and whether it happened after the first
+  // decision — exactly what the searcher's fitness keys on.
+  TwoProcessProtocol protocol;
+  fault::FaultPlan plan;
+  plan.crashes = {{0, 1}};
+  plan.recoveries = {{0, 200}};  // due long after the survivor decided
+  obs::RecordingSink rec;
+  SimOptions opts;
+  opts.seed = 5;
+  opts.obs.sink = &rec;
+  Simulation sim(protocol, {0, 1}, opts);
+  RandomScheduler inner(5);
+  fault::FaultPlanScheduler sched(inner, plan);
+  const SimResult result = sim.run(sched);
+  ASSERT_TRUE(result.all_decided);
+  const obs::BadnessSignals s = obs::signals_from_events(rec.events());
+  EXPECT_EQ(s.crashes, 1);
+  EXPECT_EQ(s.recoveries, 1);
+  EXPECT_EQ(s.recoveries_after_decision, 1);
+  EXPECT_GE(s.decisions, 2);
+  EXPECT_GT(s.steps_to_first_decision, 0);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include "core/bounded_three.h"
 #include "core/two_process.h"
 #include "core/unbounded.h"
+#include "fault/fault_plan.h"
+#include "obs/events.h"
 #include "runtime/cas_baseline.h"
 #include "runtime/threaded.h"
 
@@ -49,6 +51,42 @@ TEST(Threaded, BoundedThreeDecidesAndAgrees) {
     ASSERT_TRUE(r.all_decided) << "seed " << seed;
     ASSERT_TRUE(r.consistent) << "seed " << seed;
   }
+}
+
+TEST(Threaded, WatchdogBoundsAPermanentStall) {
+  // A permanently stalled processor (an hour-long park — forever, in test
+  // terms) must not hang the runtime: the watchdog fires, the call returns
+  // timed_out with the survivor's progress intact, and the stalled thread
+  // drains out through the stop flag during the grace period — joined, not
+  // leaked (the TSan job runs this test). The merged event stream still
+  // carries the survivor's decision, the stall marker, and the watchdog
+  // fire itself.
+  TwoProcessProtocol protocol;
+  fault::FaultPlan plan;
+  plan.stalls = {{0, 1, 3'600'000'000LL}};
+  rt::ThreadedOptions options;
+  options.seed = 5;
+  options.watchdog_ms = 300.0;
+  options.fault_plan = &plan;
+  obs::RecordingSink rec;
+  options.obs.sink = &rec;
+  const auto r = rt::run_threaded(protocol, {0, 1}, options);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.all_decided);  // P0 never finished
+  EXPECT_TRUE(r.consistent);
+  EXPECT_NE(r.decisions[1], kNoValue);  // the survivor decided alone
+  EXPECT_EQ(r.decisions[0], kNoValue);
+  EXPECT_LT(r.wall_ms, 10'000.0);  // bounded, nowhere near the hour
+
+  bool saw_stall = false, saw_watchdog = false, saw_decision = false;
+  for (const obs::Event& e : rec.events()) {
+    saw_stall |= e.kind == obs::EventKind::kStall && e.pid == 0;
+    saw_watchdog |= e.kind == obs::EventKind::kWatchdogFire;
+    saw_decision |= e.kind == obs::EventKind::kDecision && e.pid == 1;
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_watchdog);
+  EXPECT_TRUE(saw_decision);
 }
 
 TEST(Threaded, ConstructedRegisterBackendWorks) {

@@ -1,10 +1,13 @@
 // chaos — the fault-injection soak driver.
 //
 // Sweeps fault rates x register backends x protocols x crash counts across
-// BOTH execution substrates (the serialized simulator and the threaded
-// runtime) and tabulates survival: did the survivors decide, did they agree,
-// how many runs tripped the online consistency checker, how many timed out,
-// how many faults were actually injected.
+// THREE execution substrates (the serialized simulator, the threaded
+// runtime, and message-passing Ben-Or under network chaos) and tabulates
+// survival: did the survivors decide, did they agree, how many runs tripped
+// the online consistency checker, how many timed out, how many faults were
+// actually injected. The simulator sweep also covers crash-RECOVERY: plans
+// whose crashed processors restart from their persistent registers
+// (Protocol::recover), which must never cost consistency.
 //
 // Faults that stay inside the atomic-register envelope (crashes, stalls,
 // write-dwell, cell-level garbage underneath the constructions) must never
@@ -37,12 +40,15 @@
 #include "core/unbounded.h"
 #include "fault/fault_plan.h"
 #include "fault/sim_faults.h"
+#include "msg/ben_or.h"
+#include "msg/msg_faults.h"
 #include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "runtime/threaded.h"
 #include "sched/schedulers.h"
 #include "sched/simulation.h"
+#include "tools/cli_util.h"
 
 using namespace cil;
 
@@ -57,38 +63,18 @@ struct Args {
 };
 
 bool parse(int argc, char** argv, Args& args) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--quick") {
-      args.quick = true;
-      args.trials = 25;
-      continue;
-    }
-    try {
-      if (a.rfind("--trials=", 0) == 0) {
-        args.trials = std::stoi(a.substr(9));
-        if (args.trials <= 0) throw std::invalid_argument("trials");
-        continue;
-      }
-      if (a.rfind("--seed=", 0) == 0) {
-        args.seed = std::stoull(a.substr(7));
-        continue;
-      }
-      if (a.rfind("--report=", 0) == 0) {
-        args.report_path = a.substr(9);
-        if (args.report_path.empty()) throw std::invalid_argument("report");
-        continue;
-      }
-      if (a.rfind("--trace=", 0) == 0) {
-        args.trace_dir = a.substr(8);
-        if (args.trace_dir.empty()) throw std::invalid_argument("trace");
-        continue;
-      }
-    } catch (const std::exception&) {
-      std::fprintf(stderr, "bad value in flag: %s\n", a.c_str());
-      return false;
-    }
-    std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+  cli::FlagSet flags(argc, argv);
+  if (flags.take_switch("quick")) {
+    args.quick = true;
+    args.trials = 25;
+  }
+  flags.take_int("trials", args.trials);
+  flags.take_uint64("seed", args.seed);
+  flags.take_string("report", args.report_path);
+  flags.take_string("trace", args.trace_dir);
+  if (!flags.finish()) return false;
+  if (args.trials <= 0) {
+    std::fprintf(stderr, "--trials must be positive\n");
     return false;
   }
   return true;
@@ -164,12 +150,14 @@ void report_unexpected(const char* what, const fault::FaultPlan& plan) {
 }
 
 fault::FaultPlan plan_for(std::uint64_t seed, int n, int crashes,
-                          const fault::RegisterFaultConfig& reg) {
+                          const fault::RegisterFaultConfig& reg,
+                          int recoveries = 0) {
   // Horizon 12: early enough that planned crashes fire before decisions in
   // essentially every run, so the crash column means what it says.
   return fault::FaultPlan::random(seed, n, crashes, /*num_stalls=*/1,
                                   /*horizon=*/12, /*max_stall_duration=*/500,
-                                  reg);
+                                  reg, recoveries,
+                                  /*max_recovery_delay=*/32);
 }
 
 void run_sim_cell(const ProtocolCase& pc, const FaultLevel& level, int crashes,
@@ -196,6 +184,82 @@ void run_sim_cell(const ProtocolCase& pc, const FaultLevel& level, int crashes,
     }
     c.faults += hook.faults_injected() + sched.crashes_fired() +
                 sched.stalls_fired();
+  }
+}
+
+/// Crash-recovery cells: every crashed processor restarts from its
+/// persistent registers a few global steps later (Protocol::recover's
+/// conservative re-read). Consistency must survive — the recovered state is
+/// a legal automaton state — and with everyone eventually back, every
+/// processor whose recovery fired should decide.
+void run_recovery_cell(const ProtocolCase& pc, int crashes, const Args& args,
+                       Counts& c) {
+  const int n = pc.protocol->num_processes();
+  for (int t = 0; t < args.trials; ++t) {
+    const std::uint64_t seed = args.seed + 1000u * static_cast<unsigned>(t);
+    const fault::FaultPlan plan =
+        plan_for(seed, n, crashes, {}, /*recoveries=*/crashes);
+    Simulation sim(*pc.protocol, pc.inputs, {.seed = seed});
+    RandomScheduler inner(seed);
+    fault::FaultPlanScheduler sched(inner, plan);
+    ++c.runs;
+    try {
+      const SimResult r = sim.run(sched);
+      if (r.all_decided) ++c.decided;
+      ++c.consistent;
+    } catch (const CoordinationViolation&) {
+      ++c.violations;
+      report_unexpected("consistency violation under recovery", plan);
+    }
+    c.faults += sched.crashes_fired() + sched.stalls_fired() +
+                sched.recoveries_fired();
+  }
+}
+
+/// A named message-fault mix for the Ben-Or sweep.
+struct MsgLevel {
+  std::string name;
+  fault::MessageFaultConfig msg;
+};
+
+std::vector<MsgLevel> make_msg_levels() {
+  std::vector<MsgLevel> out;
+  out.push_back({"none", {}});
+  out.push_back({"drop", {.drop_prob = 0.15}});
+  out.push_back({"dup", {.dup_prob = 0.25}});
+  out.push_back({"delay", {.delay_prob = 0.3, .delay_max = 12}});
+  out.push_back({"drop+dup+delay",
+                 {.drop_prob = 0.1, .dup_prob = 0.15, .delay_prob = 0.2,
+                  .delay_max = 8}});
+  return out;
+}
+
+/// Ben-Or (n=3, t=1) under network chaos. Agreement must survive every mix
+/// — drop/dup/delay all stay inside the asynchronous model once delivery
+/// is at-most-once per sender — so ANY violation here is unexpected.
+/// Liveness is only guaranteed with crashes <= t and is reported as data.
+void run_msg_cell(const msg::BenOrProtocol& protocol,
+                  const std::vector<Value>& inputs, const MsgLevel& level,
+                  int crashes, const Args& args, Counts& c) {
+  const int n = protocol.num_processes();
+  for (int t = 0; t < args.trials; ++t) {
+    const std::uint64_t seed = args.seed + 1000u * static_cast<unsigned>(t);
+    fault::FaultPlan plan = plan_for(seed, n, crashes, {});
+    plan.stalls.clear();      // no registers, no stalls: delay owns slowness
+    plan.recoveries.clear();  // message processes cannot recover
+    plan.messages = level.msg;
+    ++c.runs;
+    const msg::MsgChaosResult r =
+        msg::run_msg_chaos(protocol, inputs, plan, seed, /*max_picks=*/50'000);
+    if (r.violation) {
+      ++c.violations;
+      report_unexpected("message-passing agreement violation", plan);
+    } else {
+      ++c.consistent;
+    }
+    if (r.result.all_live_decided) ++c.decided;
+    if (r.signals.timed_out) ++c.timeouts;
+    c.faults += r.drops + r.dups + r.delays + r.crashes_fired;
   }
 }
 
@@ -286,17 +350,28 @@ bool write_exemplar_traces(const Args& args, const std::string& dir) {
   };
 
   {
+    // The simulator exemplar streams its JSONL log DURING the run through a
+    // JsonlStreamSink (the long-hunt sink: no unbounded in-memory buffer);
+    // a RecordingSink rides along only to feed the Perfetto exporter.
+    obs::JsonlStreamSink stream(dir + "/sim_events.jsonl");
     obs::RecordingSink rec;
+    obs::MultiSink fan;
+    fan.add(&stream);
+    fan.add(&rec);
     SimOptions options;
     options.seed = args.seed;
     options.max_total_steps = 100'000;
-    options.obs.sink = &rec;
+    options.obs.sink = &fan;
     Simulation sim(protocol, inputs, options);
     RandomScheduler inner(args.seed);
     fault::FaultPlanScheduler sched(inner, plan);
-    sched.set_event_sink(&rec);
+    sched.set_event_sink(&fan);
     sim.run(sched);
-    emit("sim", rec.events(), "chaos sim (unbounded-3)");
+    ok &= stream.close();
+    ok &= obs::write_text_file(
+        dir + "/sim_trace.json",
+        obs::perfetto_trace_json(rec.events(), "chaos sim (unbounded-3)") +
+            "\n");
   }
   {
     obs::RecordingSink rec;
@@ -372,6 +447,37 @@ int main(int argc, char** argv) {
             unexpected_bad +=
                 (c.runs - c.consistent) + c.timeouts + (c.runs - c.decided);
         }
+      }
+    }
+
+    // Crash-recovery rows (simulator only): every crash gets a matching
+    // recovery. Conservative re-read recovery must preserve consistency.
+    for (int k = 1; k <= n - 1; ++k) {
+      if (args.quick && k != n - 1) continue;
+      Counts c;
+      run_recovery_cell(pc, k, args, c);
+      print_row(pc.name, "sim", "crash-recover", k, c);
+      record_cell(registry, cells, pc.name, "sim", "crash-recover", k, c);
+      unexpected_bad += c.violations + (c.runs - c.decided);
+    }
+  }
+
+  // Message-passing sweep: Ben-Or (n=3, t=1) under network chaos. Any
+  // agreement violation is unexpected; liveness (decided column) is
+  // guaranteed only for crashes <= t and lossless-enough networks, so
+  // undecided runs count as findings only at the "none" level.
+  {
+    const msg::BenOrProtocol ben_or(3, 1);
+    const std::vector<Value> inputs = {0, 1, 1};
+    for (const MsgLevel& level : make_msg_levels()) {
+      for (int k = 0; k <= ben_or.tolerated_crashes(); ++k) {
+        if (args.quick && k != 0 && level.name != "none") continue;
+        Counts c;
+        run_msg_cell(ben_or, inputs, level, k, args, c);
+        print_row("ben-or-3", "msg", level.name, k, c);
+        record_cell(registry, cells, "ben-or-3", "msg", level.name, k, c);
+        unexpected_bad += c.violations;
+        if (level.name == "none") unexpected_bad += c.runs - c.decided;
       }
     }
   }

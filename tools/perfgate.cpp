@@ -1,0 +1,123 @@
+// perfgate — the CI performance-regression gate.
+//
+// Compares a freshly generated run-report (obs::run_report_json document,
+// e.g. bench_two_process under CIL_RUN_REPORT) against a committed baseline
+// and fails when a watched metric regressed by more than the allowed
+// fraction. Metric paths are '/'-separated because report keys themselves
+// contain dots: "samples/steps.random/p50" means
+// report["samples"]["steps.random"]["p50"].
+//
+//   ./tools/perfgate --baseline=bench/baselines/bench_two_process.json \
+//       --current=artifacts/bench_two_process.json \
+//       --metric=samples/steps.random/p50 --max-regress=0.25
+//
+// Metrics are lower-is-better (step counts, latencies). Exit 0 when every
+// metric is within bound, 1 on any regression, 2 on usage/IO errors.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "tools/cli_util.h"
+
+using namespace cil;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perfgate --baseline=FILE --current=FILE\n"
+               "                --metric=a/b/c [--metric=...]\n"
+               "                [--max-regress=0.25]\n");
+  return 2;
+}
+
+bool load_json(const std::string& path, obs::Json& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "perfgate: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    out = obs::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perfgate: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+/// Walk a '/'-separated path through nested JSON objects.
+bool lookup(const obs::Json& doc, const std::string& path, double& out) {
+  const obs::Json* cur = &doc;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t end = path.find('/', begin);
+    const std::string key =
+        path.substr(begin, end == std::string::npos ? end : end - begin);
+    cur = cur->find(key);
+    if (cur == nullptr) return false;
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  if (!cur->is_number()) return false;
+  out = cur->as_number();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::FlagSet flags(argc, argv);
+  std::string baseline_path, current_path;
+  double max_regress = 0.25;
+  flags.take_string("baseline", baseline_path);
+  flags.take_string("current", current_path);
+  flags.take_double("max-regress", max_regress);
+  const std::vector<std::string> metrics = flags.take_all("metric");
+  if (!flags.finish() || baseline_path.empty() || current_path.empty() ||
+      metrics.empty())
+    return usage();
+
+  obs::Json baseline, current;
+  if (!load_json(baseline_path, baseline) || !load_json(current_path, current))
+    return 2;
+
+  std::printf("%-36s %12s %12s %9s %s\n", "metric", "baseline", "current",
+              "delta", "verdict");
+  int regressions = 0, missing = 0;
+  for (const std::string& m : metrics) {
+    double base = 0, cur = 0;
+    if (!lookup(baseline, m, base) || !lookup(current, m, cur)) {
+      std::printf("%-36s %12s %12s %9s MISSING\n", m.c_str(), "-", "-", "-");
+      ++missing;
+      continue;
+    }
+    // Lower is better; a zero baseline tolerates only a zero current.
+    const bool regressed =
+        base > 0 ? (cur - base) / base > max_regress : cur > 0;
+    const double delta = base > 0 ? (cur - base) / base * 100.0 : 0.0;
+    std::printf("%-36s %12.4f %12.4f %+8.1f%% %s\n", m.c_str(), base, cur,
+                delta, regressed ? "REGRESSED" : "ok");
+    regressions += regressed;
+  }
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "perfgate: %d metric path(s) missing from a report\n",
+                 missing);
+    return 2;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "perfgate: %d metric(s) regressed more than %.0f%%\n",
+                 regressions, max_regress * 100.0);
+    return 1;
+  }
+  std::printf("perfgate: all %zu metric(s) within %.0f%% of baseline\n",
+              metrics.size(), max_regress * 100.0);
+  return 0;
+}

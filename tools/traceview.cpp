@@ -26,6 +26,7 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "sched/trace.h"
+#include "tools/cli_util.h"
 
 using namespace cil;
 
@@ -116,6 +117,10 @@ std::deque<TraceEntry> entries_from_events(
       case obs::EventKind::kCrash:
         procs[static_cast<std::size_t>(e.pid)] = "CRASHED";
         break;
+      case obs::EventKind::kRecover:
+        procs[static_cast<std::size_t>(e.pid)] =
+            "RECOVERED(+" + std::to_string(e.arg) + ")";
+        break;
       case obs::EventKind::kStep: {
         ++synthetic_step;
         TraceEntry entry;
@@ -171,15 +176,16 @@ int render_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string first = argv[1];
-  if (first == "--check") {
-    if (argc < 3) return usage();
+  cli::FlagSet flags(argc, argv);
+  const bool check = flags.take_switch("check");
+  if (!flags.finish()) return usage();
+  const auto& files = flags.positionals();
+  if (check) {
+    if (files.empty()) return usage();
     bool ok = true;
-    for (int i = 2; i < argc; ++i) ok &= check_file(argv[i]);
+    for (const std::string& f : files) ok &= check_file(f);
     return ok ? 0 : 1;
   }
-  if (first.rfind("--", 0) == 0) return usage();
-  if (argc != 2) return usage();
-  return render_file(first);
+  if (files.size() != 1) return usage();
+  return render_file(files.front());
 }
