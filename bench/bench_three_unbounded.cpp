@@ -46,6 +46,7 @@ int main() {
   for (const bool adversarial : {false, true}) {
     SampleSet max_nums;
     RunningStats total_steps;
+    StepTimer timer;
     int max_bits = 0;
     for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
       SimOptions options;
@@ -65,6 +66,7 @@ int main() {
         m = std::max(m, UnboundedProtocol::unpack_num(sim.regs().peek(reg)));
       max_nums.add(m);
       total_steps.add(static_cast<double>(r.total_steps));
+      timer.add_steps(r.total_steps);
       max_bits = std::max(max_bits, r.max_register_bits);
     }
     const std::string label = adversarial ? "split-keeping" : "random";
@@ -85,7 +87,9 @@ int main() {
     report.set_value("mean_total_steps." + label, total_steps.mean());
     report.set_value("max_register_bits." + label,
                      static_cast<double>(max_bits));
-    std::printf("\n");
+    report.add_throughput(label, timer);
+    std::printf("  [%s: %.0f steps/s, %.1f ns/step]\n\n", label.c_str(),
+                timer.steps_per_sec(), timer.ns_per_step());
   }
 
   header("F2-SWSR: the 1-writer 1-reader variant (full-paper claim)");

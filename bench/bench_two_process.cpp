@@ -31,8 +31,9 @@ namespace {
 constexpr int kRuns = 20000;
 
 SampleSet measure(const TwoProcessProtocol& protocol,
-                  const char* scheduler_name) {
+                  const char* scheduler_name, BenchReport* report = nullptr) {
   SampleSet steps;
+  StepTimer timer;
   for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
     std::unique_ptr<Scheduler> sched;
     const std::string name = scheduler_name;
@@ -44,8 +45,14 @@ SampleSet measure(const TwoProcessProtocol& protocol,
       sched = std::make_unique<DecisionAvoidingAdversary>(seed + 17);
     }
     const auto r = run_once(protocol, {0, 1}, *sched, seed);
+    timer.add_steps(r.total_steps);
     steps.add(r.steps_per_process[0]);
     steps.add(r.steps_per_process[1]);
+  }
+  if (report != nullptr) {
+    report->add_throughput(scheduler_name, timer);
+    std::printf("  [%s: %.0f steps/s, %.1f ns/step]\n", scheduler_name,
+                timer.steps_per_sec(), timer.ns_per_step());
   }
   return steps;
 }
@@ -70,7 +77,7 @@ int main() {
   header("C7: expected steps per processor (paper bound: <= 10)");
   summary_header("scheduler");
   for (const char* s : {"round-robin", "random", "adaptive-adversary"}) {
-    const SampleSet steps = measure(protocol, s);
+    const SampleSet steps = measure(protocol, s, &report);
     summary_row(s, steps);
     report.add_samples(std::string("steps.") + s, steps);
   }

@@ -5,6 +5,7 @@
 // DESIGN.md §3 and prints paper-claim vs measured.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -75,6 +76,34 @@ inline SimResult run_once(const Protocol& protocol,
   return sim.run(sched);
 }
 
+/// Wall-clock throughput meter for a measurement loop. Start it, add the
+/// step count of every run measured, and it yields steps/sec (for humans)
+/// and ns/step (lower-is-better, the form the perf gate consumes).
+class StepTimer {
+ public:
+  StepTimer() : t0_(std::chrono::steady_clock::now()) {}
+
+  void add_steps(std::int64_t steps) { steps_ += steps; }
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+  std::int64_t steps() const { return steps_; }
+  double steps_per_sec() const {
+    const double s = seconds();
+    return s > 0 ? static_cast<double>(steps_) / s : 0.0;
+  }
+  double ns_per_step() const {
+    return steps_ > 0 ? 1e9 * seconds() / static_cast<double>(steps_) : 0.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  std::int64_t steps_ = 0;
+};
+
 /// Machine-readable companion to the printed tables. A bench creates one
 /// BenchReport, mirrors its headline numbers into it (scalars, sample
 /// distributions, registry metrics), and on destruction the report is
@@ -99,6 +128,14 @@ class BenchReport {
   /// A headline scalar ("values" object in the report).
   void set_value(const std::string& key, double v) {
     values_[key] = obs::Json(v);
+  }
+
+  /// Record a measurement loop's throughput as "wall.<key>.steps_per_sec"
+  /// (human headline) and "wall.<key>.ns_per_step" (what the perf gate
+  /// watches — lower is better).
+  void add_throughput(const std::string& key, const StepTimer& t) {
+    set_value("wall." + key + ".steps_per_sec", t.steps_per_sec());
+    set_value("wall." + key + ".ns_per_step", t.ns_per_step());
   }
 
   /// A full distribution: its Summary under "samples.<key>" plus a

@@ -133,19 +133,20 @@ ProcessId FaultPlanScheduler::pick(const SystemView& view) {
     }
   }
 
-  std::vector<ProcessId> runnable;
+  view.active_processes_into(active_);
+  runnable_.clear();
   bool any_stalled = false;
-  for (const ProcessId p : view.active_processes()) {
+  for (const ProcessId p : active_) {
     if (stalled(view, p)) {
       any_stalled = true;
     } else {
-      runnable.push_back(p);
+      runnable_.push_back(p);
     }
   }
   // Holding a pid back is only possible while someone else can run; the
   // asynchronous model never lets the adversary stop the whole system.
-  if (!any_stalled || runnable.empty()) return inner_.pick(view);
-  return runnable[rng_.below(runnable.size())];
+  if (!any_stalled || runnable_.empty()) return inner_.pick(view);
+  return runnable_[rng_.below(runnable_.size())];
 }
 
 }  // namespace cil::fault

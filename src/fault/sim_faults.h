@@ -102,6 +102,8 @@ class FaultPlanScheduler final : public Scheduler {
   std::vector<PendingStall> stalls_;
   std::vector<PendingRecovery> recoveries_;
   std::vector<CrashEvent> crash_log_;
+  std::vector<ProcessId> active_;    ///< scratch, reused across picks
+  std::vector<ProcessId> runnable_;  ///< scratch, reused across picks
   Rng rng_;
   std::int64_t crashes_fired_ = 0;
   std::int64_t stalls_fired_ = 0;

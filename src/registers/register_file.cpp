@@ -6,16 +6,9 @@
 
 namespace cil {
 
-namespace {
-bool contains(const std::vector<ProcessId>& set, ProcessId p) {
-  return std::find(set.begin(), set.end(), p) != set.end();
-}
-}  // namespace
-
-RegisterFile::RegisterFile(std::vector<RegisterSpec> specs)
+RegisterSpecTable::RegisterSpecTable(std::vector<RegisterSpec> specs)
     : specs_(std::move(specs)) {
-  values_.reserve(specs_.size());
-  stats_.resize(specs_.size());
+  ProcessId max_pid = 0;
   for (const auto& s : specs_) {
     CIL_CHECK_MSG(!s.writers.empty(), "register needs at least one writer");
     CIL_CHECK_MSG(!s.readers.empty(), "register needs at least one reader");
@@ -23,44 +16,72 @@ RegisterFile::RegisterFile(std::vector<RegisterSpec> specs)
                   "register width must be in [1,64]");
     CIL_CHECK_MSG(bit_width_u64(s.initial) <= s.width_bits,
                   "initial value exceeds declared width: " + s.name);
-    values_.push_back(s.initial);
+    for (const ProcessId p : s.writers) max_pid = std::max(max_pid, p);
+    for (const ProcessId p : s.readers) max_pid = std::max(max_pid, p);
+  }
+  mask_words_ = max_pid / 64 + 1;
+  read_mask_.assign(specs_.size() * mask_words_, 0);
+  write_mask_.assign(specs_.size() * mask_words_, 0);
+  width_mask_.reserve(specs_.size());
+  for (std::size_t r = 0; r < specs_.size(); ++r) {
+    const auto& s = specs_[r];
+    for (const ProcessId p : s.readers)
+      if (p >= 0) read_mask_[r * mask_words_ + (p >> 6)] |= 1ULL << (p & 63);
+    for (const ProcessId p : s.writers)
+      if (p >= 0) write_mask_[r * mask_words_ + (p >> 6)] |= 1ULL << (p & 63);
+    width_mask_.push_back(s.width_bits >= 64
+                              ? ~Word{0}
+                              : (Word{1} << s.width_bits) - 1);
   }
 }
 
-void RegisterFile::check_id(RegisterId r) const {
-  CIL_EXPECTS(r >= 0 && r < size());
+namespace {
+std::vector<Word> initial_values(const RegisterSpecTable& table) {
+  std::vector<Word> values;
+  values.reserve(static_cast<std::size_t>(table.size()));
+  for (const auto& s : table.specs()) values.push_back(s.initial);
+  return values;
+}
+}  // namespace
+
+RegisterFile::RegisterFile(std::vector<RegisterSpec> specs)
+    : RegisterFile(std::make_shared<const RegisterSpecTable>(std::move(specs))) {}
+
+RegisterFile::RegisterFile(std::shared_ptr<const RegisterSpecTable> table)
+    : table_(std::move(table)),
+      values_(initial_values(*table_)),
+      stats_(values_.size()) {
+  CIL_EXPECTS(table_ != nullptr);
 }
 
 Word RegisterFile::read(RegisterId r, ProcessId p) {
   check_id(r);
-  CIL_CHECK_MSG(contains(specs_[r].readers, p),
-                "process not in reader set of " + specs_[r].name);
+  CIL_CHECK_MSG(table_->reader_allowed(r, p),
+                "process not in reader set of " + table_->spec(r).name);
   ++stats_[r].reads;
-  if (fault_hook_ != nullptr) return fault_hook_->on_read(r, p, values_[r]);
+  if (fault_hook_ != nullptr) [[unlikely]]
+    return fault_hook_->on_read(r, p, values_[r]);
   return values_[r];
 }
 
 void RegisterFile::write(RegisterId r, ProcessId p, Word value) {
   check_id(r);
-  CIL_CHECK_MSG(contains(specs_[r].writers, p),
-                "process not in writer set of " + specs_[r].name);
-  CIL_CHECK_MSG(bit_width_u64(value) <= specs_[r].width_bits,
-                "write exceeds declared width of " + specs_[r].name);
+  CIL_CHECK_MSG(table_->writer_allowed(r, p),
+                "process not in writer set of " + table_->spec(r).name);
+  CIL_CHECK_MSG((value & ~table_->width_mask(r)) == 0,
+                "write exceeds declared width of " + table_->spec(r).name);
   ++stats_[r].writes;
   stats_[r].max_bits_written =
       std::max(stats_[r].max_bits_written, bit_width_u64(value));
   values_[r] = value;
-  if (fault_hook_ != nullptr) fault_hook_->on_write(r, p, value);
+  ++write_version_;
+  if (fault_hook_ != nullptr) [[unlikely]]
+    fault_hook_->on_write(r, p, value);
 }
 
 Word RegisterFile::peek(RegisterId r) const {
   check_id(r);
   return values_[r];
-}
-
-const RegisterSpec& RegisterFile::spec(RegisterId r) const {
-  check_id(r);
-  return specs_[r];
 }
 
 const RegisterStats& RegisterFile::stats(RegisterId r) const {
@@ -89,6 +110,7 @@ std::int64_t RegisterFile::total_writes() const {
 void RegisterFile::restore(const std::vector<Word>& snap) {
   CIL_EXPECTS(snap.size() == values_.size());
   values_ = snap;
+  ++write_version_;
 }
 
 }  // namespace cil

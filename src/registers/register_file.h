@@ -9,9 +9,16 @@
 // width are checked on every access — and *instrumentation*: operation
 // counts and per-register value high-water marks, which the benches use to
 // measure the (un)boundedness claims of Theorems 9 and Section 6.
+//
+// Enforcement is hot-path cheap: the static description (specs, permission
+// bitmasks, width masks) lives in an immutable RegisterSpecTable built once
+// per protocol, so read/write permission is a single bit test and the table
+// is shared — not re-parsed, not re-allocated — across the millions of
+// short-lived RegisterFiles a bench or search sweep creates.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +46,50 @@ struct RegisterStats {
   int max_bits_written = 0;  ///< high-water mark of bit_width(value) over writes
 };
 
+/// Immutable, shareable static description of a register file: validated
+/// specs plus precomputed reader/writer permission bitmasks (one bit per
+/// process, so enforcement is a bit test instead of a std::find over the
+/// declared pid vectors) and per-register width masks. Protocols build one
+/// table and hand it to every RegisterFile they create.
+class RegisterSpecTable {
+ public:
+  explicit RegisterSpecTable(std::vector<RegisterSpec> specs);
+
+  int size() const { return static_cast<int>(specs_.size()); }
+  const RegisterSpec& spec(RegisterId r) const {
+    CIL_EXPECTS(r >= 0 && r < size());
+    return specs_[r];
+  }
+  const std::vector<RegisterSpec>& specs() const { return specs_; }
+
+  bool reader_allowed(RegisterId r, ProcessId p) const {
+    return test_bit(read_mask_, r, p);
+  }
+  bool writer_allowed(RegisterId r, ProcessId p) const {
+    return test_bit(write_mask_, r, p);
+  }
+  /// All 1-bits a value may use; a write fits iff (value & ~mask) == 0.
+  Word width_mask(RegisterId r) const {
+    return width_mask_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  bool test_bit(const std::vector<std::uint64_t>& mask, RegisterId r,
+                ProcessId p) const {
+    const int word = p >> 6;
+    if (p < 0 || word >= mask_words_) return false;
+    return (mask[static_cast<std::size_t>(r) * mask_words_ + word] >>
+            (p & 63)) &
+           1u;
+  }
+
+  std::vector<RegisterSpec> specs_;
+  int mask_words_ = 1;  ///< 64-bit words per register in each mask
+  std::vector<std::uint64_t> read_mask_;   ///< size() x mask_words_, flat
+  std::vector<std::uint64_t> write_mask_;  ///< size() x mask_words_, flat
+  std::vector<Word> width_mask_;
+};
+
 /// Fault-injection hook (src/fault): observes every committed write and may
 /// replace the value a read returns — the simulator's sibling of the
 /// threaded runtime's FaultyRegisters decorator. Implementations must stay
@@ -59,8 +110,11 @@ class RegisterFaultHook {
 class RegisterFile {
  public:
   explicit RegisterFile(std::vector<RegisterSpec> specs);
+  /// Share an already-built table (the fast path Protocol::make_registers
+  /// uses); only the word values and stats are per-instance.
+  explicit RegisterFile(std::shared_ptr<const RegisterSpecTable> table);
 
-  int size() const { return static_cast<int>(specs_.size()); }
+  int size() const { return table_->size(); }
 
   /// Atomic read by process `p`. Enforces the reader set.
   Word read(RegisterId r, ProcessId p);
@@ -72,13 +126,20 @@ class RegisterFile {
   /// the adaptive adversary is allowed to see everything).
   Word peek(RegisterId r) const;
 
-  const RegisterSpec& spec(RegisterId r) const;
+  const RegisterSpec& spec(RegisterId r) const { return table_->spec(r); }
   const RegisterStats& stats(RegisterId r) const;
+  /// The shared static description (specs + permission/width masks).
+  const RegisterSpecTable& table() const { return *table_; }
 
   /// Largest bit width written to any register so far (Theorem 9 probe).
   int max_bits_written() const;
   std::int64_t total_reads() const;
   std::int64_t total_writes() const;
+  /// Monotone count of committed writes — a cheap change-detector for
+  /// lookahead caches (identical value => identical register contents,
+  /// because the file only changes through write()/restore(), and restore
+  /// bumps it too).
+  std::int64_t write_version() const { return write_version_; }
 
   /// Snapshot/restore of register contents only (stats are not part of the
   /// configuration); used by the model checker to branch executions.
@@ -91,11 +152,12 @@ class RegisterFile {
   RegisterFaultHook* fault_hook() const { return fault_hook_; }
 
  private:
-  void check_id(RegisterId r) const;
+  void check_id(RegisterId r) const { CIL_EXPECTS(r >= 0 && r < size()); }
 
-  std::vector<RegisterSpec> specs_;
+  std::shared_ptr<const RegisterSpecTable> table_;
   std::vector<Word> values_;
   std::vector<RegisterStats> stats_;
+  std::int64_t write_version_ = 0;
   RegisterFaultHook* fault_hook_ = nullptr;
 };
 

@@ -6,64 +6,109 @@
 
 namespace cil {
 
+bool AdversaryScoreCache::begin_pick(const SystemView& view) {
+  if (view.regs().fault_hook() != nullptr) return false;
+  const std::int64_t wv = view.regs().write_version();
+  const std::int64_t rec = view.recoveries();
+  const std::int64_t now = view.total_steps();
+  if (wv != write_version_ || rec != recoveries_ || now < last_total_steps_ ||
+      static_cast<int>(entries_.size()) != view.num_processes()) {
+    entries_.assign(static_cast<std::size_t>(view.num_processes()), Entry{});
+    write_version_ = wv;
+    recoveries_ = rec;
+  }
+  last_total_steps_ = now;
+  return true;
+}
+
+bool AdversaryScoreCache::lookup(const SystemView& view, ProcessId p,
+                                 double* score) const {
+  const Entry& e = entries_[static_cast<std::size_t>(p)];
+  if (e.steps != view.steps_of(p)) return false;
+  *score = e.score;
+  return true;
+}
+
+void AdversaryScoreCache::store(const SystemView& view, ProcessId p,
+                                double score) {
+  entries_[static_cast<std::size_t>(p)] = {view.steps_of(p), score};
+}
+
 ProcessId DecisionAvoidingAdversary::pick(const SystemView& view) {
-  const auto active = view.active_processes();
-  CIL_CHECK_MSG(!active.empty(), "adversary: no active process");
+  view.active_processes_into(active_);
+  CIL_CHECK_MSG(!active_.empty(), "adversary: no active process");
+  const bool use_cache = cache_.begin_pick(view);
 
   double best_score = std::numeric_limits<double>::infinity();
-  std::vector<ProcessId> best;
-  for (const ProcessId p : active) {
+  best_.clear();
+  for (const ProcessId p : active_) {
     double p_decide = 0.0;
-    for (const StepBranch& b : enumerate_step(view.regs(), view.process(p), p)) {
-      if (b.proc_after->decided()) p_decide += b.probability;
+    if (!use_cache || !cache_.lookup(view, p, &p_decide)) {
+      p_decide = 0.0;
+      for (const StepBranch& b :
+           enumerate_step(view.regs(), view.process(p), p)) {
+        if (b.proc_after->decided()) p_decide += b.probability;
+      }
+      if (use_cache) cache_.store(view, p, p_decide);
     }
     if (p_decide < best_score - 1e-12) {
       best_score = p_decide;
-      best.assign(1, p);
+      best_.assign(1, p);
     } else if (p_decide <= best_score + 1e-12) {
-      best.push_back(p);
+      best_.push_back(p);
     }
   }
-  return best[rng_.below(best.size())];
+  return best_[rng_.below(best_.size())];
+}
+
+double SplitKeepingAdversary::score_step(const SystemView& view,
+                                         ProcessId p) const {
+  double score = 0.0;
+  for (const StepBranch& b : enumerate_step(view.regs(), view.process(p), p)) {
+    if (b.proc_after->decided()) {
+      score += 10.0 * b.probability;  // decisions are the worst outcome
+      continue;
+    }
+    // Penalize unanimity among the written preferences: a unanimous
+    // configuration is one read away from decisions in all our protocols.
+    Value first = kNoValue;
+    bool unanimous = true;
+    for (std::size_t r = 0; r < b.regs_after.size(); ++r) {
+      const Value pref = extract_(b.regs_after[r]);
+      if (pref == kNoValue) continue;
+      if (first == kNoValue) {
+        first = pref;
+      } else if (pref != first) {
+        unanimous = false;
+        break;
+      }
+    }
+    if (unanimous && first != kNoValue) score += b.probability;
+  }
+  return score;
 }
 
 ProcessId SplitKeepingAdversary::pick(const SystemView& view) {
-  const auto active = view.active_processes();
-  CIL_CHECK_MSG(!active.empty(), "adversary: no active process");
+  view.active_processes_into(active_);
+  CIL_CHECK_MSG(!active_.empty(), "adversary: no active process");
+  const bool use_cache = cache_.begin_pick(view);
 
   double best_score = std::numeric_limits<double>::infinity();
-  std::vector<ProcessId> best;
-  for (const ProcessId p : active) {
+  best_.clear();
+  for (const ProcessId p : active_) {
     double score = 0.0;
-    for (const StepBranch& b : enumerate_step(view.regs(), view.process(p), p)) {
-      if (b.proc_after->decided()) {
-        score += 10.0 * b.probability;  // decisions are the worst outcome
-        continue;
-      }
-      // Penalize unanimity among the written preferences: a unanimous
-      // configuration is one read away from decisions in all our protocols.
-      Value first = kNoValue;
-      bool unanimous = true;
-      for (std::size_t r = 0; r < b.regs_after.size(); ++r) {
-        const Value pref = extract_(b.regs_after[r]);
-        if (pref == kNoValue) continue;
-        if (first == kNoValue) {
-          first = pref;
-        } else if (pref != first) {
-          unanimous = false;
-          break;
-        }
-      }
-      if (unanimous && first != kNoValue) score += b.probability;
+    if (!use_cache || !cache_.lookup(view, p, &score)) {
+      score = score_step(view, p);
+      if (use_cache) cache_.store(view, p, score);
     }
     if (score < best_score - 1e-12) {
       best_score = score;
-      best.assign(1, p);
+      best_.assign(1, p);
     } else if (score <= best_score + 1e-12) {
-      best.push_back(p);
+      best_.push_back(p);
     }
   }
-  return best[rng_.below(best.size())];
+  return best_[rng_.below(best_.size())];
 }
 
 }  // namespace cil

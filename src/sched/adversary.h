@@ -3,8 +3,20 @@
 // flips — everything except the outcomes of flips they have not yet
 // scheduled. They use one-step lookahead over coin branches
 // (sched/branching.h) to steer runs away from decisions.
+//
+// A pick scores every active processor by enumerating its next step's coin
+// branches. The score of processor p is a pure function of the register
+// contents and p's own state, so between picks only the processor that just
+// stepped — plus, after a *write*, everyone — can have a changed score.
+// Both adversaries therefore memoize scores keyed on the register file's
+// write_version, the run's recovery count, and each pid's own-step count,
+// which turns the O(n) enumerations per pick into amortized O(1) (most
+// steps of the paper's protocols are reads). Caching is disabled whenever a
+// register fault hook is installed: lookahead then feeds the hook's RNG,
+// so skipping an enumeration would change the fault stream of the real run.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sched/branching.h"
@@ -12,6 +24,29 @@
 #include "util/rng.h"
 
 namespace cil {
+
+/// Score memo shared by the adaptive adversaries (see file comment).
+class AdversaryScoreCache {
+ public:
+  /// Prepare for a pick: invalidate everything if the registers changed, a
+  /// recovery replaced a processor, or the view belongs to a new run (total
+  /// steps went backwards). Returns false when caching must not be used at
+  /// all (fault hook installed).
+  bool begin_pick(const SystemView& view);
+  /// Valid iff the entry was stored at p's current own-step count.
+  bool lookup(const SystemView& view, ProcessId p, double* score) const;
+  void store(const SystemView& view, ProcessId p, double score);
+
+ private:
+  struct Entry {
+    std::int64_t steps = -1;
+    double score = 0.0;
+  };
+  std::vector<Entry> entries_;
+  std::int64_t write_version_ = -1;
+  std::int64_t recoveries_ = -1;
+  std::int64_t last_total_steps_ = -1;
+};
 
 /// Greedy adaptive adversary: for every active process, enumerate the coin
 /// branches of its next step and compute the probability that the step makes
@@ -27,6 +62,9 @@ class DecisionAvoidingAdversary final : public Scheduler {
 
  private:
   Rng rng_;
+  AdversaryScoreCache cache_;
+  std::vector<ProcessId> active_;  ///< scratch, reused across picks
+  std::vector<ProcessId> best_;    ///< scratch, reused across picks
 };
 
 /// Adaptive adversary that additionally penalizes branches which make the
@@ -45,8 +83,12 @@ class SplitKeepingAdversary final : public Scheduler {
   ProcessId pick(const SystemView& view) override;
 
  private:
+  double score_step(const SystemView& view, ProcessId p) const;
   Rng rng_;
   PrefExtractor extract_;
+  AdversaryScoreCache cache_;
+  std::vector<ProcessId> active_;  ///< scratch, reused across picks
+  std::vector<ProcessId> best_;    ///< scratch, reused across picks
 };
 
 }  // namespace cil

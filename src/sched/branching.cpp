@@ -7,10 +7,80 @@
 
 namespace cil {
 
+namespace {
+
+/// Lookahead context: reads come from a snapshot of the register values and
+/// the single write is captured instead of applied, so enumerating a step
+/// never copies the RegisterFile (whose specs carry strings and pid vectors
+/// — the old per-branch copy was the hot cost of every adaptive-adversary
+/// pick). Permission and width enforcement go through the shared spec
+/// table, and a live fault hook is consulted exactly as a real step would
+/// consult it, so branch outcomes — and the hook's internal RNG stream —
+/// are identical to executing the step against a full copy.
+class LookaheadStepContext final : public StepContext {
+ public:
+  LookaheadStepContext(const RegisterFile& regs, const std::vector<Word>& base,
+                       ProcessId pid, CoinSource& coins)
+      : regs_(regs), base_(base), pid_(pid), coins_(coins) {}
+
+  Word read(RegisterId r) override {
+    note_io(r);
+    CIL_CHECK_MSG(regs_.table().reader_allowed(r, pid_),
+                  "process not in reader set of " + regs_.spec(r).name);
+    const Word actual = base_[static_cast<std::size_t>(r)];
+    RegisterFaultHook* hook = regs_.fault_hook();
+    if (hook != nullptr) return hook->on_read(r, pid_, actual);
+    return actual;
+  }
+
+  void write(RegisterId r, Word value) override {
+    note_io(r);
+    CIL_CHECK_MSG(regs_.table().writer_allowed(r, pid_),
+                  "process not in writer set of " + regs_.spec(r).name);
+    CIL_CHECK_MSG((value & ~regs_.table().width_mask(r)) == 0,
+                  "write exceeds declared width of " + regs_.spec(r).name);
+    wrote_ = true;
+    write_value_ = value;
+    RegisterFaultHook* hook = regs_.fault_hook();
+    if (hook != nullptr) hook->on_write(r, pid_, value);
+  }
+
+  bool flip() override { return coins_.flip(); }
+  ProcessId pid() const override { return pid_; }
+
+  int io_ops() const { return io_ops_; }
+  /// Apply the captured write (if any) to a copy of the base snapshot.
+  std::vector<Word> regs_after() const {
+    std::vector<Word> after = base_;
+    if (wrote_) after[static_cast<std::size_t>(io_reg_)] = write_value_;
+    return after;
+  }
+
+ private:
+  void note_io(RegisterId r) {
+    CIL_CHECK_MSG(io_ops_ == 0, "a step may perform only one register op");
+    CIL_EXPECTS(r >= 0 && r < regs_.size());
+    ++io_ops_;
+    io_reg_ = r;
+  }
+
+  const RegisterFile& regs_;
+  const std::vector<Word>& base_;
+  ProcessId pid_;
+  CoinSource& coins_;
+  int io_ops_ = 0;
+  RegisterId io_reg_ = -1;
+  bool wrote_ = false;
+  Word write_value_ = 0;
+};
+
+}  // namespace
+
 std::vector<StepBranch> enumerate_step(const RegisterFile& regs,
                                        const Process& proc, ProcessId pid,
                                        int max_coins) {
   std::vector<StepBranch> out;
+  const std::vector<Word> base = regs.snapshot();
   std::deque<std::vector<bool>> pending;
   pending.push_back({});
 
@@ -20,10 +90,9 @@ std::vector<StepBranch> enumerate_step(const RegisterFile& regs,
     CIL_CHECK_MSG(static_cast<int>(prefix.size()) <= max_coins,
                   "step flips more coins than max_coins allows");
 
-    RegisterFile regs_copy = regs;
     std::unique_ptr<Process> proc_copy = proc.clone();
     ForcedCoinSource coins(prefix);
-    DirectStepContext ctx(regs_copy, pid, coins);
+    LookaheadStepContext ctx(regs, base, pid, coins);
     proc_copy->step(ctx);
     CIL_CHECK_MSG(ctx.io_ops() == 1,
                   "a step must perform exactly one register op");
@@ -44,7 +113,7 @@ std::vector<StepBranch> enumerate_step(const RegisterFile& regs,
     StepBranch b;
     b.coins = prefix;
     b.probability = std::pow(0.5, static_cast<double>(prefix.size()));
-    b.regs_after = regs_copy.snapshot();
+    b.regs_after = ctx.regs_after();
     b.proc_after = std::move(proc_copy);
     out.push_back(std::move(b));
   }

@@ -78,6 +78,15 @@ class DirectStepContext final : public StepContext {
   int io_ops() const { return io_ops_; }
   int flips() const { return flips_; }
 
+  /// Re-arm for the next step (new acting pid, counters cleared). Lets the
+  /// engine keep one context for a whole run instead of constructing one
+  /// per step.
+  void reset(ProcessId pid) {
+    pid_ = pid;
+    io_ops_ = 0;
+    flips_ = 0;
+  }
+
  private:
   void note_io() {
     CIL_CHECK_MSG(io_ops_ == 0, "a step may perform only one register op");

@@ -64,8 +64,22 @@ class Protocol {
     return p;
   }
 
-  /// Convenience: build the register file from registers().
-  RegisterFile make_registers() const { return RegisterFile(registers()); }
+  /// Convenience: build the register file from registers(). The validated
+  /// spec table (permission bitmasks, width masks) is built once per
+  /// protocol instance and shared by every file returned afterwards, so a
+  /// bench or search sweep creating millions of short-lived simulations
+  /// never re-parses the specs. registers() must be stable over the
+  /// protocol's lifetime (it always has been — options are fixed at
+  /// construction). Not thread-safe against concurrent first calls; build
+  /// the first file before fanning out, as all callers already do.
+  RegisterFile make_registers() const {
+    if (spec_table_ == nullptr)
+      spec_table_ = std::make_shared<const RegisterSpecTable>(registers());
+    return RegisterFile(spec_table_);
+  }
+
+ private:
+  mutable std::shared_ptr<const RegisterSpecTable> spec_table_;
 };
 
 }  // namespace cil

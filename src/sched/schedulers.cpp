@@ -17,9 +17,9 @@ ProcessId RoundRobinScheduler::pick(const SystemView& view) {
 }
 
 ProcessId RandomScheduler::pick(const SystemView& view) {
-  const auto active = view.active_processes();
-  CIL_CHECK_MSG(!active.empty(), "RandomScheduler: no active process");
-  return active[rng_.below(active.size())];
+  view.active_processes_into(active_);
+  CIL_CHECK_MSG(!active_.empty(), "RandomScheduler: no active process");
+  return active_[rng_.below(active_.size())];
 }
 
 bool StarvingScheduler::is_starved(ProcessId p) const {
@@ -27,16 +27,16 @@ bool StarvingScheduler::is_starved(ProcessId p) const {
 }
 
 ProcessId StarvingScheduler::pick(const SystemView& view) {
-  std::vector<ProcessId> preferred;
-  for (ProcessId p : view.active_processes())
-    if (!is_starved(p)) preferred.push_back(p);
-  if (preferred.empty()) {
+  view.active_processes_into(active_);
+  preferred_.clear();
+  for (ProcessId p : active_)
+    if (!is_starved(p)) preferred_.push_back(p);
+  if (preferred_.empty()) {
     // Only starved processes remain; the engine requires a legal pick.
-    const auto active = view.active_processes();
-    CIL_CHECK_MSG(!active.empty(), "StarvingScheduler: no active process");
-    return active[rng_.below(active.size())];
+    CIL_CHECK_MSG(!active_.empty(), "StarvingScheduler: no active process");
+    return active_[rng_.below(active_.size())];
   }
-  return preferred[rng_.below(preferred.size())];
+  return preferred_[rng_.below(preferred_.size())];
 }
 
 ProcessId ReplayScheduler::pick(const SystemView& view) {

@@ -30,6 +30,7 @@ class RandomScheduler final : public Scheduler {
 
  private:
   Rng rng_;
+  std::vector<ProcessId> active_;  ///< scratch, reused across picks
 };
 
 /// Never schedules the processes in `starved` while anyone else is active.
@@ -46,6 +47,8 @@ class StarvingScheduler final : public Scheduler {
   bool is_starved(ProcessId p) const;
   std::vector<ProcessId> starved_;
   Rng rng_;
+  std::vector<ProcessId> active_;     ///< scratch, reused across picks
+  std::vector<ProcessId> preferred_;  ///< scratch, reused across picks
 };
 
 /// Replays a fixed schedule; afterwards falls back to round-robin. Used to

@@ -6,15 +6,6 @@
 namespace cil {
 
 namespace {
-class RngCoinSource final : public CoinSource {
- public:
-  explicit RngCoinSource(Rng& rng) : rng_(rng) {}
-  bool flip() override { return rng_.flip(); }
-
- private:
-  Rng& rng_;
-};
-
 /// StepContext wrapper that narrates register ops and coin flips to the
 /// simulation's sinks. Purely observational: all checks and effects stay in
 /// the wrapped DirectStepContext, and no randomness is consumed, so an
@@ -88,16 +79,22 @@ const Process& SystemView::process(ProcessId p) const {
 }
 bool SystemView::crashed(ProcessId p) const { return sim_.crashed(p); }
 bool SystemView::active(ProcessId p) const { return sim_.active(p); }
+int SystemView::num_active() const { return sim_.num_active(); }
 std::vector<ProcessId> SystemView::active_processes() const {
   std::vector<ProcessId> out;
+  active_processes_into(out);
+  return out;
+}
+void SystemView::active_processes_into(std::vector<ProcessId>& out) const {
+  out.clear();
   for (ProcessId p = 0; p < sim_.num_processes(); ++p)
     if (sim_.active(p)) out.push_back(p);
-  return out;
 }
 std::int64_t SystemView::total_steps() const { return sim_.total_steps(); }
 std::int64_t SystemView::steps_of(ProcessId p) const {
   return sim_.steps_of(p);
 }
+std::int64_t SystemView::recoveries() const { return sim_.recoveries(); }
 
 Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
                        SimOptions options)
@@ -105,23 +102,30 @@ Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
       options_(options),
       regs_(protocol.make_registers()),
       inputs_(std::move(inputs)),
-      rng_(options.seed) {
+      rng_(options.seed),
+      step_ctx_(regs_, 0, coins_) {
   const int n = protocol_.num_processes();
   CIL_EXPECTS(static_cast<int>(inputs_.size()) == n);
+  CIL_EXPECTS(options_.check_every >= 1);
   crashed_.assign(n, false);
   steps_.assign(n, 0);
   crash_total_step_.assign(n, -1);
   decisions_ever_.assign(n, kNoValue);
+  activated_.assign(n, 0);
   procs_.reserve(n);
   for (ProcessId p = 0; p < n; ++p) {
     CIL_EXPECTS(inputs_[p] >= 0);
     procs_.push_back(protocol_.make_process(p));
     procs_[p]->init(inputs_[p]);
+    if (!procs_[p]->decided()) ++num_active_;
   }
-  if (options_.obs.sink != nullptr) sinks_.push_back(options_.obs.sink);
-  // Phase baseline for kPhaseChange events (leading encode_state word).
-  phase_.reserve(n);
-  for (ProcessId p = 0; p < n; ++p) phase_.push_back(phase_of(p));
+  // Phase baselines (for kPhaseChange events) are captured lazily on the
+  // first sink attach — an unobserved run never pays the per-process
+  // encode_state() allocations.
+  if (options_.obs.sink != nullptr) {
+    sinks_.push_back(options_.obs.sink);
+    init_phase_baseline();
+  }
 }
 
 std::int64_t Simulation::phase_of(ProcessId p) const {
@@ -129,9 +133,18 @@ std::int64_t Simulation::phase_of(ProcessId p) const {
   return enc.empty() ? 0 : enc[0];
 }
 
+void Simulation::init_phase_baseline() {
+  if (static_cast<int>(phase_.size()) == num_processes()) return;
+  phase_.clear();
+  phase_.reserve(num_processes());
+  for (ProcessId p = 0; p < num_processes(); ++p)
+    phase_.push_back(phase_of(p));
+}
+
 void Simulation::attach_sink(obs::EventSink* sink) {
   CIL_EXPECTS(sink != nullptr);
   sinks_.push_back(sink);
+  init_phase_baseline();
 }
 
 void Simulation::detach_sink(obs::EventSink* sink) {
@@ -150,10 +163,12 @@ bool Simulation::active(ProcessId p) const {
 void Simulation::crash(ProcessId p) {
   CIL_EXPECTS(p >= 0 && p < num_processes());
   // The paper tolerates up to n-1 fail-stop crashes: keep one survivor.
-  int alive = 0;
-  for (ProcessId q = 0; q < num_processes(); ++q)
-    if (!crashed_[q] && q != p) ++alive;
+  const int alive = num_processes() - num_crashed_ - (crashed_[p] ? 0 : 1);
   CIL_CHECK_MSG(alive >= 1, "cannot crash the last live processor");
+  if (!crashed_[p]) {
+    if (!procs_[p]->decided()) --num_active_;
+    ++num_crashed_;
+  }
   crashed_[p] = true;
   crash_total_step_[p] = total_steps_;
   if (!sinks_.empty()) {
@@ -174,12 +189,11 @@ bool Simulation::recover(ProcessId p) {
   RecoveryContext ctx;
   ctx.pid = p;
   ctx.input = inputs_[p];
-  const auto specs = protocol_.registers();
-  for (std::size_t r = 0; r < specs.size(); ++r) {
-    const auto& writers = specs[r].writers;
-    if (std::find(writers.begin(), writers.end(), p) != writers.end()) {
-      ctx.own_registers.push_back(static_cast<RegisterId>(r));
-      ctx.own_values.push_back(regs_.peek(static_cast<RegisterId>(r)));
+  const RegisterSpecTable& table = regs_.table();
+  for (RegisterId r = 0; r < regs_.size(); ++r) {
+    if (table.writer_allowed(r, p)) {
+      ctx.own_registers.push_back(r);
+      ctx.own_values.push_back(regs_.peek(r));
     }
   }
   ctx.steps_taken = steps_[p];
@@ -188,6 +202,8 @@ bool Simulation::recover(ProcessId p) {
   procs_[p] = protocol_.recover(ctx);
   CIL_CHECK_MSG(procs_[p] != nullptr, "Protocol::recover returned null");
   crashed_[p] = false;
+  --num_crashed_;
+  if (!procs_[p]->decided()) ++num_active_;
   ++recoveries_;
   if (!sinks_.empty()) {
     obs::Event e;
@@ -200,7 +216,8 @@ bool Simulation::recover(ProcessId p) {
   }
   // A recovered automaton may already be decided (a conservative re-read of
   // a decision register, or a planted bug); announce it and hold it to the
-  // same properties as a decision reached by stepping.
+  // same properties as a decision reached by stepping. Recovery is rare, so
+  // this check stays eager even under check_every > 1.
   if (!sinks_.empty() && procs_[p]->decided()) {
     obs::Event e;
     e.kind = obs::EventKind::kDecision;
@@ -221,9 +238,7 @@ bool Simulation::step_once(Scheduler& sched) {
   for (ProcessId p : sched.recoveries(view)) recover(p);
   for (ProcessId p : sched.crashes(view)) crash(p);
 
-  bool any_active = false;
-  for (ProcessId p = 0; p < num_processes(); ++p) any_active |= active(p);
-  if (!any_active) {
+  if (num_active_ == 0) {
     // Nothing runnable, but a restart is still scheduled: let global time
     // idle forward one tick so the recovery comes due at its planned step.
     // The run() budget (max_total_steps) still bounds the wait.
@@ -238,37 +253,50 @@ bool Simulation::step_once(Scheduler& sched) {
   CIL_CHECK_MSG(p >= 0 && p < num_processes(), "scheduler picked a bad pid");
   CIL_CHECK_MSG(active(p), "scheduler picked an inactive processor");
 
-  RngCoinSource coins(rng_);
-  DirectStepContext ctx(regs_, p, coins);
-  if (sinks_.empty()) {
-    procs_[p]->step(ctx);
+  step_ctx_.reset(p);
+  std::int64_t faults_before = 0;
+  if (sinks_.empty()) [[likely]] {
+    procs_[p]->step(step_ctx_);
   } else {
-    const std::int64_t faults_before =
-        regs_.fault_hook() != nullptr ? regs_.fault_hook()->faults_injected()
-                                      : 0;
-    ObservingStepContext octx(*this, ctx, p, steps_[p] + 1, total_steps_ + 1,
-                              options_.obs.register_ops,
+    faults_before = regs_.fault_hook() != nullptr
+                        ? regs_.fault_hook()->faults_injected()
+                        : 0;
+    ObservingStepContext octx(*this, step_ctx_, p, steps_[p] + 1,
+                              total_steps_ + 1, options_.obs.register_ops,
                               options_.obs.coin_flips);
     procs_[p]->step(octx);
-    CIL_CHECK_MSG(ctx.io_ops() == 1,
-                  "a step must perform exactly one register op");
-    ++steps_[p];
-    ++total_steps_;
-    activated_.insert(p);
-    if (options_.record_schedule) schedule_.push_back(p);
-    emit_after_step(p, faults_before);
-    check_properties_after_step(p);
-    return true;
   }
-  CIL_CHECK_MSG(ctx.io_ops() == 1, "a step must perform exactly one register op");
+  CIL_CHECK_MSG(step_ctx_.io_ops() == 1,
+                "a step must perform exactly one register op");
 
   ++steps_[p];
   ++total_steps_;
-  activated_.insert(p);
+  if (!activated_[p]) note_activation(p);
   if (options_.record_schedule) schedule_.push_back(p);
+  if (!sinks_.empty()) emit_after_step(p, faults_before);
 
-  check_properties_after_step(p);
+  if (procs_[p]->decided()) {
+    --num_active_;  // p was active when picked, so this is its transition
+    if (options_.check_every == 1) {
+      check_properties_after_step(p);
+    } else {
+      // Latch now (write-once), defer the property check to the checkpoint.
+      if (decisions_ever_[p] == kNoValue)
+        decisions_ever_[p] = procs_[p]->decision();
+      check_pending_ = true;
+    }
+  }
+  if (check_pending_ && total_steps_ % options_.check_every == 0)
+    check_properties_deferred();
   return true;
+}
+
+void Simulation::note_activation(ProcessId p) {
+  activated_[p] = 1;
+  const Value in = inputs_[p];
+  if (std::find(activated_inputs_.begin(), activated_inputs_.end(), in) ==
+      activated_inputs_.end())
+    activated_inputs_.push_back(in);
 }
 
 void Simulation::emit_after_step(ProcessId p, std::int64_t faults_before) {
@@ -350,13 +378,11 @@ void Simulation::check_properties_after_step(ProcessId stepped) {
   if (decisions_ever_[stepped] == kNoValue) decisions_ever_[stepped] = v;
 
   if (options_.check_nontriviality) {
-    bool is_input_of_active = false;
-    for (ProcessId q : activated_) {
-      if (inputs_[q] == v) {
-        is_input_of_active = true;
-        break;
-      }
-    }
+    // activated_inputs_ holds the distinct inputs of activated processors,
+    // so this scan is over at most |value domain| entries, not n.
+    const bool is_input_of_active =
+        std::find(activated_inputs_.begin(), activated_inputs_.end(), v) !=
+        activated_inputs_.end();
     if (!is_input_of_active) {
       std::ostringstream os;
       os << "nontriviality violated: P" << stepped << " decided " << v
@@ -364,6 +390,42 @@ void Simulation::check_properties_after_step(ProcessId stepped) {
       throw CoordinationViolation(os.str());
     }
   }
+}
+
+void Simulation::check_properties_deferred() {
+  check_pending_ = false;
+  if (options_.check_consistency) {
+    ProcessId first = -1;
+    for (ProcessId q = 0; q < num_processes(); ++q) {
+      if (decisions_ever_[q] == kNoValue) continue;
+      if (first < 0) {
+        first = q;
+      } else if (decisions_ever_[q] != decisions_ever_[first]) {
+        std::ostringstream os;
+        os << "consistency violated: P" << first << " decided "
+           << decisions_ever_[first] << " but P" << q << " decided "
+           << decisions_ever_[q];
+        throw CoordinationViolation(os.str());
+      }
+    }
+  }
+  if (options_.check_nontriviality) {
+    for (ProcessId q = 0; q < num_processes(); ++q) {
+      const Value v = decisions_ever_[q];
+      if (v == kNoValue) continue;
+      if (std::find(activated_inputs_.begin(), activated_inputs_.end(), v) ==
+          activated_inputs_.end()) {
+        std::ostringstream os;
+        os << "nontriviality violated: P" << q << " decided " << v
+           << " which is no activated processor's input";
+        throw CoordinationViolation(os.str());
+      }
+    }
+  }
+}
+
+void Simulation::flush_property_checks() {
+  if (check_pending_) check_properties_deferred();
 }
 
 SimResult Simulation::result() const {
@@ -390,6 +452,7 @@ SimResult Simulation::run(Scheduler& sched) {
   while (total_steps_ < options_.max_total_steps) {
     if (!step_once(sched)) break;
   }
+  flush_property_checks();
   return result();
 }
 

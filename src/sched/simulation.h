@@ -2,13 +2,19 @@
 // enforcing the paper's model (one register op per step, fail-stop crashes,
 // adaptive adversaries with full state knowledge) and checking the
 // coordination properties — consistency and nontriviality — online after
-// every step.
+// every step (or, for large sweeps, at a configurable sparser cadence; see
+// SimOptions::check_every).
+//
+// The per-step path is deliberately flat: activation is a bitmap plus a
+// running list of distinct activated inputs, liveness is a maintained
+// counter (no O(n) scans), the coin source and step context are constructed
+// once per run, and the unobserved fast path shares one accounting block
+// with the observed path instead of duplicating it.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -33,10 +39,18 @@ class SystemView {
   bool crashed(ProcessId p) const;
   /// Active = not crashed and not decided (a decided processor has quit).
   bool active(ProcessId p) const;
+  /// Number of active processes — O(1), maintained by the engine.
+  int num_active() const;
   std::vector<ProcessId> active_processes() const;
+  /// Allocation-free variant: overwrites `out` with the active pids in
+  /// ascending order. Schedulers keep a scratch buffer and reuse it.
+  void active_processes_into(std::vector<ProcessId>& out) const;
   std::int64_t total_steps() const;
   /// Own-step count of processor `p` (fault plans key events on it).
   std::int64_t steps_of(ProcessId p) const;
+  /// Crash-recoveries applied so far; with regs().write_version() this gives
+  /// lookahead caches a complete cheap change-detector for system state.
+  std::int64_t recoveries() const;
 
  private:
   const Simulation& sim_;
@@ -80,6 +94,15 @@ struct SimOptions {
   bool check_consistency = true;
   bool check_nontriviality = true;
   bool record_schedule = false;
+  /// Property-check cadence in global steps. 1 (the default) checks online
+  /// after every step — exactly the historical semantics. k > 1 defers the
+  /// consistency/nontriviality checks of any decision to the next global
+  /// step divisible by k (and to the end of run()), trading detection
+  /// latency for throughput on large-n sweeps; a violation is still always
+  /// caught, just up to k-1 steps late, and the violating run may take up
+  /// to k-1 more steps before the throw. Decisions are latched at decision
+  /// time regardless, so nothing is lost to the deferral.
+  std::int64_t check_every = 1;
   /// Observability (src/obs): with a sink set, the engine narrates the run
   /// as a structured event stream — step, register read/write, coin flip,
   /// decision, crash, fault-injected, phase-change. Null sink = off, at the
@@ -113,7 +136,8 @@ class Simulation {
   bool step_once(Scheduler& sched);
 
   /// Drive to completion (or the step budget). May be called after some
-  /// step_once() calls.
+  /// step_once() calls. Flushes any check deferred by check_every > 1
+  /// before returning.
   SimResult run(Scheduler& sched);
 
   /// Fail-stop a processor: it will never be scheduled again (unless a
@@ -135,13 +159,21 @@ class Simulation {
   bool crashed(ProcessId p) const { return crashed_[p]; }
   bool active(ProcessId p) const;
   int num_processes() const { return static_cast<int>(procs_.size()); }
+  /// Number of active (not crashed, not decided) processes — O(1).
+  int num_active() const { return num_active_; }
   std::int64_t total_steps() const { return total_steps_; }
   std::int64_t steps_of(ProcessId p) const { return steps_[p]; }
+  std::int64_t recoveries() const { return recoveries_; }
   const std::vector<Value>& inputs() const { return inputs_; }
   Rng& rng() { return rng_; }
 
   /// Summarize the current state into a SimResult.
   SimResult result() const;
+
+  /// Run the deferred property check now, if one is pending (check_every
+  /// > 1 only; a no-op otherwise). run() calls this before returning;
+  /// callers driving step_once() manually may flush at their own cadence.
+  void flush_property_checks();
 
   /// Attach/detach an event sink in addition to the SimOptions one —
   /// TraceRecorder subscribes this way. Sinks are borrowed and must
@@ -156,9 +188,26 @@ class Simulation {
   void emit(const obs::Event& e);
 
  private:
+  /// The engine's CoinSource over the run's PRNG stream — constructed once,
+  /// not per step.
+  class RngCoinSource final : public CoinSource {
+   public:
+    explicit RngCoinSource(Rng& rng) : rng_(rng) {}
+    bool flip() override { return rng_.flip(); }
+
+   private:
+    Rng& rng_;
+  };
+
   void check_properties_after_step(ProcessId p);
+  /// Pairwise check over every decision ever latched (the check_every > 1
+  /// checkpoint form; stepped-processor identity is no longer known).
+  void check_properties_deferred();
+  void note_activation(ProcessId p);
+  void on_decided(ProcessId p);
   void emit_after_step(ProcessId p, std::int64_t faults_before);
   std::int64_t phase_of(ProcessId p) const;
+  void init_phase_baseline();
 
   const Protocol& protocol_;
   SimOptions options_;
@@ -177,11 +226,20 @@ class Simulation {
   std::vector<Value> decisions_ever_;
   std::int64_t recoveries_ = 0;
   std::vector<ProcessId> schedule_;
-  std::set<ProcessId> activated_;  ///< processes that took >= 1 step
+  std::vector<std::uint8_t> activated_;  ///< bitmap: took >= 1 step
+  /// Distinct inputs of activated processes, in activation order — the
+  /// nontriviality check scans this short list, not the activation set.
+  std::vector<Value> activated_inputs_;
   std::int64_t total_steps_ = 0;
+  int num_active_ = 0;    ///< maintained: !crashed && !decided
+  int num_crashed_ = 0;   ///< maintained: crashed_[p] == true
+  bool check_pending_ = false;  ///< a decision awaits its checkpoint
   Rng rng_;
+  RngCoinSource coins_{rng_};
+  DirectStepContext step_ctx_;
   std::vector<obs::EventSink*> sinks_;
   std::vector<std::int64_t> phase_;  ///< last observed leading state word
+                                     ///< (filled lazily on first sink)
 };
 
 /// Thrown when a run violates consistency or nontriviality — i.e. when the

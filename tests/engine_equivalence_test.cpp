@@ -1,0 +1,210 @@
+// Engine-semantics pins for the flattened hot path:
+//
+//   * observed vs unobserved — attaching event sinks must not change a run
+//     (the observed path shares one accounting block with the fast path);
+//   * SimOptions::check_every — the sparse property-check mode must keep
+//     default semantics bit-identical, still catch every violation (at the
+//     next checkpoint or at end of run), and not alter run outcomes for
+//     correct protocols.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "obs/events.h"
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+namespace cil {
+namespace {
+
+bool same_result(const SimResult& a, const SimResult& b) {
+  return a.all_decided == b.all_decided && a.decision == b.decision &&
+         a.decisions == b.decisions &&
+         a.steps_per_process == b.steps_per_process &&
+         a.total_steps == b.total_steps && a.schedule == b.schedule &&
+         a.max_register_bits == b.max_register_bits &&
+         a.recoveries == b.recoveries;
+}
+
+SimOptions recorded_options(std::uint64_t seed) {
+  SimOptions options;
+  options.seed = seed;
+  options.record_schedule = true;
+  return options;
+}
+
+TEST(ObservedUnobserved, SameSeedProducesIdenticalSimResult) {
+  const UnboundedProtocol protocol(3);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SimResult plain, observed;
+    {
+      Simulation sim(protocol, {0, 1, 0}, recorded_options(seed));
+      RandomScheduler sched(seed);
+      plain = sim.run(sched);
+    }
+    {
+      obs::RecordingSink rec;
+      SimOptions options = recorded_options(seed);
+      options.obs.sink = &rec;  // register_ops/coin_flips/phase_changes on
+      Simulation sim(protocol, {0, 1, 0}, options);
+      RandomScheduler sched(seed);
+      observed = sim.run(sched);
+      EXPECT_GT(rec.events().size(), 0u);
+    }
+    EXPECT_TRUE(same_result(plain, observed)) << "seed " << seed;
+  }
+}
+
+TEST(ObservedUnobserved, MidRunAttachDoesNotPerturbOutcome) {
+  const TwoProcessProtocol protocol;
+  SimResult plain;
+  {
+    Simulation sim(protocol, {0, 1}, recorded_options(7));
+    RandomScheduler sched(7);
+    plain = sim.run(sched);
+  }
+  {
+    obs::RecordingSink rec;
+    Simulation sim(protocol, {0, 1}, recorded_options(7));
+    RandomScheduler sched(7);
+    sim.step_once(sched);
+    sim.attach_sink(&rec);  // subscribe after the run already started
+    const SimResult observed = sim.run(sched);
+    EXPECT_TRUE(same_result(plain, observed));
+  }
+}
+
+// --- check_every ----------------------------------------------------------
+
+/// Deliberately inconsistent protocol: P0 decides 0 and P1 decides 1 on
+/// their second step; P2 just reads forever. Deterministic (no coins), so
+/// under round-robin the violation happens at global step 5 exactly.
+class InconsistentStrawman final : public Protocol {
+ public:
+  class Proc final : public Process {
+   public:
+    explicit Proc(ProcessId pid) : pid_(pid) {}
+    void init(Value input) override { input_ = input; }
+    void step(StepContext& ctx) override {
+      if (steps_ == 0) {
+        ctx.write(static_cast<RegisterId>(pid_), 1);
+      } else {
+        ctx.read(static_cast<RegisterId>(pid_));
+        if (pid_ < 2) {
+          decided_ = true;
+          value_ = static_cast<Value>(pid_);  // P0 -> 0, P1 -> 1: clash
+        }
+      }
+      ++steps_;
+    }
+    bool decided() const override { return decided_; }
+    Value decision() const override { return value_; }
+    Value input() const override { return input_; }
+    std::vector<std::int64_t> encode_state() const override {
+      return {steps_, decided_ ? 1 : 0, value_, input_};
+    }
+    std::unique_ptr<Process> clone() const override {
+      return std::make_unique<Proc>(*this);
+    }
+    std::string debug_string() const override { return "strawman"; }
+
+   private:
+    ProcessId pid_;
+    Value input_ = kNoValue;
+    Value value_ = kNoValue;
+    std::int64_t steps_ = 0;
+    bool decided_ = false;
+  };
+
+  std::string name() const override { return "inconsistent_strawman"; }
+  int num_processes() const override { return 3; }
+  std::vector<RegisterSpec> registers() const override {
+    std::vector<RegisterSpec> specs;
+    for (ProcessId p = 0; p < 3; ++p)
+      specs.push_back({"r" + std::to_string(p), {p}, {0, 1, 2}, 1, 0});
+    return specs;
+  }
+  std::unique_ptr<Process> make_process(ProcessId pid) const override {
+    return std::make_unique<Proc>(pid);
+  }
+};
+
+TEST(CheckEvery, DefaultCatchesViolationAtTheDecisionStep) {
+  const InconsistentStrawman protocol;
+  Simulation sim(protocol, {0, 1, 0}, SimOptions{});
+  RoundRobinScheduler sched;
+  // t1 P0 writes, t2 P1 writes, t3 P2 reads, t4 P0 decides 0 (consistent so
+  // far), t5 P1 decides 1 -> throw during that very step.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(sim.step_once(sched));
+  ASSERT_EQ(sim.total_steps(), 4);
+  EXPECT_THROW(sim.step_once(sched), CoordinationViolation);
+  EXPECT_EQ(sim.total_steps(), 5);
+}
+
+TEST(CheckEvery, SparseModeCatchesViolationAtNextCheckpoint) {
+  const InconsistentStrawman protocol;
+  SimOptions options;
+  options.check_every = 4;
+  Simulation sim(protocol, {0, 1, 0}, options);
+  RoundRobinScheduler sched;
+  // The violation occurs at step 5 but checks run at multiples of 4: steps
+  // 5..7 must pass, the step landing on 8 must throw.
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(sim.step_once(sched));
+  ASSERT_EQ(sim.total_steps(), 7);
+  EXPECT_THROW(sim.step_once(sched), CoordinationViolation);
+  EXPECT_EQ(sim.total_steps(), 8);
+}
+
+TEST(CheckEvery, RunFlushesDeferredCheckAtEndOfBudget) {
+  const InconsistentStrawman protocol;
+  SimOptions options;
+  options.check_every = 1000;  // no checkpoint inside the budget
+  options.max_total_steps = 20;
+  Simulation sim(protocol, {0, 1, 0}, options);
+  RoundRobinScheduler sched;
+  EXPECT_THROW(sim.run(sched), CoordinationViolation);
+  EXPECT_EQ(sim.total_steps(), 20);  // throw came from the end-of-run flush
+}
+
+TEST(CheckEvery, ManualFlushAlsoCatchesPendingViolation) {
+  const InconsistentStrawman protocol;
+  SimOptions options;
+  options.check_every = 1000;
+  Simulation sim(protocol, {0, 1, 0}, options);
+  RoundRobinScheduler sched;
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(sim.step_once(sched));
+  EXPECT_THROW(sim.flush_property_checks(), CoordinationViolation);
+}
+
+TEST(CheckEvery, SparseModeMatchesDefaultOnCorrectProtocols) {
+  const TwoProcessProtocol two;
+  const UnboundedProtocol un3(3);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const std::int64_t k : {2, 7, 64}) {
+      {
+        SimOptions a = recorded_options(seed);
+        SimOptions b = recorded_options(seed);
+        b.check_every = k;
+        Simulation sa(two, {0, 1}, a), sb(two, {0, 1}, b);
+        RandomScheduler scha(seed ^ 0x21), schb(seed ^ 0x21);
+        EXPECT_TRUE(same_result(sa.run(scha), sb.run(schb)));
+      }
+      {
+        SimOptions a = recorded_options(seed);
+        SimOptions b = recorded_options(seed);
+        b.check_every = k;
+        Simulation sa(un3, {0, 1, 0}, a), sb(un3, {0, 1, 0}, b);
+        DecisionAvoidingAdversary scha(seed + 9), schb(seed + 9);
+        EXPECT_TRUE(same_result(sa.run(scha), sb.run(schb)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cil

@@ -13,6 +13,17 @@
 //
 // Metrics are lower-is-better (step counts, latencies). Exit 0 when every
 // metric is within bound, 1 on any regression, 2 on usage/IO errors.
+//
+// --diff narrates instead of gating: every numeric leaf under "samples" and
+// "values" shared by the two reports (or just the --metric paths, if given)
+// is printed as a human-readable delta line, biggest movement first, e.g.
+//
+//   samples/steps.random/p99 +12.0%  (34 -> 38.08)
+//
+// and the exit code is always 0 — CI echoes the narration into the job
+// summary next to the gate verdict.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -30,7 +41,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: perfgate --baseline=FILE --current=FILE\n"
                "                --metric=a/b/c [--metric=...]\n"
-               "                [--max-regress=0.25]\n");
+               "                [--max-regress=0.25]\n"
+               "       perfgate --diff --baseline=FILE --current=FILE\n"
+               "                [--metric=a/b/c ...]\n");
   return 2;
 }
 
@@ -69,23 +82,94 @@ bool lookup(const obs::Json& doc, const std::string& path, double& out) {
   return true;
 }
 
+/// Collect the '/'-paths of every numeric leaf below `node` into `out`.
+void collect_numeric_leaves(const obs::Json& node, const std::string& prefix,
+                            std::vector<std::string>& out) {
+  if (node.is_number()) {
+    out.push_back(prefix);
+    return;
+  }
+  if (!node.is_object()) return;
+  for (const auto& [key, child] : node.as_object())
+    collect_numeric_leaves(child, prefix.empty() ? key : prefix + "/" + key,
+                           out);
+}
+
+/// --diff: narrate metric movements between two reports, largest first.
+int run_diff(const obs::Json& baseline, const obs::Json& current,
+             std::vector<std::string> metrics) {
+  if (metrics.empty()) {
+    // No explicit paths: every numeric leaf under the two report sections
+    // that carry headline numbers — union of both reports, so metrics that
+    // only exist on one side still show up (as missing).
+    for (const obs::Json* doc : {&baseline, &current}) {
+      for (const char* section : {"samples", "values"}) {
+        const obs::Json* node = doc->find(section);
+        if (node != nullptr) collect_numeric_leaves(*node, section, metrics);
+      }
+    }
+    std::sort(metrics.begin(), metrics.end());
+    metrics.erase(std::unique(metrics.begin(), metrics.end()), metrics.end());
+  }
+
+  struct Delta {
+    std::string path;
+    double base = 0, cur = 0, pct = 0;
+  };
+  std::vector<Delta> deltas;
+  int missing = 0, unchanged = 0;
+  for (const std::string& m : metrics) {
+    double base = 0, cur = 0;
+    if (!lookup(baseline, m, base) || !lookup(current, m, cur)) {
+      ++missing;
+      continue;
+    }
+    if (base == cur) {
+      ++unchanged;
+      continue;
+    }
+    const double pct = base != 0 ? (cur - base) / base * 100.0
+                                 : (cur > 0 ? 100.0 : -100.0);
+    deltas.push_back({m, base, cur, pct});
+  }
+  std::sort(deltas.begin(), deltas.end(), [](const Delta& a, const Delta& b) {
+    return std::fabs(a.pct) > std::fabs(b.pct);
+  });
+
+  std::printf("perfgate diff: %zu metric(s) compared, %zu moved, %d"
+              " unchanged, %d missing\n",
+              metrics.size(), deltas.size(), unchanged, missing);
+  for (const Delta& d : deltas) {
+    // Lower is better for everything we watch except throughput rates.
+    const bool higher_is_better =
+        d.path.find("steps_per_sec") != std::string::npos;
+    const bool improved = higher_is_better ? d.cur > d.base : d.cur < d.base;
+    std::printf("  %-44s %+7.1f%%  (%g -> %g)%s\n", d.path.c_str(), d.pct,
+                d.base, d.cur, improved ? "  [improved]" : "");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli::FlagSet flags(argc, argv);
   std::string baseline_path, current_path;
   double max_regress = 0.25;
+  const bool diff = flags.take_switch("diff");
   flags.take_string("baseline", baseline_path);
   flags.take_string("current", current_path);
   flags.take_double("max-regress", max_regress);
   const std::vector<std::string> metrics = flags.take_all("metric");
   if (!flags.finish() || baseline_path.empty() || current_path.empty() ||
-      metrics.empty())
+      (metrics.empty() && !diff))
     return usage();
 
   obs::Json baseline, current;
   if (!load_json(baseline_path, baseline) || !load_json(current_path, current))
     return 2;
+
+  if (diff) return run_diff(baseline, current, metrics);
 
   std::printf("%-36s %12s %12s %9s %s\n", "metric", "baseline", "current",
               "delta", "verdict");
