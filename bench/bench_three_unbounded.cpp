@@ -13,6 +13,7 @@
 //     big is the paper's point.
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "analysis/explorer.h"
 #include "bench/bench_util.h"
@@ -43,32 +44,50 @@ int main() {
   }
 
   header("T9: P[max num >= k] vs (3/4)^{k-1}   (num starts at 1)");
+  // The probe reads the pooled Simulation's final registers on the worker
+  // thread, right after each run — the num-field high-water mark Theorem 9
+  // bounds. It is stateless, as BatchRunner requires.
+  const RunProbe max_num_probe = [](const Simulation& sim, const SimResult&) {
+    std::int64_t m = 0;
+    for (RegisterId reg = 0; reg < 3; ++reg)
+      m = std::max(m, UnboundedProtocol::unpack_num(sim.regs().peek(reg)));
+    return m;
+  };
   for (const bool adversarial : {false, true}) {
-    SampleSet max_nums;
-    RunningStats total_steps;
-    StepTimer timer;
-    int max_bits = 0;
-    for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
-      SimOptions options;
-      options.seed = seed;
-      options.max_total_steps = 1'000'000;
-      Simulation sim(protocol, {0, 1, 0}, options);
-      std::unique_ptr<Scheduler> sched;
-      if (adversarial) {
-        sched = std::make_unique<SplitKeepingAdversary>(
-            seed + 3, &UnboundedProtocol::unpack_pref);
-      } else {
-        sched = std::make_unique<RandomScheduler>(seed ^ 0xbeef);
-      }
-      const auto r = sim.run(*sched);
-      std::int64_t m = 0;
-      for (RegisterId reg = 0; reg < 3; ++reg)
-        m = std::max(m, UnboundedProtocol::unpack_num(sim.regs().peek(reg)));
-      max_nums.add(m);
-      total_steps.add(static_cast<double>(r.total_steps));
-      timer.add_steps(r.total_steps);
-      max_bits = std::max(max_bits, r.max_register_bits);
+    SchedulerFactory factory;
+    if (adversarial) {
+      factory = [] {
+        auto s = std::make_shared<SplitKeepingAdversary>(
+            0, &UnboundedProtocol::unpack_pref);
+        return [s](std::uint64_t seed) -> Scheduler& {
+          s->reseed(seed + 3);
+          return *s;
+        };
+      };
+    } else {
+      factory = [] {
+        auto s = std::make_shared<RandomScheduler>(0);
+        return [s](std::uint64_t seed) -> Scheduler& {
+          s->reseed(seed ^ 0xbeef);
+          return *s;
+        };
+      };
     }
+    BatchRunner batch(protocol, {0, 1, 0});
+    BatchOptions opts;
+    opts.first_seed = 0;
+    opts.num_runs = kRuns;
+    opts.threads = bench_threads();
+    const BatchSummary b = batch.run(opts, factory, max_num_probe);
+
+    const SampleSet& max_nums = b.probe;
+    // Rebuild the mean through the same RunningStats add-sequence the serial
+    // loop used, so mean_total_steps.* stays bit-identical to baselines.
+    RunningStats total_steps;
+    for (const std::int64_t s : b.steps.samples())
+      total_steps.add(static_cast<double>(s));
+    const std::int64_t max_bits = summarize(b.max_register_bits).max;
+
     const std::string label = adversarial ? "split-keeping" : "random";
     std::printf("scheduler: %s\n",
                 adversarial ? "split-keeping adaptive adversary" : "random");
@@ -87,9 +106,12 @@ int main() {
     report.set_value("mean_total_steps." + label, total_steps.mean());
     report.set_value("max_register_bits." + label,
                      static_cast<double>(max_bits));
-    report.add_throughput(label, timer);
-    std::printf("  [%s: %.0f steps/s, %.1f ns/step]\n\n", label.c_str(),
-                timer.steps_per_sec(), timer.ns_per_step());
+    add_batch_report(report, label, b);
+    std::printf("  [%s: %.0f runs/s on %d threads, %.1f us/run]\n\n",
+                label.c_str(),
+                static_cast<double>(b.num_runs) / b.wall_seconds,
+                opts.threads,
+                1e6 * b.wall_seconds / static_cast<double>(b.num_runs));
   }
 
   header("F2-SWSR: the 1-writer 1-reader variant (full-paper claim)");
@@ -100,20 +122,23 @@ int main() {
     UnboundedProtocol base(3);
     row({"variant", "E[total steps]", "registers", "widthxcount"});
     for (const bool use_swsr : {false, true}) {
+      BatchRunner batch(use_swsr ? static_cast<const Protocol&>(swsr)
+                                 : static_cast<const Protocol&>(base),
+                        {0, 1, 0});
+      BatchOptions opts;
+      opts.first_seed = 0;
+      opts.num_runs = 10000;
+      opts.threads = bench_threads();
+      const BatchSummary b = batch.run(opts, [] {
+        auto s = std::make_shared<RandomScheduler>(0);
+        return [s](std::uint64_t seed) -> Scheduler& {
+          s->reseed(seed ^ 0xfe);
+          return *s;
+        };
+      });
       RunningStats steps;
-      for (std::uint64_t seed = 0; seed < 10000; ++seed) {
-        RandomScheduler sched(seed ^ 0xfe);
-        SimOptions options;
-        options.seed = seed;
-        options.max_total_steps = 1'000'000;
-        if (use_swsr) {
-          Simulation sim(swsr, {0, 1, 0}, options);
-          steps.add(static_cast<double>(sim.run(sched).total_steps));
-        } else {
-          Simulation sim(base, {0, 1, 0}, options);
-          steps.add(static_cast<double>(sim.run(sched).total_steps));
-        }
-      }
+      for (const std::int64_t s : b.steps.samples())
+        steps.add(static_cast<double>(s));
       report.set_value(use_swsr ? "mean_total_steps.swsr"
                                 : "mean_total_steps.swmr",
                        steps.mean());

@@ -14,6 +14,7 @@
 //                  via the worst-case MDP solver (sup over ALL adaptive
 //                  adversaries).
 #include <cmath>
+#include <memory>
 
 #include "analysis/explorer.h"
 #include "analysis/mdp.h"
@@ -30,29 +31,63 @@ namespace {
 
 constexpr int kRuns = 20000;
 
+// The random sweep, batched: pooled simulations (reset per seed) sharded
+// across bench_threads() workers. The per-seed scheduler constructions match
+// the historical serial loop exactly — RandomScheduler(seed ^ 0x1234),
+// DecisionAvoidingAdversary(seed + 17) — via reseed() on a pooled instance,
+// so the steps.* sample metrics are bit-identical to pre-batch baselines.
 SampleSet measure(const TwoProcessProtocol& protocol,
                   const char* scheduler_name, BenchReport* report = nullptr) {
+  const std::string name = scheduler_name;
+  SchedulerFactory factory;
+  if (name == "round-robin") {
+    factory = [] {
+      auto s = std::make_shared<RoundRobinScheduler>();
+      return [s](std::uint64_t) -> Scheduler& {
+        s->reset();
+        return *s;
+      };
+    };
+  } else if (name == "random") {
+    factory = [] {
+      auto s = std::make_shared<RandomScheduler>(0);
+      return [s](std::uint64_t seed) -> Scheduler& {
+        s->reseed(seed ^ 0x1234);
+        return *s;
+      };
+    };
+  } else {
+    factory = [] {
+      auto s = std::make_shared<DecisionAvoidingAdversary>(0);
+      return [s](std::uint64_t seed) -> Scheduler& {
+        s->reseed(seed + 17);
+        return *s;
+      };
+    };
+  }
+
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = kRuns;
+  opts.threads = bench_threads();
+  const BatchSummary b = batch.run(opts, factory);
+
+  // Interleave p0/p1 per seed, the order the serial loop sampled in.
   SampleSet steps;
-  StepTimer timer;
-  for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
-    std::unique_ptr<Scheduler> sched;
-    const std::string name = scheduler_name;
-    if (name == "round-robin") {
-      sched = std::make_unique<RoundRobinScheduler>();
-    } else if (name == "random") {
-      sched = std::make_unique<RandomScheduler>(seed ^ 0x1234);
-    } else {
-      sched = std::make_unique<DecisionAvoidingAdversary>(seed + 17);
-    }
-    const auto r = run_once(protocol, {0, 1}, *sched, seed);
-    timer.add_steps(r.total_steps);
-    steps.add(r.steps_per_process[0]);
-    steps.add(r.steps_per_process[1]);
+  for (std::size_t i = 0; i < b.steps_p0.samples().size(); ++i) {
+    steps.add(b.steps_p0.samples()[i]);
+    steps.add(b.steps_p1.samples()[i]);
   }
   if (report != nullptr) {
-    report->add_throughput(scheduler_name, timer);
-    std::printf("  [%s: %.0f steps/s, %.1f ns/step]\n", scheduler_name,
-                timer.steps_per_sec(), timer.ns_per_step());
+    add_batch_report(*report, scheduler_name, b);
+    std::printf(
+        "  [%s: %.0f runs/s on %d threads, %.1f us/run"
+        " (construct %.0f ms, run %.0f ms)]\n",
+        scheduler_name,
+        static_cast<double>(b.num_runs) / b.wall_seconds, opts.threads,
+        1e6 * b.wall_seconds / static_cast<double>(b.num_runs),
+        1e3 * b.construct_seconds, 1e3 * b.run_seconds);
   }
   return steps;
 }

@@ -5,16 +5,19 @@
 // DESIGN.md §3 and prints paper-claim vs measured.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "sched/batch.h"
 #include "sched/simulation.h"
 #include "util/stats.h"
 
@@ -74,6 +77,18 @@ inline SimResult run_once(const Protocol& protocol,
   options.max_total_steps = max_steps;
   Simulation sim(protocol, inputs, options);
   return sim.run(sched);
+}
+
+/// Worker-thread count for BatchRunner sweeps: min(8, hardware) so bench
+/// numbers stay comparable across big and small machines, overridable via
+/// CIL_BENCH_THREADS (CI smoke and local reproduction can pin it).
+inline int bench_threads() {
+  if (const char* env = std::getenv("CIL_BENCH_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min<unsigned>(8, hw == 0 ? 1 : hw));
 }
 
 /// Wall-clock throughput meter for a measurement loop. Start it, add the
@@ -179,5 +194,32 @@ class BenchReport {
   obs::Json samples_ = obs::Json::object();
   bool written_ = false;
 };
+
+/// Record a BatchRunner sweep in the run-report:
+///   wall.<key>.steps_per_sec / .ns_per_step   — per-step throughput, the
+///       same shape add_throughput emits for serial loops;
+///   batch.<key>.runs_per_sec                  — the human headline rate;
+///   batch.<key>.us_per_run                    — its lower-is-better form,
+///       the one the perf gate watches;
+///   wall.<key>.construct_s / .run_s           — the construct-vs-run wall
+///       split, summed across workers, so a ctor-dominated sweep is visible
+///       as data instead of polluting the per-step numbers.
+inline void add_batch_report(BenchReport& report, const std::string& key,
+                             const BatchSummary& b) {
+  const double wall = b.wall_seconds > 0 ? b.wall_seconds : 1e-12;
+  report.set_value("wall." + key + ".steps_per_sec",
+                   static_cast<double>(b.total_steps) / wall);
+  report.set_value(
+      "wall." + key + ".ns_per_step",
+      b.total_steps > 0 ? 1e9 * wall / static_cast<double>(b.total_steps)
+                        : 0.0);
+  report.set_value("batch." + key + ".runs_per_sec",
+                   static_cast<double>(b.num_runs) / wall);
+  report.set_value(
+      "batch." + key + ".us_per_run",
+      b.num_runs > 0 ? 1e6 * wall / static_cast<double>(b.num_runs) : 0.0);
+  report.set_value("wall." + key + ".construct_s", b.construct_seconds);
+  report.set_value("wall." + key + ".run_s", b.run_seconds);
+}
 
 }  // namespace cil::bench

@@ -195,6 +195,17 @@ class BoundedThreeProcess final : public Process {
     pc_ = Pc::kReadFirst;
   }
 
+  /// Back to the freshly-constructed state (input not yet supplied); the
+  /// reset_process fast path of pooled sweeps. peer_ depends only on pid.
+  void reinit() {
+    pc_ = Pc::kWriteInput;
+    cur_ = Reg{};
+    candidate_ = Reg{};
+    seen_[0] = seen_[1] = Reg{};
+    held_mask_ = 0;
+    intent_ = input_ = decision_ = kNoValue;
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " num=" << cur_.num
@@ -467,6 +478,14 @@ std::unique_ptr<Process> BoundedThreeProtocol::make_process(
     ProcessId pid) const {
   CIL_EXPECTS(pid >= 0 && pid < 3);
   return std::make_unique<BoundedThreeProcess>(pid, options_);
+}
+
+bool BoundedThreeProtocol::reset_process(Process& proc, ProcessId pid) const {
+  (void)pid;
+  auto* p = dynamic_cast<BoundedThreeProcess*>(&proc);
+  if (p == nullptr) return false;
+  p->reinit();
+  return true;
 }
 
 std::unique_ptr<Process> BoundedThreeProtocol::recover(

@@ -70,6 +70,8 @@ class BoundedThreeProtocol final : public Protocol {
   int num_processes() const override { return 3; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Allocation-free in-place re-init for pooled sweeps.
+  bool reset_process(Process& proc, ProcessId pid) const override;
   /// Conservative re-read recovery: resume from the persisted [num, mode,
   /// pref, summary] own register at the top of a phase (the state right
   /// after the write that produced it). A persisted dec marker re-announces

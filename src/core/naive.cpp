@@ -74,6 +74,17 @@ class NaiveProcess final : public Process {
     return std::make_unique<NaiveProcess>(*this);
   }
 
+  /// Back to the freshly-constructed state (input not yet supplied); the
+  /// reset_process fast path of pooled sweeps.
+  void reinit() {
+    pc_ = Pc::kWriteInput;
+    read_idx_ = 0;
+    read_order_.clear();
+    mine_ = kNoValue;
+    seen_.assign(static_cast<std::size_t>(n_), kNoValue);
+    input_ = decision_ = kNoValue;
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " mine=" << mine_
@@ -126,6 +137,14 @@ std::unique_ptr<Process> NaiveConsensusProtocol::make_process(
     ProcessId pid) const {
   CIL_EXPECTS(pid >= 0 && pid < n_);
   return std::make_unique<NaiveProcess>(pid, n_);
+}
+
+bool NaiveConsensusProtocol::reset_process(Process& proc, ProcessId pid) const {
+  (void)pid;
+  auto* p = dynamic_cast<NaiveProcess*>(&proc);
+  if (p == nullptr) return false;
+  p->reinit();
+  return true;
 }
 
 }  // namespace cil

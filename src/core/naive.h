@@ -30,6 +30,8 @@ class NaiveConsensusProtocol final : public Protocol {
   int num_processes() const override { return n_; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Allocation-free in-place re-init for pooled sweeps.
+  bool reset_process(Process& proc, ProcessId pid) const override;
   std::string describe_word(RegisterId, Word w) const override {
     const Value v = decode(w);
     return v == kNoValue ? "⊥" : std::to_string(v);

@@ -91,6 +91,14 @@ class DeterministicProcess final : public Process {
     return std::make_unique<DeterministicProcess>(*this);
   }
 
+  /// Back to the freshly-constructed state (input not yet supplied); the
+  /// reset_process fast path of pooled sweeps.
+  void reinit() {
+    pc_ = Pc::kWriteInput;
+    input_ = mine_ = seen_ = decision_ = kNoValue;
+    conflicts_ = 0;
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " mine=" << mine_
@@ -133,6 +141,15 @@ std::unique_ptr<Process> DeterministicTwoProcProtocol::make_process(
     ProcessId pid) const {
   CIL_EXPECTS(pid == 0 || pid == 1);
   return std::make_unique<DeterministicProcess>(pid, policy_);
+}
+
+bool DeterministicTwoProcProtocol::reset_process(Process& proc,
+                                                 ProcessId pid) const {
+  (void)pid;
+  auto* p = dynamic_cast<DeterministicProcess*>(&proc);
+  if (p == nullptr) return false;
+  p->reinit();
+  return true;
 }
 
 }  // namespace cil

@@ -34,6 +34,8 @@ class DeterministicTwoProcProtocol final : public Protocol {
   int num_processes() const override { return 2; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Allocation-free in-place re-init for pooled sweeps.
+  bool reset_process(Process& proc, ProcessId pid) const override;
 
   static Word encode(Value v) {
     return v == kNoValue ? 0 : static_cast<Word>(v) + 1;

@@ -92,6 +92,13 @@ class TwoProcessProcess final : public Process {
     pc_ = Pc::kRead;
   }
 
+  /// Back to the freshly-constructed state (input not yet supplied); the
+  /// reset_process fast path of pooled sweeps.
+  void reinit() {
+    pc_ = preinitialized_ ? Pc::kRead : Pc::kWriteInput;
+    input_ = mine_ = seen_ = decision_ = kNoValue;
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_) << " mine=" << mine_
@@ -159,6 +166,14 @@ std::unique_ptr<Process> TwoProcessProtocol::make_process(ProcessId pid) const {
   CIL_EXPECTS(pid == 0 || pid == 1);
   return std::make_unique<TwoProcessProcess>(
       pid, options_.preinitialized_registers);
+}
+
+bool TwoProcessProtocol::reset_process(Process& proc, ProcessId pid) const {
+  (void)pid;
+  auto* p = dynamic_cast<TwoProcessProcess*>(&proc);
+  if (p == nullptr) return false;
+  p->reinit();
+  return true;
 }
 
 std::unique_ptr<Process> TwoProcessProtocol::recover(

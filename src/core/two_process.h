@@ -59,6 +59,8 @@ class TwoProcessProtocol final : public Protocol {
   int num_processes() const override { return 2; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Allocation-free in-place re-init for pooled sweeps.
+  bool reset_process(Process& proc, ProcessId pid) const override;
   /// Conservative re-read recovery: resume from what r_own still publishes
   /// (the persisted preference IS the automaton's live state component), at
   /// the top of the read loop — a legal Figure 1 state, so Theorem 6's

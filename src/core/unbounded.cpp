@@ -107,6 +107,18 @@ class UnboundedProcess final : public Process {
     begin_phase();
   }
 
+  /// Back to the freshly-constructed state (input not yet supplied),
+  /// keeping seen_/read_order_ at their capacity; the reset_process fast
+  /// path of pooled sweeps.
+  void reinit() {
+    pc_ = Pc::kWriteInput;
+    read_idx_ = 0;
+    read_order_.clear();
+    cur_ = old_ = computed_ = RegValue{};
+    seen_.assign(static_cast<std::size_t>(n_), RegValue{});
+    input_ = decision_ = kNoValue;
+  }
+
   std::string debug_string() const override {
     std::ostringstream os;
     os << "P" << pid_ << "{pc=" << static_cast<int>(pc_)
@@ -197,6 +209,14 @@ std::vector<RegisterSpec> UnboundedProtocol::registers() const {
 std::unique_ptr<Process> UnboundedProtocol::make_process(ProcessId pid) const {
   CIL_EXPECTS(pid >= 0 && pid < n_);
   return std::make_unique<UnboundedProcess>(pid, n_, options_);
+}
+
+bool UnboundedProtocol::reset_process(Process& proc, ProcessId pid) const {
+  (void)pid;
+  auto* p = dynamic_cast<UnboundedProcess*>(&proc);
+  if (p == nullptr) return false;
+  p->reinit();
+  return true;
 }
 
 std::unique_ptr<Process> UnboundedProtocol::recover(

@@ -45,6 +45,8 @@ class UnboundedProtocol final : public Protocol {
   int num_processes() const override { return n_; }
   std::vector<RegisterSpec> registers() const override;
   std::unique_ptr<Process> make_process(ProcessId pid) const override;
+  /// Allocation-free in-place re-init for pooled sweeps.
+  bool reset_process(Process& proc, ProcessId pid) const override;
   /// Conservative re-read recovery: resume with (pref, num) as the own
   /// register still publishes them, at the top of a fresh phase — exactly
   /// the automaton state following the write that produced that register

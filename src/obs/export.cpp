@@ -155,6 +155,33 @@ std::string perfetto_trace_json(const std::vector<Event>& events,
     trace_events.push_back(std::move(meta));
   }
 
+  // Counter track ("C" phase): register write traffic, bucketed per 1k
+  // units of the timebase (virtual steps in the simulator, microseconds in
+  // the threaded runtime). Perfetto renders it as a stepped area chart —
+  // the write-pressure profile of the run at a glance.
+  {
+    std::map<std::int64_t, std::int64_t> writes_per_bucket;
+    for (const Event& e : events)
+      if (e.kind == EventKind::kRegisterWrite)
+        ++writes_per_bucket[static_cast<std::int64_t>(event_ts(e) / 1000.0)];
+    const auto counter_event = [&](std::int64_t bucket, std::int64_t count) {
+      Json c = Json::object();
+      c["ph"] = Json("C");
+      c["name"] = Json("reg_writes_per_1k");
+      c["pid"] = Json(0);
+      c["ts"] = Json(static_cast<double>(bucket) * 1000.0);
+      Json args = Json::object();
+      args["writes"] = Json(count);
+      c["args"] = std::move(args);
+      trace_events.push_back(std::move(c));
+    };
+    for (const auto& [bucket, count] : writes_per_bucket)
+      counter_event(bucket, count);
+    // Close the series so the final bucket renders as a step, not a point.
+    if (!writes_per_bucket.empty())
+      counter_event(writes_per_bucket.rbegin()->first + 1, 0);
+  }
+
   // Per-track step slices need a duration: until the same track's next
   // step. Precompute, walking each track's step events in stream order.
   std::map<int, double> last_ts;     // strict monotonicity per track

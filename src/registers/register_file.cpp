@@ -84,6 +84,16 @@ Word RegisterFile::peek(RegisterId r) const {
   return values_[r];
 }
 
+void RegisterFile::reset() {
+  const auto& specs = table_->specs();
+  for (std::size_t r = 0; r < values_.size(); ++r) {
+    values_[r] = specs[r].initial;
+    stats_[r] = RegisterStats{};
+  }
+  write_version_ = 0;
+  fault_hook_ = nullptr;
+}
+
 const RegisterStats& RegisterFile::stats(RegisterId r) const {
   check_id(r);
   return stats_[r];

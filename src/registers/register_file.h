@@ -126,6 +126,11 @@ class RegisterFile {
   /// the adaptive adversary is allowed to see everything).
   Word peek(RegisterId r) const;
 
+  /// Re-initialize to the freshly-constructed state — initial values, zeroed
+  /// stats, write_version 0, no fault hook — keeping the shared spec table
+  /// and all allocations. The pooling path of Simulation::reset.
+  void reset();
+
   const RegisterSpec& spec(RegisterId r) const { return table_->spec(r); }
   const RegisterStats& stats(RegisterId r) const;
   /// The shared static description (specs + permission/width masks).

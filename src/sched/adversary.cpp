@@ -35,13 +35,13 @@ void AdversaryScoreCache::store(const SystemView& view, ProcessId p,
 }
 
 ProcessId DecisionAvoidingAdversary::pick(const SystemView& view) {
-  view.active_processes_into(active_);
-  CIL_CHECK_MSG(!active_.empty(), "adversary: no active process");
+  const std::vector<ProcessId>& active = view.active_list();
+  CIL_CHECK_MSG(!active.empty(), "adversary: no active process");
   const bool use_cache = cache_.begin_pick(view);
 
   double best_score = std::numeric_limits<double>::infinity();
   best_.clear();
-  for (const ProcessId p : active_) {
+  for (const ProcessId p : active) {
     double p_decide = 0.0;
     if (!use_cache || !cache_.lookup(view, p, &p_decide)) {
       p_decide = 0.0;
@@ -89,13 +89,13 @@ double SplitKeepingAdversary::score_step(const SystemView& view,
 }
 
 ProcessId SplitKeepingAdversary::pick(const SystemView& view) {
-  view.active_processes_into(active_);
-  CIL_CHECK_MSG(!active_.empty(), "adversary: no active process");
+  const std::vector<ProcessId>& active = view.active_list();
+  CIL_CHECK_MSG(!active.empty(), "adversary: no active process");
   const bool use_cache = cache_.begin_pick(view);
 
   double best_score = std::numeric_limits<double>::infinity();
   best_.clear();
-  for (const ProcessId p : active_) {
+  for (const ProcessId p : active) {
     double score = 0.0;
     if (!use_cache || !cache_.lookup(view, p, &score)) {
       score = score_step(view, p);

@@ -36,6 +36,15 @@ class AdversaryScoreCache {
   /// Valid iff the entry was stored at p's current own-step count.
   bool lookup(const SystemView& view, ProcessId p, double* score) const;
   void store(const SystemView& view, ProcessId p, double score);
+  /// Drop everything (keeping the entry vector's capacity). Reseeded
+  /// adversaries call this so a pooled run can never see a stale score —
+  /// the change-detector alone cannot tell a reset run whose write_version
+  /// happens to match from a continuation.
+  void invalidate() {
+    write_version_ = -1;
+    recoveries_ = -1;
+    last_total_steps_ = -1;
+  }
 
  private:
   struct Entry {
@@ -59,12 +68,17 @@ class DecisionAvoidingAdversary final : public Scheduler {
  public:
   explicit DecisionAvoidingAdversary(std::uint64_t seed) : rng_(seed) {}
   ProcessId pick(const SystemView& view) override;
+  /// Restart exactly as a fresh DecisionAvoidingAdversary(seed) would:
+  /// reseed the tie-break stream and invalidate the score memo.
+  void reseed(std::uint64_t seed) {
+    rng_.reseed(seed);
+    cache_.invalidate();
+  }
 
  private:
   Rng rng_;
   AdversaryScoreCache cache_;
-  std::vector<ProcessId> active_;  ///< scratch, reused across picks
-  std::vector<ProcessId> best_;    ///< scratch, reused across picks
+  std::vector<ProcessId> best_;  ///< scratch, reused across picks
 };
 
 /// Adaptive adversary that additionally penalizes branches which make the
@@ -81,14 +95,18 @@ class SplitKeepingAdversary final : public Scheduler {
   SplitKeepingAdversary(std::uint64_t seed, PrefExtractor extract)
       : rng_(seed), extract_(extract) {}
   ProcessId pick(const SystemView& view) override;
+  /// Restart exactly as a fresh SplitKeepingAdversary(seed, extract) would.
+  void reseed(std::uint64_t seed) {
+    rng_.reseed(seed);
+    cache_.invalidate();
+  }
 
  private:
   double score_step(const SystemView& view, ProcessId p) const;
   Rng rng_;
   PrefExtractor extract_;
   AdversaryScoreCache cache_;
-  std::vector<ProcessId> active_;  ///< scratch, reused across picks
-  std::vector<ProcessId> best_;    ///< scratch, reused across picks
+  std::vector<ProcessId> best_;  ///< scratch, reused across picks
 };
 
 }  // namespace cil

@@ -1,0 +1,175 @@
+#include "sched/batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <optional>
+#include <thread>
+
+#include "util/check.h"
+
+namespace cil {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// The per-run facts a worker records into its preallocated seed-order slot.
+/// Plain data only — the reduction happens single-threaded afterwards.
+struct RunRecord {
+  std::int64_t total_steps = 0;
+  std::int64_t steps_p0 = 0;
+  std::int64_t steps_p1 = 0;
+  std::int64_t recoveries = 0;
+  int max_register_bits = 0;
+  Value decision = kNoValue;
+  bool all_decided = false;
+  std::int64_t probe = 0;
+};
+
+struct WorkerTiming {
+  double construct = 0.0;
+  double run = 0.0;
+};
+
+}  // namespace
+
+BatchRunner::BatchRunner(const Protocol& protocol, std::vector<Value> inputs)
+    : protocol_(protocol), inputs_(std::move(inputs)) {
+  CIL_EXPECTS(static_cast<int>(inputs_.size()) == protocol_.num_processes());
+}
+
+BatchSummary BatchRunner::run(const BatchOptions& options,
+                              const SchedulerFactory& make_scheduler,
+                              const RunProbe& probe) {
+  CIL_EXPECTS(options.num_runs >= 0);
+  CIL_EXPECTS(make_scheduler != nullptr);
+  BatchSummary out;
+  if (options.num_runs == 0) return out;
+
+  const auto t_start = Clock::now();
+
+  // Warm the protocol's lazily-built shared spec table on this thread:
+  // Protocol::make_registers is not safe against concurrent FIRST calls.
+  (void)protocol_.make_registers();
+
+  int threads = options.threads != 0
+                    ? options.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = static_cast<int>(std::clamp<std::int64_t>(
+      threads, 1, options.num_runs));
+
+  std::vector<RunRecord> records(static_cast<std::size_t>(options.num_runs));
+  std::vector<WorkerTiming> timing(static_cast<std::size_t>(threads));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
+  std::vector<std::int64_t> error_run(
+      static_cast<std::size_t>(threads),
+      std::numeric_limits<std::int64_t>::max());
+
+  const auto worker = [&](int w, std::int64_t begin, std::int64_t end) {
+    WorkerTiming& wt = timing[static_cast<std::size_t>(w)];
+    std::int64_t i = begin;
+    try {
+      const SchedulerProvider provide = make_scheduler();
+      CIL_CHECK_MSG(provide != nullptr,
+                    "BatchRunner: scheduler factory returned null provider");
+      std::optional<Simulation> sim;
+      for (; i < end; ++i) {
+        const std::uint64_t seed =
+            options.first_seed + static_cast<std::uint64_t>(i);
+        SimOptions so;
+        so.seed = seed;
+        so.max_total_steps = options.max_total_steps;
+        so.check_every = options.check_every;
+        so.check_consistency = options.check_consistency;
+        so.check_nontriviality = options.check_nontriviality;
+
+        const auto c0 = Clock::now();
+        if (!sim) {
+          sim.emplace(protocol_, inputs_, so);
+        } else {
+          sim->reset(inputs_, so);
+        }
+        Scheduler& sched = provide(seed);
+        const auto c1 = Clock::now();
+        const SimResult r = sim->run(sched);
+        const auto c2 = Clock::now();
+        wt.construct += seconds_between(c0, c1);
+        wt.run += seconds_between(c1, c2);
+
+        RunRecord& rec = records[static_cast<std::size_t>(i)];
+        rec.total_steps = r.total_steps;
+        if (!r.steps_per_process.empty()) {
+          rec.steps_p0 = r.steps_per_process[0];
+          if (r.steps_per_process.size() > 1)
+            rec.steps_p1 = r.steps_per_process[1];
+        }
+        rec.recoveries = r.recoveries;
+        rec.max_register_bits = r.max_register_bits;
+        rec.decision = r.decision.value_or(kNoValue);
+        rec.all_decided = r.all_decided;
+        if (probe != nullptr) rec.probe = probe(*sim, r);
+      }
+    } catch (...) {
+      errors[static_cast<std::size_t>(w)] = std::current_exception();
+      error_run[static_cast<std::size_t>(w)] = i;
+    }
+  };
+
+  if (threads == 1) {
+    worker(0, 0, options.num_runs);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    const std::int64_t base = options.num_runs / threads;
+    const std::int64_t rem = options.num_runs % threads;
+    std::int64_t begin = 0;
+    for (int w = 0; w < threads; ++w) {
+      const std::int64_t len = base + (w < rem ? 1 : 0);
+      pool.emplace_back(worker, w, begin, begin + len);
+      begin += len;
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  // Re-raise the failure a serial sweep would have hit first (the smallest
+  // failing run index), regardless of which worker hit it.
+  int first_error = -1;
+  for (int w = 0; w < threads; ++w) {
+    if (errors[static_cast<std::size_t>(w)] != nullptr &&
+        (first_error < 0 ||
+         error_run[static_cast<std::size_t>(w)] <
+             error_run[static_cast<std::size_t>(first_error)]))
+      first_error = w;
+  }
+  if (first_error >= 0)
+    std::rethrow_exception(errors[static_cast<std::size_t>(first_error)]);
+
+  // Seed-order reduction over the preallocated slots: thread-count never
+  // changes what this loop sees.
+  for (const RunRecord& rec : records) {
+    ++out.num_runs;
+    if (rec.all_decided) ++out.decided_runs;
+    if (rec.decision != kNoValue) ++out.decision_counts[rec.decision];
+    out.total_steps += rec.total_steps;
+    out.recoveries += rec.recoveries;
+    out.steps.add(rec.total_steps);
+    out.steps_p0.add(rec.steps_p0);
+    out.steps_p1.add(rec.steps_p1);
+    out.max_register_bits.add(rec.max_register_bits);
+    if (probe != nullptr) out.probe.add(rec.probe);
+  }
+  for (const WorkerTiming& wt : timing) {
+    out.construct_seconds += wt.construct;
+    out.run_seconds += wt.run;
+  }
+  out.wall_seconds = seconds_between(t_start, Clock::now());
+  return out;
+}
+
+}  // namespace cil

@@ -1,0 +1,112 @@
+// Seed-parallel batch execution over pooled simulations.
+//
+// A sweep of independent runs — one per seed — is the workload behind every
+// bench, tail plot, and fitness sweep in this repo. BatchRunner executes
+// such a sweep with two amortizations the per-run path cannot have:
+//
+//  * POOLING: each worker owns ONE Simulation and re-arms it per seed via
+//    Simulation::reset(), so the per-run cost is re-initialization at
+//    existing capacity, not construction (allocation-free for the core
+//    protocols after warmup; pinned by batch_test's counting allocator).
+//  * SHARDING: the seed range [first_seed, first_seed + num_runs) is split
+//    into contiguous shards, one per std::thread worker.
+//
+// Determinism is the contract that makes the parallelism invisible: a run's
+// outcome is a pure function of (protocol, inputs, options, seed), because
+// reset() restarts the PRNG stream and the scheduler factory re-arms each
+// worker's private scheduler per seed. Per-run records land in a
+// preallocated slot indexed by global run index, and the reduction walks
+// those slots in seed order — so the BatchSummary is bit-identical whether
+// the sweep ran on 1 thread or 16 (also pinned by batch_test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sched/simulation.h"
+#include "util/stats.h"
+
+namespace cil {
+
+struct BatchOptions {
+  std::uint64_t first_seed = 1;  ///< runs use seeds first_seed + i
+  std::int64_t num_runs = 0;
+  /// Worker threads; 0 = hardware concurrency. Clamped to num_runs. The
+  /// summary does not depend on this (only the wall timings do).
+  int threads = 1;
+  // Per-run SimOptions (seed is supplied per run).
+  std::int64_t max_total_steps = 1'000'000;
+  std::int64_t check_every = 1;
+  bool check_consistency = true;
+  bool check_nontriviality = true;
+};
+
+/// Arms and returns the scheduler for one run, given that run's seed. The
+/// returned reference must stay valid until the next call. A typical
+/// provider owns one pooled scheduler and reseeds it:
+///
+///   batch.run(opts, [] {
+///     auto s = std::make_shared<RandomScheduler>(0);
+///     return [s](std::uint64_t seed) -> Scheduler& {
+///       s->reseed(seed ^ 0x1234);
+///       return *s;
+///     };
+///   });
+using SchedulerProvider = std::function<Scheduler&(std::uint64_t seed)>;
+
+/// Called once per worker (and once on the serial path) to build that
+/// worker's private SchedulerProvider. Workers never share scheduler state,
+/// so the factory's products need no synchronization of their own.
+using SchedulerFactory = std::function<SchedulerProvider()>;
+
+/// Optional per-run probe, called on the worker thread right after each run
+/// with the finished pooled Simulation still holding the run's final state
+/// (e.g. peek final register contents for the Theorem 9 num-field tail).
+/// Must be stateless/thread-safe: workers call it concurrently.
+using RunProbe =
+    std::function<std::int64_t(const Simulation&, const SimResult&)>;
+
+/// The deterministic, seed-order-stable reduction of a batch: every field
+/// above the wall-clock block is a pure function of (protocol, inputs,
+/// options, seed range) — thread-count-invariant by construction. Sample
+/// sets hold one entry per run, in seed order.
+struct BatchSummary {
+  std::int64_t num_runs = 0;
+  std::int64_t decided_runs = 0;  ///< runs with SimResult::all_decided
+  /// Decision value -> number of runs deciding it (runs that reached at
+  /// least one decision; kNoValue never appears as a key).
+  std::map<Value, std::int64_t> decision_counts;
+  std::int64_t total_steps = 0;  ///< summed over runs
+  std::int64_t recoveries = 0;   ///< summed over runs
+  SampleSet steps;               ///< total steps per run
+  SampleSet steps_p0;            ///< own-steps of pid 0 per run
+  SampleSet steps_p1;            ///< own-steps of pid 1 (n >= 2)
+  SampleSet max_register_bits;   ///< Theorem 9 high-water mark per run
+  SampleSet probe;               ///< RunProbe values; empty without a probe
+
+  // Wall clock — NOT part of the deterministic contract. construct/run are
+  // summed across workers (CPU-seconds-like); wall is end-to-end.
+  double wall_seconds = 0.0;
+  double construct_seconds = 0.0;  ///< Simulation ctor/reset + scheduler arming
+  double run_seconds = 0.0;        ///< Simulation::run
+};
+
+class BatchRunner {
+ public:
+  /// Every run uses the same protocol and inputs; only the seed varies.
+  BatchRunner(const Protocol& protocol, std::vector<Value> inputs);
+
+  /// Execute the sweep. Throws the earliest-seed CoordinationViolation (or
+  /// other error) a serial sweep would have hit, after all workers joined.
+  BatchSummary run(const BatchOptions& options,
+                   const SchedulerFactory& make_scheduler,
+                   const RunProbe& probe = nullptr);
+
+ private:
+  const Protocol& protocol_;
+  std::vector<Value> inputs_;
+};
+
+}  // namespace cil

@@ -40,6 +40,18 @@ class Protocol {
   /// Create processor `pid` in its initial state (input not yet supplied).
   virtual std::unique_ptr<Process> make_process(ProcessId pid) const = 0;
 
+  /// Return `proc` — an object this protocol created via make_process(pid)
+  /// — to its freshly-constructed state (input not yet supplied), reusing
+  /// its allocations. Returns false when the protocol does not support
+  /// in-place re-init; the caller (Simulation::reset) then falls back to
+  /// make_process, so protocols work unchanged without an override. The
+  /// core protocols override this to make pooled sweeps allocation-free.
+  virtual bool reset_process(Process& proc, ProcessId pid) const {
+    (void)proc;
+    (void)pid;
+    return false;
+  }
+
   /// Render a register word for humans (tracing/debugging). Protocols
   /// override this to decode their packed fields; the default prints the
   /// raw value.

@@ -17,9 +17,12 @@ ProcessId RoundRobinScheduler::pick(const SystemView& view) {
 }
 
 ProcessId RandomScheduler::pick(const SystemView& view) {
-  view.active_processes_into(active_);
-  CIL_CHECK_MSG(!active_.empty(), "RandomScheduler: no active process");
-  return active_[rng_.below(active_.size())];
+  // Index the engine's maintained list directly: O(1) per pick, and the
+  // same ascending order the scratch-copy path produced, so picks (and the
+  // PRNG stream) are bit-identical to the historical behavior.
+  const std::vector<ProcessId>& active = view.active_list();
+  CIL_CHECK_MSG(!active.empty(), "RandomScheduler: no active process");
+  return active[rng_.below(active.size())];
 }
 
 bool StarvingScheduler::is_starved(ProcessId p) const {

@@ -16,6 +16,9 @@ namespace cil {
 class RoundRobinScheduler final : public Scheduler {
  public:
   ProcessId pick(const SystemView& view) override;
+  /// Back to the initial cursor — pooled sweeps re-arm instead of
+  /// reconstructing (BatchRunner scheduler factories).
+  void reset() { next_ = 0; }
 
  private:
   ProcessId next_ = 0;
@@ -27,10 +30,11 @@ class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
   ProcessId pick(const SystemView& view) override;
+  /// Restart the pick stream exactly as a fresh RandomScheduler(seed) would.
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
 
  private:
   Rng rng_;
-  std::vector<ProcessId> active_;  ///< scratch, reused across picks
 };
 
 /// Never schedules the processes in `starved` while anyone else is active.
@@ -76,6 +80,12 @@ class CrashingScheduler final : public Scheduler {
 
   ProcessId pick(const SystemView& view) override { return inner_.pick(view); }
   std::vector<ProcessId> crashes(const SystemView& view) override;
+
+  /// Re-arm with a fresh plan (crashes() consumes entries as they fire);
+  /// reuses the plan vector's capacity for pooled sweeps.
+  void set_plan(const std::vector<std::pair<std::int64_t, ProcessId>>& plan) {
+    plan_.assign(plan.begin(), plan.end());
+  }
 
  private:
   Scheduler& inner_;

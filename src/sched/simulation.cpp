@@ -86,9 +86,10 @@ std::vector<ProcessId> SystemView::active_processes() const {
   return out;
 }
 void SystemView::active_processes_into(std::vector<ProcessId>& out) const {
-  out.clear();
-  for (ProcessId p = 0; p < sim_.num_processes(); ++p)
-    if (sim_.active(p)) out.push_back(p);
+  out.assign(sim_.active_list().begin(), sim_.active_list().end());
+}
+const std::vector<ProcessId>& SystemView::active_list() const {
+  return sim_.active_list();
 }
 std::int64_t SystemView::total_steps() const { return sim_.total_steps(); }
 std::int64_t SystemView::steps_of(ProcessId p) const {
@@ -113,15 +114,53 @@ Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
   decisions_ever_.assign(n, kNoValue);
   activated_.assign(n, 0);
   procs_.reserve(n);
+  active_list_.reserve(n);
   for (ProcessId p = 0; p < n; ++p) {
     CIL_EXPECTS(inputs_[p] >= 0);
     procs_.push_back(protocol_.make_process(p));
     procs_[p]->init(inputs_[p]);
-    if (!procs_[p]->decided()) ++num_active_;
+    if (!procs_[p]->decided()) active_list_.push_back(p);
   }
   // Phase baselines (for kPhaseChange events) are captured lazily on the
   // first sink attach — an unobserved run never pays the per-process
   // encode_state() allocations.
+  if (options_.obs.sink != nullptr) {
+    sinks_.push_back(options_.obs.sink);
+    init_phase_baseline();
+  }
+}
+
+void Simulation::reset(const std::vector<Value>& inputs, SimOptions options) {
+  const int n = protocol_.num_processes();
+  CIL_EXPECTS(static_cast<int>(inputs.size()) == n);
+  CIL_EXPECTS(options.check_every >= 1);
+  options_ = options;
+  regs_.reset();
+  inputs_.assign(inputs.begin(), inputs.end());
+  crashed_.assign(n, false);
+  steps_.assign(n, 0);
+  crash_total_step_.assign(n, -1);
+  decisions_ever_.assign(n, kNoValue);
+  activated_.assign(n, 0);
+  recoveries_ = 0;
+  num_crashed_ = 0;
+  schedule_.clear();
+  activated_inputs_.clear();
+  total_steps_ = 0;
+  check_pending_ = false;
+  rng_.reseed(options_.seed);
+  active_list_.clear();
+  for (ProcessId p = 0; p < n; ++p) {
+    CIL_EXPECTS(inputs_[p] >= 0);
+    if (!protocol_.reset_process(*procs_[p], p))
+      procs_[p] = protocol_.make_process(p);
+    procs_[p]->init(inputs_[p]);
+    if (!procs_[p]->decided()) active_list_.push_back(p);
+  }
+  // Sinks belong to the run: rebuild from the new options (a stale phase
+  // baseline would suppress the first kPhaseChange of the new run).
+  sinks_.clear();
+  phase_.clear();
   if (options_.obs.sink != nullptr) {
     sinks_.push_back(options_.obs.sink);
     init_phase_baseline();
@@ -160,13 +199,24 @@ bool Simulation::active(ProcessId p) const {
   return !crashed_[p] && !procs_[p]->decided();
 }
 
+void Simulation::active_insert(ProcessId p) {
+  active_list_.insert(
+      std::lower_bound(active_list_.begin(), active_list_.end(), p), p);
+}
+
+void Simulation::active_erase(ProcessId p) {
+  const auto it =
+      std::lower_bound(active_list_.begin(), active_list_.end(), p);
+  if (it != active_list_.end() && *it == p) active_list_.erase(it);
+}
+
 void Simulation::crash(ProcessId p) {
   CIL_EXPECTS(p >= 0 && p < num_processes());
   // The paper tolerates up to n-1 fail-stop crashes: keep one survivor.
   const int alive = num_processes() - num_crashed_ - (crashed_[p] ? 0 : 1);
   CIL_CHECK_MSG(alive >= 1, "cannot crash the last live processor");
   if (!crashed_[p]) {
-    if (!procs_[p]->decided()) --num_active_;
+    if (!procs_[p]->decided()) active_erase(p);
     ++num_crashed_;
   }
   crashed_[p] = true;
@@ -203,7 +253,7 @@ bool Simulation::recover(ProcessId p) {
   CIL_CHECK_MSG(procs_[p] != nullptr, "Protocol::recover returned null");
   crashed_[p] = false;
   --num_crashed_;
-  if (!procs_[p]->decided()) ++num_active_;
+  if (!procs_[p]->decided()) active_insert(p);
   ++recoveries_;
   if (!sinks_.empty()) {
     obs::Event e;
@@ -238,7 +288,7 @@ bool Simulation::step_once(Scheduler& sched) {
   for (ProcessId p : sched.recoveries(view)) recover(p);
   for (ProcessId p : sched.crashes(view)) crash(p);
 
-  if (num_active_ == 0) {
+  if (active_list_.empty()) {
     // Nothing runnable, but a restart is still scheduled: let global time
     // idle forward one tick so the recovery comes due at its planned step.
     // The run() budget (max_total_steps) still bounds the wait.
@@ -276,7 +326,7 @@ bool Simulation::step_once(Scheduler& sched) {
   if (!sinks_.empty()) emit_after_step(p, faults_before);
 
   if (procs_[p]->decided()) {
-    --num_active_;  // p was active when picked, so this is its transition
+    active_erase(p);  // p was active when picked, so this is its transition
     if (options_.check_every == 1) {
       check_properties_after_step(p);
     } else {

@@ -6,10 +6,13 @@
 // SimOptions::check_every).
 //
 // The per-step path is deliberately flat: activation is a bitmap plus a
-// running list of distinct activated inputs, liveness is a maintained
-// counter (no O(n) scans), the coin source and step context are constructed
-// once per run, and the unobserved fast path shares one accounting block
-// with the observed path instead of duplicating it.
+// running list of distinct activated inputs, liveness is a maintained sorted
+// active list updated only on crash/recover/decide transitions (no O(n)
+// scans — idle crashed pids cost nothing), the coin source and step context
+// are constructed once per run, and the unobserved fast path shares one
+// accounting block with the observed path instead of duplicating it.
+// Simulation::reset() re-initializes everything in place so sweeps reuse
+// one allocation across seeds (see sched/batch.h for the batched driver).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +48,11 @@ class SystemView {
   /// Allocation-free variant: overwrites `out` with the active pids in
   /// ascending order. Schedulers keep a scratch buffer and reuse it.
   void active_processes_into(std::vector<ProcessId>& out) const;
+  /// Zero-copy variant: the engine's maintained active list (ascending
+  /// pids), updated on crash/recover/decide transitions only. Valid until
+  /// the next such transition; schedulers that just index it (RandomScheduler)
+  /// pay O(1) per pick instead of an O(n) scan over idle crashed pids.
+  const std::vector<ProcessId>& active_list() const;
   std::int64_t total_steps() const;
   /// Own-step count of processor `p` (fault plans key events on it).
   std::int64_t steps_of(ProcessId p) const;
@@ -131,6 +139,15 @@ class Simulation {
   Simulation(const Protocol& protocol, std::vector<Value> inputs,
              SimOptions options = {});
 
+  /// Re-initialize in place for a new run — same protocol, new inputs and
+  /// options — reusing every allocation (register file, Process objects via
+  /// Protocol::reset_process, bookkeeping vectors at their capacity). The
+  /// resulting run is bit-identical to one on a freshly constructed
+  /// Simulation(protocol, inputs, options): same PRNG stream, same schedule,
+  /// same results (pinned by batch_test). Any fault hook is cleared; sinks
+  /// are rebuilt from the new options (attach_sink again if needed).
+  void reset(const std::vector<Value>& inputs, SimOptions options = {});
+
   /// Run one step chosen by `sched`. Returns false when nothing is active
   /// (everyone decided or crashed) — no step is taken in that case.
   bool step_once(Scheduler& sched);
@@ -160,7 +177,9 @@ class Simulation {
   bool active(ProcessId p) const;
   int num_processes() const { return static_cast<int>(procs_.size()); }
   /// Number of active (not crashed, not decided) processes — O(1).
-  int num_active() const { return num_active_; }
+  int num_active() const { return static_cast<int>(active_list_.size()); }
+  /// The maintained active list: ascending pids, updated on transitions.
+  const std::vector<ProcessId>& active_list() const { return active_list_; }
   std::int64_t total_steps() const { return total_steps_; }
   std::int64_t steps_of(ProcessId p) const { return steps_[p]; }
   std::int64_t recoveries() const { return recoveries_; }
@@ -199,6 +218,8 @@ class Simulation {
     Rng& rng_;
   };
 
+  void active_insert(ProcessId p);
+  void active_erase(ProcessId p);
   void check_properties_after_step(ProcessId p);
   /// Pairwise check over every decision ever latched (the check_every > 1
   /// checkpoint form; stepped-processor identity is no longer known).
@@ -231,7 +252,11 @@ class Simulation {
   /// nontriviality check scans this short list, not the activation set.
   std::vector<Value> activated_inputs_;
   std::int64_t total_steps_ = 0;
-  int num_active_ = 0;    ///< maintained: !crashed && !decided
+  /// Maintained list of active pids (!crashed && !decided), kept sorted
+  /// ascending so it always equals what an index-order scan would produce.
+  /// Updated on crash/recover/decide only — O(active) bookkeeping, so a
+  /// sweep with thousands of idle crashed pids pays nothing per pick.
+  std::vector<ProcessId> active_list_;
   int num_crashed_ = 0;   ///< maintained: crashed_[p] == true
   bool check_pending_ = false;  ///< a decision awaits its checkpoint
   Rng rng_;

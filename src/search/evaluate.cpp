@@ -1,6 +1,7 @@
 #include "search/evaluate.h"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "fault/sim_faults.h"
@@ -19,7 +20,14 @@ constexpr std::uint64_t kPickSalt = 0x5bd1e995a4c93b1dULL;
 }  // namespace
 
 Evaluator make_sim_evaluator(const Protocol& protocol, SimEvalOptions opts) {
-  return [&protocol, opts = std::move(opts)](const PlanGenome& g) {
+  // One pooled Simulation per evaluator, constructed on the first call and
+  // re-armed per genome via reset() (protocol and inputs never vary across
+  // calls — only seed/plan do). Held by shared_ptr because Evaluator is a
+  // copied std::function: copies share the pool; evaluations are serial.
+  // reset() restarts the PRNG stream and rebuilds sinks from the new
+  // options, so "same genome => same Evaluation" is preserved exactly.
+  auto pool = std::make_shared<std::optional<Simulation>>();
+  return [&protocol, opts = std::move(opts), pool](const PlanGenome& g) {
     g.plan.validate(protocol.num_processes());
 
     Evaluation ev;
@@ -29,7 +37,12 @@ Evaluator make_sim_evaluator(const Protocol& protocol, SimEvalOptions opts) {
     so.max_total_steps = opts.max_total_steps;
     so.check_nontriviality = opts.check_nontriviality;
     so.obs.sink = &rec;
-    Simulation sim(protocol, opts.inputs, so);
+    if (!pool->has_value()) {
+      pool->emplace(protocol, opts.inputs, so);
+    } else {
+      (*pool)->reset(opts.inputs, so);
+    }
+    Simulation& sim = **pool;
     if (opts.extra_sink != nullptr) sim.attach_sink(opts.extra_sink);
 
     std::unique_ptr<fault::SimRegisterFaults> hook;

@@ -78,6 +78,11 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
+  /// Restart the stream from `seed`, exactly as a fresh Rng(seed) would.
+  /// Pooled simulations and schedulers reseed in place instead of
+  /// reconstructing (Simulation::reset, BatchRunner).
+  void reseed(std::uint64_t seed) { engine_ = Xoshiro256(seed); }
+
   /// Fair coin flip. The paper's protocols only ever need this.
   bool flip() { return (engine_.next() & 1u) != 0; }
 

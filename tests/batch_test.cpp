@@ -1,0 +1,359 @@
+// Pooled-simulation and BatchRunner pins:
+//
+//   * reset-vs-fresh bit-identity, replayed over the SAME corpus
+//     engine_golden_test uses (tests/data/engine_goldens.txt): a pooled
+//     Simulation that already ran a different seed, then reset(), must
+//     reproduce every corpus line byte-for-byte;
+//   * BatchRunner thread-count invariance: the BatchSummary (counts,
+//     sample vectors in seed order, probe values) is identical on 1 and 4
+//     worker threads;
+//   * the reset path is allocation-free after warmup for the core
+//     protocols (counting global operator new);
+//   * a multi-thread smoke with crash/recovery fault schedules — the
+//     TSan CI job runs this binary to pin BatchRunner's data-race freedom.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <new>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bounded_three.h"
+#include "core/two_process.h"
+#include "core/unbounded.h"
+#include "fault/fault_plan.h"
+#include "fault/sim_faults.h"
+#include "sched/adversary.h"
+#include "sched/batch.h"
+#include "sched/schedulers.h"
+#include "sched/simulation.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every global allocation bumps a counter, so a test can
+// assert that a code region performs none. Kept trivially simple (malloc +
+// relaxed atomic) so it is safe under TSan too.
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cil {
+namespace {
+
+#ifndef CIL_GOLDENS_PATH
+#define CIL_GOLDENS_PATH "tests/data/engine_goldens.txt"
+#endif
+
+// -- reset-vs-fresh over the golden corpus ---------------------------------
+// Mirrors engine_golden_test's replay_case, except every run happens on a
+// POOLED Simulation that first ran a decoy seed (seed + 1000th prime away)
+// and was then reset() — so a byte-equal corpus proves reset ≡ fresh.
+
+std::string format_run(const std::string& name, std::uint64_t seed,
+                       const SimResult& r) {
+  std::ostringstream os;
+  os << name << " seed=" << seed << " total=" << r.total_steps
+     << " recoveries=" << r.recoveries << " bits=" << r.max_register_bits
+     << " dec=";
+  for (std::size_t i = 0; i < r.decisions.size(); ++i)
+    os << (i == 0 ? "" : ",") << r.decisions[i];
+  os << " sched=";
+  for (std::size_t i = 0; i < r.schedule.size(); ++i)
+    os << (i == 0 ? "" : ",") << r.schedule[i];
+  return os.str();
+}
+
+SimOptions base_options(std::uint64_t seed) {
+  SimOptions options;
+  options.seed = seed;
+  options.max_total_steps = 200'000;
+  options.record_schedule = true;
+  return options;
+}
+
+/// Run the corpus case on a pooled Simulation: construct with a decoy seed,
+/// run it to pollute all internal state, then reset() to the real seed.
+std::string replay_case_pooled(const std::string& name, std::uint64_t seed) {
+  const std::uint64_t decoy = seed + 7919;
+
+  const auto run = [&](const Protocol& protocol,
+                       const std::vector<Value>& inputs,
+                       const std::function<std::unique_ptr<Scheduler>(
+                           std::uint64_t)>& make_sched) -> std::string {
+    Simulation sim(protocol, inputs, base_options(decoy));
+    (void)sim.run(*make_sched(decoy));
+    sim.reset(inputs, base_options(seed));
+    return format_run(name, seed, sim.run(*make_sched(seed)));
+  };
+
+  const std::string proto = name.substr(0, name.find('/'));
+  const std::string kind = name.substr(name.find('/') + 1);
+
+  if (kind == "random" || kind == "adversary") {
+    const auto make_sched =
+        [&kind](std::uint64_t s) -> std::unique_ptr<Scheduler> {
+      if (kind == "random") return std::make_unique<RandomScheduler>(s ^ 0x1234);
+      return std::make_unique<DecisionAvoidingAdversary>(s + 17);
+    };
+    if (proto == "two") return run(TwoProcessProtocol(), {0, 1}, make_sched);
+    if (proto == "unbounded3")
+      return run(UnboundedProtocol(3), {0, 1, 0}, make_sched);
+    if (proto == "bounded3")
+      return run(BoundedThreeProtocol(), {1, 0, 1}, make_sched);
+  }
+  if (name == "unbounded3/split") {
+    return run(UnboundedProtocol(3), {0, 1, 0},
+               [](std::uint64_t s) -> std::unique_ptr<Scheduler> {
+                 return std::make_unique<SplitKeepingAdversary>(
+                     s + 3, &UnboundedProtocol::unpack_pref);
+               });
+  }
+  if (name == "unbounded3/faults+adversary") {
+    fault::RegisterFaultConfig config;
+    config.stale_prob = 0.2;
+    config.stale_depth = 2;
+    config.delay_prob = 0.1;
+    config.delay_window = 2;
+    UnboundedProtocol protocol(3);
+    Simulation sim(protocol, {0, 1, 0}, base_options(decoy));
+    {
+      fault::SimRegisterFaults hook(config, decoy ^ 0xfa, sim.regs().size());
+      sim.mutable_regs().set_fault_hook(&hook);
+      DecisionAvoidingAdversary sched(decoy + 5);
+      (void)sim.run(sched);
+    }
+    sim.reset({0, 1, 0}, base_options(seed));  // also drops the stale hook
+    fault::SimRegisterFaults hook(config, seed ^ 0xfa, sim.regs().size());
+    sim.mutable_regs().set_fault_hook(&hook);
+    DecisionAvoidingAdversary sched(seed + 5);
+    return format_run(name, seed, sim.run(sched));
+  }
+  if (name == "unbounded4/crash+recovery") {
+    const auto make_plan = [](std::uint64_t s) {
+      fault::FaultPlan plan;
+      plan.seed = s;
+      plan.crashes.push_back({1, 3});
+      plan.crashes.push_back({2, 5});
+      plan.recoveries.push_back({1, 40});
+      plan.stalls.push_back({0, 2, 6});
+      return plan;
+    };
+    UnboundedProtocol protocol(4);
+    Simulation sim(protocol, {0, 1, 1, 0}, base_options(decoy));
+    {
+      RandomScheduler inner(decoy ^ 0x77);
+      fault::FaultPlanScheduler sched(inner, make_plan(decoy));
+      (void)sim.run(sched);
+    }
+    sim.reset({0, 1, 1, 0}, base_options(seed));
+    RandomScheduler inner(seed ^ 0x77);
+    fault::FaultPlanScheduler sched(inner, make_plan(seed));
+    return format_run(name, seed, sim.run(sched));
+  }
+  ADD_FAILURE() << "golden corpus names unknown case: " << name;
+  return {};
+}
+
+TEST(PooledReset, ReplaysTheGoldenCorpusBitForBit) {
+  std::ifstream is(CIL_GOLDENS_PATH);
+  ASSERT_TRUE(is) << "cannot open " << CIL_GOLDENS_PATH;
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const std::size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    unsigned long long seed = 0;
+    ASSERT_EQ(std::sscanf(line.c_str() + sp, " seed=%llu", &seed), 1) << line;
+    EXPECT_EQ(replay_case_pooled(name, seed), line)
+        << "pooled reset diverged from fresh construction: " << name
+        << " seed=" << seed;
+  }
+  EXPECT_GE(lines, 50);
+}
+
+// -- BatchRunner determinism -----------------------------------------------
+
+void expect_equal_summaries(const BatchSummary& a, const BatchSummary& b) {
+  EXPECT_EQ(a.num_runs, b.num_runs);
+  EXPECT_EQ(a.decided_runs, b.decided_runs);
+  EXPECT_EQ(a.decision_counts, b.decision_counts);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.steps.samples(), b.steps.samples());
+  EXPECT_EQ(a.steps_p0.samples(), b.steps_p0.samples());
+  EXPECT_EQ(a.steps_p1.samples(), b.steps_p1.samples());
+  EXPECT_EQ(a.max_register_bits.samples(), b.max_register_bits.samples());
+  EXPECT_EQ(a.probe.samples(), b.probe.samples());
+}
+
+SchedulerFactory random_factory(std::uint64_t salt) {
+  return [salt] {
+    auto s = std::make_shared<RandomScheduler>(0);
+    return [s, salt](std::uint64_t seed) -> Scheduler& {
+      s->reseed(seed ^ salt);
+      return *s;
+    };
+  };
+}
+
+TEST(BatchRunner, SummaryIsThreadCountInvariant) {
+  UnboundedProtocol protocol(3);
+  BatchRunner batch(protocol, {0, 1, 0});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = 400;
+  // Probe the final register state on the worker — also pins that probes
+  // see the run the summary slot describes, regardless of sharding.
+  const RunProbe probe = [](const Simulation& sim, const SimResult&) {
+    std::int64_t m = 0;
+    for (RegisterId reg = 0; reg < 3; ++reg)
+      m = std::max(m, UnboundedProtocol::unpack_num(sim.regs().peek(reg)));
+    return m;
+  };
+
+  opts.threads = 1;
+  const BatchSummary serial = batch.run(opts, random_factory(0xbeef), probe);
+  opts.threads = 4;
+  const BatchSummary sharded = batch.run(opts, random_factory(0xbeef), probe);
+
+  EXPECT_EQ(serial.num_runs, 400);
+  EXPECT_EQ(serial.decided_runs, 400);
+  EXPECT_GT(serial.probe.count(), 0);
+  expect_equal_summaries(serial, sharded);
+}
+
+TEST(BatchRunner, MatchesSerialFreshConstructions) {
+  // The batched sweep must equal the plain loop everyone wrote before it.
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = 300;
+  opts.threads = 3;
+  const BatchSummary b = batch.run(opts, random_factory(0x1234));
+
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    SimOptions so;
+    so.seed = seed;
+    Simulation sim(protocol, {0, 1}, so);
+    RandomScheduler sched(seed ^ 0x1234);
+    const SimResult r = sim.run(sched);
+    const auto i = static_cast<std::size_t>(seed);
+    ASSERT_EQ(b.steps.samples()[i], r.total_steps) << "seed " << seed;
+    ASSERT_EQ(b.steps_p0.samples()[i], r.steps_per_process[0]);
+    ASSERT_EQ(b.steps_p1.samples()[i], r.steps_per_process[1]);
+  }
+}
+
+TEST(BatchRunner, EmptyAndSingleRunEdges) {
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.num_runs = 0;
+  const BatchSummary none = batch.run(opts, random_factory(1));
+  EXPECT_EQ(none.num_runs, 0);
+  EXPECT_EQ(none.steps.count(), 0);
+
+  opts.num_runs = 1;
+  opts.threads = 16;  // clamped to num_runs
+  const BatchSummary one = batch.run(opts, random_factory(1));
+  EXPECT_EQ(one.num_runs, 1);
+  EXPECT_EQ(one.decided_runs, 1);
+}
+
+// -- allocation-free reset path --------------------------------------------
+
+TEST(PooledReset, AllocationFreeAfterWarmupForCoreProtocols) {
+  const auto check = [](const Protocol& protocol,
+                        const std::vector<Value>& inputs) {
+    SimOptions so;
+    so.seed = 1;
+    Simulation sim(protocol, inputs, so);
+    RandomScheduler sched(1);
+    // Warm up: a few full cycles let every internal vector reach its
+    // high-water capacity.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      so.seed = seed;
+      sim.reset(inputs, so);
+      sched.reseed(seed ^ 0x1234);
+      (void)sim.run(sched);
+    }
+    // Measured region: reset() and reseed() must not allocate at all.
+    for (std::uint64_t seed = 6; seed <= 30; ++seed) {
+      so.seed = seed;
+      const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+      sim.reset(inputs, so);
+      sched.reseed(seed ^ 0x1234);
+      const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+      EXPECT_EQ(after, before)
+          << protocol.name() << ": reset allocated at seed " << seed;
+      (void)sim.run(sched);
+    }
+  };
+  check(TwoProcessProtocol(), {0, 1});
+  check(UnboundedProtocol(3), {0, 1, 0});
+  check(BoundedThreeProtocol(), {1, 0, 1});
+}
+
+// -- multi-thread fault smoke (the TSan job runs this binary) ---------------
+
+TEST(BatchRunner, MultiThreadCrashRecoverySmoke) {
+  UnboundedProtocol protocol(4);
+  BatchRunner batch(protocol, {0, 1, 1, 0});
+  BatchOptions opts;
+  opts.first_seed = 1;
+  opts.num_runs = 48;
+  opts.max_total_steps = 200'000;
+
+  const SchedulerFactory factory = [] {
+    struct Rig {
+      RandomScheduler inner{0};
+      std::optional<fault::FaultPlanScheduler> sched;
+    };
+    auto rig = std::make_shared<Rig>();
+    return [rig](std::uint64_t seed) -> Scheduler& {
+      rig->inner.reseed(seed ^ 0x77);
+      rig->sched.emplace(rig->inner,
+                         fault::FaultPlan::random(
+                             seed, /*num_processes=*/4, /*num_crashes=*/2,
+                             /*num_stalls=*/1, /*horizon=*/12,
+                             /*max_stall_duration=*/50, {}, /*recoveries=*/2,
+                             /*max_recovery_delay=*/32));
+      return *rig->sched;
+    };
+  };
+
+  opts.threads = 1;
+  const BatchSummary serial = batch.run(opts, factory);
+  opts.threads = 4;
+  const BatchSummary sharded = batch.run(opts, factory);
+
+  EXPECT_GT(serial.total_steps, 0);
+  EXPECT_GT(serial.recoveries, 0);
+  expect_equal_summaries(serial, sharded);
+}
+
+}  // namespace
+}  // namespace cil

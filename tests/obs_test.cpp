@@ -388,10 +388,22 @@ TEST(ObsExport, PerfettoTraceParsesAndIsMonotonePerTrack) {
 
   std::map<std::int64_t, double> last_ts;
   std::int64_t timed = 0;
+  std::int64_t counters = 0;
+  double last_counter_ts = -1.0;
   for (std::size_t i = 0; i < trace_events.size(); ++i) {
     const Json& ev = trace_events.at(i);
     const std::string& ph = ev.at("ph").as_string();
     if (ph == "M") continue;  // metadata records carry no timestamp
+    if (ph == "C") {
+      // The register-write counter track: its own monotone series.
+      EXPECT_EQ(ev.at("name").as_string(), "reg_writes_per_1k");
+      const double ts = ev.at("ts").as_number();
+      EXPECT_GT(ts, last_counter_ts);
+      last_counter_ts = ts;
+      EXPECT_GE(ev.at("args").at("writes").as_number(), 0.0);
+      ++counters;
+      continue;
+    }
     ASSERT_TRUE(ph == "X" || ph == "i") << ph;
     const std::int64_t tid = ev.at("tid").as_int();
     const double ts = ev.at("ts").as_number();
@@ -401,6 +413,9 @@ TEST(ObsExport, PerfettoTraceParsesAndIsMonotonePerTrack) {
     ++timed;
   }
   EXPECT_GT(timed, 0);
+  // The sim run writes registers, so the counter track must be present —
+  // at least one bucket sample plus the closing zero.
+  EXPECT_GE(counters, 2);
   // One track per processor plus the metadata names.
   EXPECT_GE(last_ts.size(), 2u);
 }

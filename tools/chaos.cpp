@@ -30,6 +30,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -163,19 +164,27 @@ fault::FaultPlan plan_for(std::uint64_t seed, int n, int crashes,
 void run_sim_cell(const ProtocolCase& pc, const FaultLevel& level, int crashes,
                   const Args& args, bool expect_consistent, Counts& c) {
   const int n = pc.protocol->num_processes();
+  // One pooled Simulation per cell: constructed at trial 0, reset() for the
+  // rest. Fresh fault hook and schedulers per trial keep every RNG stream
+  // exactly what a fresh construction would have drawn.
+  std::optional<Simulation> sim;
   for (int t = 0; t < args.trials; ++t) {
     const std::uint64_t seed = args.seed + 1000u * static_cast<unsigned>(t);
     const fault::FaultPlan plan = plan_for(seed, n, crashes, level.reg);
-    Simulation sim(*pc.protocol, pc.inputs, {.seed = seed});
+    if (!sim) {
+      sim.emplace(*pc.protocol, pc.inputs, SimOptions{.seed = seed});
+    } else {
+      sim->reset(pc.inputs, SimOptions{.seed = seed});
+    }
     fault::SimRegisterFaults hook(plan.registers, plan.seed,
-                                  sim.regs().size());
+                                  sim->regs().size());
     if (plan.registers.any_word_faults())
-      sim.mutable_regs().set_fault_hook(&hook);
+      sim->mutable_regs().set_fault_hook(&hook);
     RandomScheduler inner(seed);
     fault::FaultPlanScheduler sched(inner, plan);
     ++c.runs;
     try {
-      const SimResult r = sim.run(sched);
+      const SimResult r = sim->run(sched);
       if (r.all_decided) ++c.decided;
       ++c.consistent;  // the online checker did not fire
     } catch (const CoordinationViolation&) {
@@ -184,6 +193,7 @@ void run_sim_cell(const ProtocolCase& pc, const FaultLevel& level, int crashes,
     }
     c.faults += hook.faults_injected() + sched.crashes_fired() +
                 sched.stalls_fired();
+    sim->mutable_regs().set_fault_hook(nullptr);  // hook dies with this trial
   }
 }
 
@@ -195,16 +205,21 @@ void run_sim_cell(const ProtocolCase& pc, const FaultLevel& level, int crashes,
 void run_recovery_cell(const ProtocolCase& pc, int crashes, const Args& args,
                        Counts& c) {
   const int n = pc.protocol->num_processes();
+  std::optional<Simulation> sim;  // pooled across trials, like run_sim_cell
   for (int t = 0; t < args.trials; ++t) {
     const std::uint64_t seed = args.seed + 1000u * static_cast<unsigned>(t);
     const fault::FaultPlan plan =
         plan_for(seed, n, crashes, {}, /*recoveries=*/crashes);
-    Simulation sim(*pc.protocol, pc.inputs, {.seed = seed});
+    if (!sim) {
+      sim.emplace(*pc.protocol, pc.inputs, SimOptions{.seed = seed});
+    } else {
+      sim->reset(pc.inputs, SimOptions{.seed = seed});
+    }
     RandomScheduler inner(seed);
     fault::FaultPlanScheduler sched(inner, plan);
     ++c.runs;
     try {
-      const SimResult r = sim.run(sched);
+      const SimResult r = sim->run(sched);
       if (r.all_decided) ++c.decided;
       ++c.consistent;
     } catch (const CoordinationViolation&) {
