@@ -1,0 +1,187 @@
+#include "fabric/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.h"
+#include "util/check.h"
+
+namespace cil::fabric {
+
+namespace {
+
+using obs::Json;
+
+/// Whole-file read; empty optional semantics via ok flag are not needed —
+/// callers treat any failure as "no usable file".
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+Json sweep_config_to_json(const SweepConfig& config) {
+  Json j = Json::object();
+  j["protocol"] = Json(config.protocol);
+  j["num_processes"] = Json(config.num_processes);
+  j["scheduler"] = Json(config.scheduler);
+  j["first_seed"] = Json(std::to_string(config.range.first_seed));
+  j["num_runs"] = Json(config.range.num_runs);
+  j["shard_size"] = Json(config.shard_size);
+  j["max_total_steps"] = Json(config.max_total_steps);
+  j["check_every"] = Json(config.check_every);
+  return j;
+}
+
+SweepConfig sweep_config_from_json(const Json& j) {
+  SweepConfig c;
+  c.protocol = j.at("protocol").as_string();
+  c.num_processes = static_cast<int>(j.at("num_processes").as_int());
+  c.scheduler = j.at("scheduler").as_string();
+  c.range.first_seed = std::stoull(j.at("first_seed").as_string());
+  c.range.num_runs = j.at("num_runs").as_int();
+  c.shard_size = j.at("shard_size").as_int();
+  c.max_total_steps = j.at("max_total_steps").as_int();
+  c.check_every = j.at("check_every").as_int();
+  return c;
+}
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  CIL_EXPECTS(!dir_.empty());
+}
+
+std::string CheckpointStore::shard_path(int index) const {
+  return dir_ + "/shard_" + std::to_string(index) + ".json";
+}
+
+std::string CheckpointStore::manifest_path() const {
+  return dir_ + "/manifest.json";
+}
+
+SeedRange CheckpointStore::shard_range(int index) const {
+  CIL_EXPECTS(opened_);
+  CIL_EXPECTS(index >= 0 && index < num_shards());
+  return shards_[static_cast<std::size_t>(index)];
+}
+
+bool CheckpointStore::is_complete(int index) const {
+  return std::binary_search(completed_.begin(), completed_.end(), index);
+}
+
+std::vector<int> CheckpointStore::completed() const { return completed_; }
+
+std::vector<int> CheckpointStore::open(const SweepConfig& config) {
+  CIL_EXPECTS(config.range.num_runs >= 1);
+  CIL_EXPECTS(config.shard_size >= 1);
+  config_ = config;
+  shards_ = shard_seed_range(config.range, config.shard_size);
+  completed_.clear();
+  opened_ = true;
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  CIL_CHECK_MSG(std::filesystem::is_directory(dir_),
+                "CheckpointStore: cannot create directory " + dir_);
+
+  std::string text;
+  if (read_file(manifest_path(), text)) {
+    const Json doc = Json::parse(text);
+    CIL_CHECK_MSG(doc.is_object() && doc.find("artifact") != nullptr &&
+                      doc.at("artifact").as_string() == kManifestArtifactName,
+                  "CheckpointStore: " + manifest_path() +
+                      " is not a cilcoord.sweep_manifest.v1 artifact");
+    const SweepConfig stored = sweep_config_from_json(doc.at("config"));
+    CIL_CHECK_MSG(stored == config_,
+                  "CheckpointStore: " + dir_ +
+                      " holds a checkpoint for a different sweep config; "
+                      "refusing to resume (use a fresh directory)");
+    for (const Json& idx : doc.at("completed").as_array()) {
+      const int i = static_cast<int>(idx.as_int());
+      CIL_CHECK_MSG(i >= 0 && i < num_shards(),
+                    "CheckpointStore: manifest lists shard index out of range");
+      completed_.push_back(i);
+    }
+    std::sort(completed_.begin(), completed_.end());
+    completed_.erase(std::unique(completed_.begin(), completed_.end()),
+                     completed_.end());
+  }
+
+  // Adopt orphans: shard files a killed worker finished writing (atomic, so
+  // complete and valid) that never made it into the manifest.
+  bool adopted = false;
+  for (int i = 0; i < num_shards(); ++i) {
+    if (is_complete(i)) continue;
+    if (!std::filesystem::exists(shard_path(i))) continue;
+    try {
+      (void)load_shard(i);
+    } catch (...) {
+      continue;  // torn predecessor-format or corrupt file: let a retry win
+    }
+    completed_.insert(
+        std::upper_bound(completed_.begin(), completed_.end(), i), i);
+    adopted = true;
+  }
+  if (adopted || !std::filesystem::exists(manifest_path())) write_manifest();
+  return completed_;
+}
+
+bool CheckpointStore::write_shard(int index, const ShardSummary& shard) const {
+  CIL_EXPECTS(opened_);
+  CIL_CHECK_MSG(shard.range == shard_range(index),
+                "CheckpointStore: shard summary covers the wrong seed range");
+  return obs::write_text_file_atomic(
+      shard_path(index), shard_summary_to_json(shard).dump() + "\n");
+}
+
+ShardSummary CheckpointStore::load_shard(int index) const {
+  CIL_EXPECTS(opened_);
+  std::string text;
+  CIL_CHECK_MSG(read_file(shard_path(index), text),
+                "CheckpointStore: cannot read " + shard_path(index));
+  const ShardSummary shard = shard_summary_from_json(Json::parse(text));
+  CIL_CHECK_MSG(shard.range == shard_range(index),
+                "CheckpointStore: " + shard_path(index) +
+                    " covers the wrong seed range");
+  return shard;
+}
+
+bool CheckpointStore::commit_shard(int index) {
+  CIL_EXPECTS(opened_);
+  if (is_complete(index)) return true;
+  try {
+    (void)load_shard(index);
+  } catch (...) {
+    return false;
+  }
+  completed_.insert(
+      std::upper_bound(completed_.begin(), completed_.end(), index), index);
+  write_manifest();
+  return true;
+}
+
+SweepSummary CheckpointStore::merged() const {
+  CIL_EXPECTS(opened_);
+  SweepSummary out;
+  for (const int i : completed_) out.add(load_shard(i));
+  return out;
+}
+
+void CheckpointStore::write_manifest() const {
+  Json doc = Json::object();
+  doc["artifact"] = Json(kManifestArtifactName);
+  doc["config"] = sweep_config_to_json(config_);
+  Json completed = Json::array();
+  for (const int i : completed_) completed.push_back(Json(i));
+  doc["completed"] = std::move(completed);
+  CIL_CHECK_MSG(obs::write_text_file_atomic(manifest_path(), doc.dump() + "\n"),
+                "CheckpointStore: cannot write " + manifest_path());
+}
+
+}  // namespace cil::fabric

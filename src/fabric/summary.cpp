@@ -1,0 +1,228 @@
+#include "fabric/summary.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace cil::fabric {
+
+namespace {
+
+using obs::Json;
+
+Json samples_to_json(const SampleSet& s) {
+  Json arr = Json::array();
+  for (const std::int64_t x : s.samples()) arr.push_back(Json(x));
+  return arr;
+}
+
+SampleSet samples_from_json(const Json& arr, std::int64_t expect,
+                            const char* name) {
+  SampleSet out;
+  for (const Json& x : arr.as_array()) out.add(x.as_int());
+  CIL_CHECK_MSG(out.count() == expect || out.count() == 0,
+                std::string("batch_summary artifact: sample vector '") + name +
+                    "' length disagrees with num_runs");
+  return out;
+}
+
+std::uint64_t parse_seed_string(const Json& j) {
+  const std::string& s = j.as_string();
+  CIL_CHECK_MSG(!s.empty() && s.find_first_not_of("0123456789") ==
+                                  std::string::npos,
+                "batch_summary artifact: first_seed must be a decimal string");
+  return std::stoull(s);
+}
+
+}  // namespace
+
+Json shard_summary_to_json(const ShardSummary& shard) {
+  const BatchSummary& s = shard.summary;
+  CIL_EXPECTS(s.num_runs == shard.range.num_runs);
+
+  Json doc = Json::object();
+  doc["artifact"] = Json(kBatchSummaryArtifactName);
+  doc["first_seed"] = Json(std::to_string(shard.range.first_seed));
+  doc["num_runs"] = Json(s.num_runs);
+  doc["decided_runs"] = Json(s.decided_runs);
+  Json decisions = Json::object();
+  for (const auto& [value, count] : s.decision_counts)
+    decisions[std::to_string(value)] = Json(count);
+  doc["decision_counts"] = std::move(decisions);
+  doc["total_steps"] = Json(s.total_steps);
+  doc["recoveries"] = Json(s.recoveries);
+
+  Json samples = Json::object();
+  samples["steps"] = samples_to_json(s.steps);
+  samples["steps_p0"] = samples_to_json(s.steps_p0);
+  samples["steps_p1"] = samples_to_json(s.steps_p1);
+  samples["max_register_bits"] = samples_to_json(s.max_register_bits);
+  samples["probe"] = samples_to_json(s.probe);
+  doc["samples"] = std::move(samples);
+
+  Json wall = Json::object();
+  wall["wall_seconds"] = Json(s.wall_seconds);
+  wall["construct_seconds"] = Json(s.construct_seconds);
+  wall["run_seconds"] = Json(s.run_seconds);
+  doc["wall"] = std::move(wall);
+  return doc;
+}
+
+ShardSummary shard_summary_from_json(const Json& doc) {
+  CIL_CHECK_MSG(doc.is_object() && doc.find("artifact") != nullptr &&
+                    doc.at("artifact").as_string() == kBatchSummaryArtifactName,
+                "not a cilcoord.batch_summary.v1 artifact");
+  ShardSummary out;
+  out.range.first_seed = parse_seed_string(doc.at("first_seed"));
+  out.range.num_runs = doc.at("num_runs").as_int();
+  CIL_CHECK_MSG(out.range.num_runs >= 0,
+                "batch_summary artifact: negative num_runs");
+
+  BatchSummary& s = out.summary;
+  s.num_runs = out.range.num_runs;
+  s.decided_runs = doc.at("decided_runs").as_int();
+  for (const auto& [key, count] : doc.at("decision_counts").as_object()) {
+    CIL_CHECK_MSG(!key.empty(), "batch_summary artifact: empty decision key");
+    s.decision_counts[static_cast<Value>(std::stol(key))] = count.as_int();
+  }
+  s.total_steps = doc.at("total_steps").as_int();
+  s.recoveries = doc.at("recoveries").as_int();
+
+  const Json& samples = doc.at("samples");
+  s.steps = samples_from_json(samples.at("steps"), s.num_runs, "steps");
+  s.steps_p0 =
+      samples_from_json(samples.at("steps_p0"), s.num_runs, "steps_p0");
+  s.steps_p1 =
+      samples_from_json(samples.at("steps_p1"), s.num_runs, "steps_p1");
+  s.max_register_bits = samples_from_json(samples.at("max_register_bits"),
+                                          s.num_runs, "max_register_bits");
+  s.probe = samples_from_json(samples.at("probe"), s.num_runs, "probe");
+  CIL_CHECK_MSG(s.steps.count() == s.num_runs,
+                "batch_summary artifact: steps samples missing");
+
+  const Json& wall = doc.at("wall");
+  s.wall_seconds = wall.at("wall_seconds").as_number();
+  s.construct_seconds = wall.at("construct_seconds").as_number();
+  s.run_seconds = wall.at("run_seconds").as_number();
+  return out;
+}
+
+bool deterministic_fields_equal(const BatchSummary& a, const BatchSummary& b) {
+  return a.num_runs == b.num_runs && a.decided_runs == b.decided_runs &&
+         a.decision_counts == b.decision_counts &&
+         a.total_steps == b.total_steps && a.recoveries == b.recoveries &&
+         a.steps.samples() == b.steps.samples() &&
+         a.steps_p0.samples() == b.steps_p0.samples() &&
+         a.steps_p1.samples() == b.steps_p1.samples() &&
+         a.max_register_bits.samples() == b.max_register_bits.samples() &&
+         a.probe.samples() == b.probe.samples();
+}
+
+void SweepSummary::check_disjoint(const SeedRange& range) const {
+  if (range.num_runs == 0 || shards_.empty()) return;
+  const std::uint64_t last =
+      range.first_seed + static_cast<std::uint64_t>(range.num_runs) - 1;
+  // The only candidates for overlap are the nearest shards on either side.
+  auto next = shards_.lower_bound(range.first_seed);
+  if (next != shards_.end()) {
+    CIL_CHECK_MSG(next->first > last,
+                  "SweepSummary: shard seed ranges overlap");
+  }
+  if (next != shards_.begin()) {
+    const auto& prev = *std::prev(next);
+    const std::uint64_t prev_last =
+        prev.first + static_cast<std::uint64_t>(prev.second.range.num_runs) - 1;
+    CIL_CHECK_MSG(prev_last < range.first_seed,
+                  "SweepSummary: shard seed ranges overlap");
+  }
+}
+
+void SweepSummary::add(const ShardSummary& shard) {
+  CIL_CHECK_MSG(shard.summary.num_runs == shard.range.num_runs,
+                "SweepSummary: shard summary disagrees with its seed range");
+  if (shard.range.num_runs == 0) return;  // identity contribution
+  check_disjoint(shard.range);
+  shards_.emplace(shard.range.first_seed, shard);
+}
+
+void SweepSummary::add(const SweepSummary& other) {
+  for (const auto& [first_seed, shard] : other.shards_) {
+    (void)first_seed;
+    add(shard);
+  }
+}
+
+std::int64_t SweepSummary::num_runs() const {
+  std::int64_t n = 0;
+  for (const auto& [first_seed, shard] : shards_) {
+    (void)first_seed;
+    n += shard.range.num_runs;
+  }
+  return n;
+}
+
+std::vector<SeedRange> SweepSummary::ranges() const {
+  std::vector<SeedRange> out;
+  out.reserve(shards_.size());
+  for (const auto& [first_seed, shard] : shards_) {
+    (void)first_seed;
+    out.push_back(shard.range);
+  }
+  return out;
+}
+
+bool SweepSummary::contiguous() const {
+  std::uint64_t expect = 0;
+  bool first = true;
+  for (const auto& [first_seed, shard] : shards_) {
+    if (!first && first_seed != expect) return false;
+    first = false;
+    expect = first_seed + static_cast<std::uint64_t>(shard.range.num_runs);
+  }
+  return true;
+}
+
+SeedRange SweepSummary::span() const {
+  CIL_CHECK_MSG(!shards_.empty(), "SweepSummary: span() of an empty sweep");
+  return {shards_.begin()->first, num_runs()};
+}
+
+BatchSummary SweepSummary::to_batch_summary() const {
+  CIL_CHECK_MSG(contiguous(),
+                "SweepSummary: refusing to concatenate across a seed gap; "
+                "use to_partial_batch_summary() and report the gaps");
+  return to_partial_batch_summary();
+}
+
+BatchSummary SweepSummary::to_partial_batch_summary() const {
+  BatchSummary out;
+  for (const auto& [first_seed, shard] : shards_) {
+    (void)first_seed;
+    const BatchSummary& s = shard.summary;
+    out.num_runs += s.num_runs;
+    out.decided_runs += s.decided_runs;
+    for (const auto& [value, count] : s.decision_counts)
+      out.decision_counts[value] += count;
+    out.total_steps += s.total_steps;
+    out.recoveries += s.recoveries;
+    for (const std::int64_t x : s.steps.samples()) out.steps.add(x);
+    for (const std::int64_t x : s.steps_p0.samples()) out.steps_p0.add(x);
+    for (const std::int64_t x : s.steps_p1.samples()) out.steps_p1.add(x);
+    for (const std::int64_t x : s.max_register_bits.samples())
+      out.max_register_bits.add(x);
+    for (const std::int64_t x : s.probe.samples()) out.probe.add(x);
+    out.wall_seconds += s.wall_seconds;
+    out.construct_seconds += s.construct_seconds;
+    out.run_seconds += s.run_seconds;
+  }
+  return out;
+}
+
+SweepSummary merge(const SweepSummary& a, const SweepSummary& b) {
+  SweepSummary out = a;
+  out.add(b);
+  return out;
+}
+
+}  // namespace cil::fabric

@@ -1,0 +1,112 @@
+// Serialized, mergeable sweep summaries — the data plane of the fabric.
+//
+// A distributed sweep is a set of worker processes, each running one
+// contiguous SeedRange shard through BatchRunner and persisting its
+// BatchSummary as a versioned JSON artifact (cilcoord.batch_summary.v1).
+// Shards combine through SweepSummary, a map keyed by each shard's
+// first_seed whose union is the merge operation. Because shards must be
+// pairwise-disjoint seed ranges and the map iterates in seed order, the
+// merge is associative and commutative BY CONSTRUCTION: any merge tree over
+// any arrival order yields the same map, and to_batch_summary() then
+// re-runs the exact seed-order reduction BatchRunner would have done — so
+// the merged summary is bit-identical to a single-process sweep over the
+// whole range (pinned by fabric_test against random partitions).
+//
+// What "bit-identical" covers: every field of BatchSummary except the
+// wall-clock block (wall_seconds / construct_seconds / run_seconds), which
+// is summed but explicitly outside the determinism contract — see
+// deterministic_fields_equal().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "sched/batch.h"
+
+namespace cil::fabric {
+
+/// Artifact tag for one serialized shard (or merged sweep) summary.
+inline constexpr const char* kBatchSummaryArtifactName =
+    "cilcoord.batch_summary.v1";
+
+/// One shard's result: which seeds it covered and what came out. The range
+/// is carried redundantly with summary.num_runs so a parsed artifact can be
+/// validated (num_runs must equal range.num_runs and every sample vector's
+/// length).
+struct ShardSummary {
+  SeedRange range;
+  BatchSummary summary;
+};
+
+/// Serialize one shard summary as a cilcoord.batch_summary.v1 document.
+/// Seeds are 64-bit and JSON numbers are doubles, so first_seed travels as
+/// a decimal string (same convention as search artifacts' sched_seed).
+/// Sample vectors are emitted in full, in seed order — they are the payload
+/// that makes the merge exact rather than approximate.
+obs::Json shard_summary_to_json(const ShardSummary& shard);
+
+/// Parse and validate a cilcoord.batch_summary.v1 document. Throws
+/// ContractViolation on a wrong artifact tag, malformed fields, or sample
+/// vectors whose lengths disagree with num_runs.
+ShardSummary shard_summary_from_json(const obs::Json& doc);
+
+/// True when every deterministic field of the two summaries matches exactly
+/// (counts, decision histogram, and all five sample vectors element-wise).
+/// The wall-clock block is ignored — it is honest measurement, not part of
+/// the contract.
+bool deterministic_fields_equal(const BatchSummary& a, const BatchSummary& b);
+
+/// An order-insensitive accumulation of disjoint shard summaries. The merge
+/// monoid of the fabric: empty() is the identity, add() is the operation,
+/// and the internal map makes (A ∪ B) ∪ C == A ∪ (B ∪ C) structural rather
+/// than something to prove per-field.
+class SweepSummary {
+ public:
+  /// Fold one shard in. Throws ContractViolation if the shard's seed range
+  /// overlaps any shard already held, or if the summary disagrees with the
+  /// range on num_runs.
+  void add(const ShardSummary& shard);
+
+  /// Fold another accumulation in (same overlap rules, shard by shard).
+  void add(const SweepSummary& other);
+
+  bool empty() const { return shards_.empty(); }
+  std::int64_t num_runs() const;
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// The held shard ranges, in seed order.
+  std::vector<SeedRange> ranges() const;
+
+  /// True when the held shards tile one gap-free contiguous seed range.
+  bool contiguous() const;
+
+  /// The covering range [lowest first_seed, highest last seed]. Only
+  /// meaningful when contiguous(); throws ContractViolation when empty.
+  SeedRange span() const;
+
+  /// Concatenate the shards, in seed order, into one BatchSummary — the
+  /// same reduction order BatchRunner uses, hence bit-identical to a
+  /// single-process run when the shards are contiguous and complete.
+  /// Wall-clock fields are summed across shards. Throws ContractViolation
+  /// when the shards are not contiguous (a partial sweep must be reported
+  /// as partial, not silently concatenated across a gap).
+  BatchSummary to_batch_summary() const;
+
+  /// Like to_batch_summary(), but for graceful degradation: concatenates
+  /// whatever shards are present, gaps and all. Callers must report the
+  /// missing ranges alongside (tools/sweep prints incomplete_shards).
+  BatchSummary to_partial_batch_summary() const;
+
+ private:
+  void check_disjoint(const SeedRange& range) const;
+
+  std::map<std::uint64_t, ShardSummary> shards_;  ///< keyed by first_seed
+};
+
+/// Convenience free function: the monoid operation on two accumulations.
+SweepSummary merge(const SweepSummary& a, const SweepSummary& b);
+
+}  // namespace cil::fabric

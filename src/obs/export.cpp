@@ -8,6 +8,11 @@
 #include <map>
 #include <ostream>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "util/check.h"
 
 namespace cil::obs {
@@ -155,31 +160,93 @@ std::string perfetto_trace_json(const std::vector<Event>& events,
     trace_events.push_back(std::move(meta));
   }
 
-  // Counter track ("C" phase): register write traffic, bucketed per 1k
-  // units of the timebase (virtual steps in the simulator, microseconds in
-  // the threaded runtime). Perfetto renders it as a stepped area chart —
-  // the write-pressure profile of the run at a glance.
+  // Counter tracks ("C" phase). Perfetto renders each as a stepped area
+  // chart over the run's timebase (virtual steps in the simulator,
+  // microseconds in the threaded runtime). Timestamps within one series are
+  // kept strictly monotone (nudged like the slice tracks).
+  std::map<std::string, double> counter_last_ts;
+  const auto counter_event = [&](const std::string& name, double ts,
+                                 const char* key, std::int64_t value) {
+    const auto it = counter_last_ts.find(name);
+    if (it != counter_last_ts.end() && ts <= it->second) ts = it->second + 0.001;
+    counter_last_ts[name] = ts;
+    Json c = Json::object();
+    c["ph"] = Json("C");
+    c["name"] = Json(name);
+    c["pid"] = Json(0);
+    c["ts"] = Json(ts);
+    Json args = Json::object();
+    args[key] = Json(value);
+    c["args"] = std::move(args);
+    trace_events.push_back(std::move(c));
+  };
+
+  // Register write traffic, bucketed per 1k units of the timebase — the
+  // write-pressure profile of the run at a glance.
   {
     std::map<std::int64_t, std::int64_t> writes_per_bucket;
     for (const Event& e : events)
       if (e.kind == EventKind::kRegisterWrite)
         ++writes_per_bucket[static_cast<std::int64_t>(event_ts(e) / 1000.0)];
-    const auto counter_event = [&](std::int64_t bucket, std::int64_t count) {
-      Json c = Json::object();
-      c["ph"] = Json("C");
-      c["name"] = Json("reg_writes_per_1k");
-      c["pid"] = Json(0);
-      c["ts"] = Json(static_cast<double>(bucket) * 1000.0);
-      Json args = Json::object();
-      args["writes"] = Json(count);
-      c["args"] = std::move(args);
-      trace_events.push_back(std::move(c));
-    };
     for (const auto& [bucket, count] : writes_per_bucket)
-      counter_event(bucket, count);
+      counter_event("reg_writes_per_1k", static_cast<double>(bucket) * 1000.0,
+                    "writes", count);
     // Close the series so the final bucket renders as a step, not a point.
     if (!writes_per_bucket.empty())
-      counter_event(writes_per_bucket.rbegin()->first + 1, 0);
+      counter_event("reg_writes_per_1k",
+                    static_cast<double>(writes_per_bucket.rbegin()->first + 1) *
+                        1000.0,
+                    "writes", 0);
+  }
+
+  // Scheduler-side counters: the active set (live AND undecided processors
+  // — the set the schedulers actually pick from) sampled at every
+  // transition, and crash/recovery churn bucketed per 1k timebase units.
+  {
+    std::map<int, bool> alive, decided;
+    for (const Event& e : events)
+      if (e.pid >= 0 && !alive.count(e.pid)) {
+        alive[e.pid] = true;
+        decided[e.pid] = false;
+      }
+    std::int64_t active = static_cast<std::int64_t>(alive.size());
+    std::map<std::int64_t, std::int64_t> churn_per_bucket;
+    if (!alive.empty()) {
+      counter_event("active_processes", event_ts(events.front()), "active",
+                    active);
+      for (const Event& e : events) {
+        if (e.pid < 0) continue;
+        const bool was_active = alive[e.pid] && !decided[e.pid];
+        switch (e.kind) {
+          case EventKind::kCrash:
+            alive[e.pid] = false;
+            ++churn_per_bucket[static_cast<std::int64_t>(event_ts(e) / 1000.0)];
+            break;
+          case EventKind::kRecover:
+            alive[e.pid] = true;
+            ++churn_per_bucket[static_cast<std::int64_t>(event_ts(e) / 1000.0)];
+            break;
+          case EventKind::kDecision:
+            decided[e.pid] = true;
+            break;
+          default:
+            continue;
+        }
+        const bool is_active = alive[e.pid] && !decided[e.pid];
+        if (is_active != was_active) {
+          active += is_active ? 1 : -1;
+          counter_event("active_processes", event_ts(e), "active", active);
+        }
+      }
+    }
+    for (const auto& [bucket, count] : churn_per_bucket)
+      counter_event("crash_recover_per_1k",
+                    static_cast<double>(bucket) * 1000.0, "events", count);
+    if (!churn_per_bucket.empty())
+      counter_event("crash_recover_per_1k",
+                    static_cast<double>(churn_per_bucket.rbegin()->first + 1) *
+                        1000.0,
+                    "events", 0);
   }
 
   // Per-track step slices need a duration: until the same track's next
@@ -270,5 +337,70 @@ bool write_text_file(const std::string& path, const std::string& content) {
   }
   return true;
 }
+
+#ifndef _WIN32
+
+namespace {
+
+/// fsync the directory containing `path` so the rename itself is durable.
+/// Best-effort: some filesystems refuse O_RDONLY directory fds.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+}
+
+}  // namespace
+
+bool write_text_file_atomic(const std::string& path,
+                            const std::string& content) {
+  // Same directory as the destination so the rename cannot cross devices.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", tmp.c_str());
+    return false;
+  }
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      std::fprintf(stderr, "obs: write to %s failed\n", tmp.c_str());
+      (void)::close(fd);
+      (void)::unlink(tmp.c_str());
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    std::fprintf(stderr, "obs: fsync/close of %s failed\n", tmp.c_str());
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "obs: rename %s -> %s failed\n", tmp.c_str(),
+                 path.c_str());
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+#else  // _WIN32
+
+bool write_text_file_atomic(const std::string& path,
+                            const std::string& content) {
+  // No POSIX rename-over semantics; plain write is the portable fallback.
+  return write_text_file(path, content);
+}
+
+#endif
 
 }  // namespace cil::obs

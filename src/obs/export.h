@@ -87,4 +87,13 @@ std::string run_report_json(const std::string& name,
 /// on I/O failure. Shared by the tools and benches that emit artifacts.
 bool write_text_file(const std::string& path, const std::string& content);
 
+/// Like write_text_file, but crash-atomic: the content goes to a same-
+/// directory temporary file, is fsync'd, and is then rename()d over `path`
+/// (with a directory fsync), so a reader never observes a torn or empty
+/// file — even if the writer is SIGKILLed mid-write. This is the fabric
+/// checkpoint write path (src/fabric/checkpoint.h) and the writer behind
+/// every versioned artifact (worst_plan.v1, run-reports, batch summaries).
+bool write_text_file_atomic(const std::string& path,
+                            const std::string& content);
+
 }  // namespace cil::obs

@@ -39,6 +39,39 @@ struct WorkerTiming {
 
 }  // namespace
 
+std::vector<SeedRange> split_seed_range(const SeedRange& range, int parts) {
+  CIL_EXPECTS(range.num_runs >= 0);
+  CIL_EXPECTS(parts >= 1);
+  const std::int64_t n =
+      std::min<std::int64_t>(parts, range.num_runs);
+  std::vector<SeedRange> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const std::int64_t base = n > 0 ? range.num_runs / n : 0;
+  const std::int64_t rem = n > 0 ? range.num_runs % n : 0;
+  std::uint64_t first = range.first_seed;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t len = base + (i < rem ? 1 : 0);
+    out.push_back({first, len});
+    first += static_cast<std::uint64_t>(len);
+  }
+  return out;
+}
+
+std::vector<SeedRange> shard_seed_range(const SeedRange& range,
+                                        std::int64_t shard_size) {
+  CIL_EXPECTS(range.num_runs >= 0);
+  CIL_EXPECTS(shard_size >= 1);
+  std::vector<SeedRange> out;
+  std::uint64_t first = range.first_seed;
+  for (std::int64_t done = 0; done < range.num_runs;) {
+    const std::int64_t len = std::min(shard_size, range.num_runs - done);
+    out.push_back({first, len});
+    first += static_cast<std::uint64_t>(len);
+    done += len;
+  }
+  return out;
+}
+
 BatchRunner::BatchRunner(const Protocol& protocol, std::vector<Value> inputs)
     : protocol_(protocol), inputs_(std::move(inputs)) {
   CIL_EXPECTS(static_cast<int>(inputs_.size()) == protocol_.num_processes());
@@ -46,7 +79,7 @@ BatchRunner::BatchRunner(const Protocol& protocol, std::vector<Value> inputs)
 
 BatchSummary BatchRunner::run(const BatchOptions& options,
                               const SchedulerFactory& make_scheduler,
-                              const RunProbe& probe) {
+                              const RunProbe& probe, const RunHook& after_run) {
   CIL_EXPECTS(options.num_runs >= 0);
   CIL_EXPECTS(make_scheduler != nullptr);
   BatchSummary out;
@@ -114,6 +147,7 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
         rec.decision = r.decision.value_or(kNoValue);
         rec.all_decided = r.all_decided;
         if (probe != nullptr) rec.probe = probe(*sim, r);
+        if (after_run != nullptr) after_run(seed);
       }
     } catch (...) {
       errors[static_cast<std::size_t>(w)] = std::current_exception();
@@ -124,15 +158,17 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
   if (threads == 1) {
     worker(0, 0, options.num_runs);
   } else {
+    // The shared shard/merge API defines the split; thread w owns the runs
+    // of shards[w], addressed here as global run indices.
+    const std::vector<SeedRange> shards =
+        split_seed_range({options.first_seed, options.num_runs}, threads);
     std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    const std::int64_t base = options.num_runs / threads;
-    const std::int64_t rem = options.num_runs % threads;
-    std::int64_t begin = 0;
-    for (int w = 0; w < threads; ++w) {
-      const std::int64_t len = base + (w < rem ? 1 : 0);
-      pool.emplace_back(worker, w, begin, begin + len);
-      begin += len;
+    pool.reserve(shards.size());
+    for (int w = 0; w < static_cast<int>(shards.size()); ++w) {
+      const std::int64_t begin = static_cast<std::int64_t>(
+          shards[static_cast<std::size_t>(w)].first_seed - options.first_seed);
+      pool.emplace_back(worker, w, begin,
+                        begin + shards[static_cast<std::size_t>(w)].num_runs);
     }
     for (auto& th : pool) th.join();
   }

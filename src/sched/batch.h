@@ -30,6 +30,29 @@
 
 namespace cil {
 
+/// A contiguous range of per-run seeds: runs use first_seed + i for
+/// i in [0, num_runs). The unit of sharding at every level — BatchRunner
+/// splits one range across threads, the fabric (src/fabric) splits one
+/// range across worker processes — so both levels agree on boundaries.
+struct SeedRange {
+  std::uint64_t first_seed = 1;
+  std::int64_t num_runs = 0;
+
+  friend bool operator==(const SeedRange&, const SeedRange&) = default;
+};
+
+/// Split into `parts` contiguous sub-ranges covering `range` in order;
+/// earlier parts get the remainder (sizes differ by at most one). This is
+/// exactly the split BatchRunner::run uses for its thread shards. Parts
+/// beyond num_runs come back empty-free: the result has
+/// min(parts, num_runs) entries (zero entries for an empty range).
+std::vector<SeedRange> split_seed_range(const SeedRange& range, int parts);
+
+/// Split into contiguous shards of `shard_size` runs (the last shard takes
+/// the remainder). The fabric's process-level unit of work and checkpoint.
+std::vector<SeedRange> shard_seed_range(const SeedRange& range,
+                                        std::int64_t shard_size);
+
 struct BatchOptions {
   std::uint64_t first_seed = 1;  ///< runs use seeds first_seed + i
   std::int64_t num_runs = 0;
@@ -68,6 +91,13 @@ using SchedulerFactory = std::function<SchedulerProvider()>;
 using RunProbe =
     std::function<std::int64_t(const Simulation&, const SimResult&)>;
 
+/// Optional per-run hook, called on the worker thread after each finished
+/// run (after the probe) with that run's seed. NOT part of the summary —
+/// it exists for side effects: progress reporting, and the fabric's
+/// chaos-kill injection (a hook that _exit()s the worker process mid-shard).
+/// Must be thread-safe: workers call it concurrently.
+using RunHook = std::function<void(std::uint64_t seed)>;
+
 /// The deterministic, seed-order-stable reduction of a batch: every field
 /// above the wall-clock block is a pure function of (protocol, inputs,
 /// options, seed range) — thread-count-invariant by construction. Sample
@@ -102,7 +132,8 @@ class BatchRunner {
   /// other error) a serial sweep would have hit, after all workers joined.
   BatchSummary run(const BatchOptions& options,
                    const SchedulerFactory& make_scheduler,
-                   const RunProbe& probe = nullptr);
+                   const RunProbe& probe = nullptr,
+                   const RunHook& after_run = nullptr);
 
  private:
   const Protocol& protocol_;

@@ -82,7 +82,7 @@ WorstPlanArtifact artifact_from_json(const obs::Json& j) {
 }
 
 bool write_artifact_file(const std::string& path, const WorstPlanArtifact& a) {
-  return obs::write_text_file(path, artifact_to_json(a).dump() + "\n");
+  return obs::write_text_file_atomic(path, artifact_to_json(a).dump() + "\n");
 }
 
 WorstPlanArtifact load_artifact_file(const std::string& path) {

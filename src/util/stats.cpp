@@ -48,16 +48,14 @@ double RunningStats::ci95_halfwidth() const {
   return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
-void SampleSet::add(std::int64_t x) {
-  data_.push_back(x);
-  sorted_ = false;
-}
+void SampleSet::add(std::int64_t x) { data_.push_back(x); }
 
-void SampleSet::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(data_.begin(), data_.end());
-    sorted_ = true;
+const std::vector<std::int64_t>& SampleSet::sorted() const {
+  if (sorted_.size() != data_.size()) {
+    sorted_ = data_;
+    std::sort(sorted_.begin(), sorted_.end());
   }
+  return sorted_;
 }
 
 double SampleSet::mean() const {
@@ -80,34 +78,31 @@ double SampleSet::stddev() const {
 
 std::int64_t SampleSet::min() const {
   CIL_EXPECTS(!data_.empty());
-  ensure_sorted();
-  return data_.front();
+  return sorted().front();
 }
 
 std::int64_t SampleSet::max() const {
   CIL_EXPECTS(!data_.empty());
-  ensure_sorted();
-  return data_.back();
+  return sorted().back();
 }
 
 std::int64_t SampleSet::percentile(double q) const {
   CIL_EXPECTS(!data_.empty());
   CIL_EXPECTS(q >= 0.0 && q <= 1.0);
-  ensure_sorted();
-  const auto n = data_.size();
+  const auto& s = sorted();
+  const auto n = s.size();
   // Nearest-rank: the smallest value with at least q*n samples <= it.
   std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
   if (rank > 0) --rank;
   if (rank >= n) rank = n - 1;
-  return data_[rank];
+  return s[rank];
 }
 
 double SampleSet::tail_at_least(std::int64_t k) const {
   if (data_.empty()) return 0.0;
-  ensure_sorted();
-  const auto it = std::lower_bound(data_.begin(), data_.end(), k);
-  return static_cast<double>(data_.end() - it) /
-         static_cast<double>(data_.size());
+  const auto& s = sorted();
+  const auto it = std::lower_bound(s.begin(), s.end(), k);
+  return static_cast<double>(s.end() - it) / static_cast<double>(s.size());
 }
 
 std::vector<double> SampleSet::survival(std::int64_t k_max) const {

@@ -36,6 +36,12 @@ class RunningStats {
 
 /// Collects integer samples and answers distribution queries. Used for
 /// steps-to-decision and max-register-value distributions.
+///
+/// samples() always returns the samples in INSERTION order — for a
+/// BatchSummary that is seed order, the order the fabric serializer and the
+/// shard-merge bit-identity tests depend on. Order statistics (min/max/
+/// percentile/tail) sort a lazily maintained internal copy instead of the
+/// sample vector itself, so querying a percentile never perturbs the order.
 class SampleSet {
  public:
   void add(std::int64_t x);
@@ -50,12 +56,13 @@ class SampleSet {
   double tail_at_least(std::int64_t k) const;
   /// Empirical survival table for k = 0..k_max: vector[k] = P[X >= k].
   std::vector<double> survival(std::int64_t k_max) const;
+  /// Samples in insertion order.
   const std::vector<std::int64_t>& samples() const { return data_; }
 
  private:
-  void ensure_sorted() const;
-  mutable std::vector<std::int64_t> data_;
-  mutable bool sorted_ = true;
+  const std::vector<std::int64_t>& sorted() const;
+  std::vector<std::int64_t> data_;
+  mutable std::vector<std::int64_t> sorted_;  ///< cache; stale when sizes differ
 };
 
 /// Sparse histogram over integer values.

@@ -386,22 +386,29 @@ TEST(ObsExport, PerfettoTraceParsesAndIsMonotonePerTrack) {
   ASSERT_TRUE(trace_events.is_array());
   ASSERT_GT(trace_events.size(), 0u);
 
+  const std::map<std::string, std::string> counter_keys = {
+      {"reg_writes_per_1k", "writes"},
+      {"active_processes", "active"},
+      {"crash_recover_per_1k", "events"}};
   std::map<std::int64_t, double> last_ts;
   std::int64_t timed = 0;
-  std::int64_t counters = 0;
-  double last_counter_ts = -1.0;
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> last_counter_ts;
   for (std::size_t i = 0; i < trace_events.size(); ++i) {
     const Json& ev = trace_events.at(i);
     const std::string& ph = ev.at("ph").as_string();
     if (ph == "M") continue;  // metadata records carry no timestamp
     if (ph == "C") {
-      // The register-write counter track: its own monotone series.
-      EXPECT_EQ(ev.at("name").as_string(), "reg_writes_per_1k");
+      // Counter tracks: each known series is its own monotone sequence.
+      const std::string& name = ev.at("name").as_string();
+      const auto key = counter_keys.find(name);
+      ASSERT_NE(key, counter_keys.end()) << name;
       const double ts = ev.at("ts").as_number();
-      EXPECT_GT(ts, last_counter_ts);
-      last_counter_ts = ts;
-      EXPECT_GE(ev.at("args").at("writes").as_number(), 0.0);
-      ++counters;
+      const auto it = last_counter_ts.find(name);
+      if (it != last_counter_ts.end()) EXPECT_GT(ts, it->second) << name;
+      last_counter_ts[name] = ts;
+      EXPECT_GE(ev.at("args").at(key->second).as_number(), 0.0);
+      ++counters[name];
       continue;
     }
     ASSERT_TRUE(ph == "X" || ph == "i") << ph;
@@ -413,11 +420,59 @@ TEST(ObsExport, PerfettoTraceParsesAndIsMonotonePerTrack) {
     ++timed;
   }
   EXPECT_GT(timed, 0);
-  // The sim run writes registers, so the counter track must be present —
-  // at least one bucket sample plus the closing zero.
-  EXPECT_GE(counters, 2);
+  // The sim run writes registers, so the write-pressure track must be
+  // present — at least one bucket sample plus the closing zero — and the
+  // active-set track at least its initial sample.
+  EXPECT_GE(counters["reg_writes_per_1k"], 2);
+  EXPECT_GE(counters["active_processes"], 1);
   // One track per processor plus the metadata names.
   EXPECT_GE(last_ts.size(), 2u);
+}
+
+TEST(ObsExport, PerfettoSchedulerCounterTracksFollowTheActiveSet) {
+  // A synthetic stream with known crash/recover/decision structure:
+  // two processors; P1 crashes at ts 100, recovers at ts 1500, and both
+  // decide near the end. active = live AND undecided.
+  std::vector<Event> events;
+  const auto push = [&](EventKind kind, int pid, std::int64_t total_step,
+                        std::int64_t arg = 0) {
+    Event e;
+    e.kind = kind;
+    e.pid = pid;
+    e.total_step = total_step;
+    e.arg = arg;
+    events.push_back(e);
+  };
+  push(EventKind::kStep, 0, 1);
+  push(EventKind::kStep, 1, 2);
+  push(EventKind::kCrash, 1, 100);
+  push(EventKind::kStep, 0, 200);
+  push(EventKind::kRecover, 1, 1500);
+  push(EventKind::kStep, 1, 1600);
+  push(EventKind::kDecision, 0, 1700, 1);
+  push(EventKind::kDecision, 1, 1800, 1);
+
+  const Json doc =
+      Json::parse(obs::perfetto_trace_json(events, "obs_test synthetic"));
+  std::vector<std::int64_t> active_values;
+  std::map<double, std::int64_t> churn;  // ts -> events
+  for (std::size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+    const Json& ev = doc.at("traceEvents").at(i);
+    if (ev.at("ph").as_string() != "C") continue;
+    const std::string& name = ev.at("name").as_string();
+    if (name == "active_processes")
+      active_values.push_back(ev.at("args").at("active").as_int());
+    else if (name == "crash_recover_per_1k")
+      churn[ev.at("ts").as_number()] = ev.at("args").at("events").as_int();
+  }
+  // initial 2, crash -> 1, recover -> 2, decisions -> 1 -> 0.
+  EXPECT_EQ(active_values, (std::vector<std::int64_t>{2, 1, 2, 1, 0}));
+  // Crash in bucket [0, 1000), recovery in [1000, 2000), then the closing
+  // zero bucket.
+  ASSERT_EQ(churn.size(), 3u);
+  EXPECT_EQ(churn.at(0.0), 1);
+  EXPECT_EQ(churn.at(1000.0), 1);
+  EXPECT_EQ(churn.at(2000.0), 0);
 }
 
 TEST(ObsExport, RunReportHasTheDocumentedShape) {

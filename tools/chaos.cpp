@@ -357,9 +357,9 @@ bool write_exemplar_traces(const Args& args, const std::string& dir) {
                         const char* process_name) {
     std::ostringstream jsonl;
     obs::write_jsonl(jsonl, ev);
-    ok &= obs::write_text_file(dir + "/" + stem + "_events.jsonl",
+    ok &= obs::write_text_file_atomic(dir + "/" + stem + "_events.jsonl",
                                jsonl.str());
-    ok &= obs::write_text_file(
+    ok &= obs::write_text_file_atomic(
         dir + "/" + stem + "_trace.json",
         obs::perfetto_trace_json(ev, process_name) + "\n");
   };
@@ -383,7 +383,7 @@ bool write_exemplar_traces(const Args& args, const std::string& dir) {
     sched.set_event_sink(&fan);
     sim.run(sched);
     ok &= stream.close();
-    ok &= obs::write_text_file(
+    ok &= obs::write_text_file_atomic(
         dir + "/sim_trace.json",
         obs::perfetto_trace_json(rec.events(), "chaos sim (unbounded-3)") +
             "\n");
@@ -518,7 +518,7 @@ int main(int argc, char** argv) {
       std::error_code ec;
       std::filesystem::create_directories(parent, ec);
     }
-    if (!obs::write_text_file(args.report_path, report + "\n")) return 2;
+    if (!obs::write_text_file_atomic(args.report_path, report + "\n")) return 2;
     std::printf("run-report written to %s\n", args.report_path.c_str());
   }
   if (!args.trace_dir.empty()) {
