@@ -195,6 +195,10 @@ BatchSummary SweepSummary::to_batch_summary() const {
   return to_partial_batch_summary();
 }
 
+ShardSummary SweepSummary::to_shard() const {
+  return {span(), to_batch_summary()};
+}
+
 BatchSummary SweepSummary::to_partial_batch_summary() const {
   BatchSummary out;
   for (const auto& [first_seed, shard] : shards_) {

@@ -100,6 +100,14 @@ class SweepSummary {
   /// missing ranges alongside (tools/sweep prints incomplete_shards).
   BatchSummary to_partial_batch_summary() const;
 
+  /// {span(), to_batch_summary()} as one ShardSummary — the whole-sweep
+  /// document a complete accumulation denotes, ready for
+  /// shard_summary_to_json. This is what tools/sweep verifies against and
+  /// what the coordination service streams back to a client at job end.
+  /// Same preconditions as span()/to_batch_summary(): non-empty and
+  /// contiguous.
+  ShardSummary to_shard() const;
+
  private:
   void check_disjoint(const SeedRange& range) const;
 

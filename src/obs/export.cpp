@@ -14,6 +14,7 @@
 #endif
 
 #include "util/check.h"
+#include "util/net.h"
 
 namespace cil::obs {
 
@@ -347,10 +348,10 @@ namespace {
 void fsync_parent_dir(const std::string& path) {
   const auto slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  const int fd = net::open_retry(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
   if (fd >= 0) {
-    (void)::fsync(fd);
-    (void)::close(fd);
+    (void)net::fsync_retry(fd);
+    (void)net::close_retry(fd);
   }
 }
 
@@ -360,25 +361,18 @@ bool write_text_file_atomic(const std::string& path,
                             const std::string& content) {
   // Same directory as the destination so the rename cannot cross devices.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = net::open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC);
   if (fd < 0) {
     std::fprintf(stderr, "obs: cannot open %s for writing\n", tmp.c_str());
     return false;
   }
-  const char* p = content.data();
-  std::size_t left = content.size();
-  while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
-    if (n < 0) {
-      std::fprintf(stderr, "obs: write to %s failed\n", tmp.c_str());
-      (void)::close(fd);
-      (void)::unlink(tmp.c_str());
-      return false;
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
+  if (!net::write_all(fd, content)) {
+    std::fprintf(stderr, "obs: write to %s failed\n", tmp.c_str());
+    (void)net::close_retry(fd);
+    (void)::unlink(tmp.c_str());
+    return false;
   }
-  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+  if (net::fsync_retry(fd) != 0 || net::close_retry(fd) != 0) {
     std::fprintf(stderr, "obs: fsync/close of %s failed\n", tmp.c_str());
     (void)::unlink(tmp.c_str());
     return false;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <fstream>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -66,6 +67,31 @@ class JsonlStreamSink final : public EventSink {
   bool ok_ = false;
   bool closed_ = false;
   std::int64_t events_written_ = 0;
+};
+
+/// An EventSink that renders each event as its JSONL line and hands it to a
+/// callback — the sink-to-socket adapter: the coordination service
+/// (src/svc) plugs a session's frame writer in here so a replay's event
+/// stream goes to a remote client exactly as it would go to a file, and
+/// tests plug in a vector collector. The callback is invoked synchronously
+/// on the emitting thread; single-threaded consumers only, like
+/// RecordingSink.
+class LineCallbackSink final : public EventSink {
+ public:
+  using LineFn = std::function<void(std::string line)>;
+
+  explicit LineCallbackSink(LineFn fn) : fn_(std::move(fn)) {}
+
+  void on_event(const Event& e) override {
+    ++events_seen_;
+    fn_(event_to_json_line(e));
+  }
+
+  std::int64_t events_seen() const { return events_seen_; }
+
+ private:
+  LineFn fn_;
+  std::int64_t events_seen_ = 0;
 };
 
 /// Chrome/Perfetto trace_event JSON for a recorded stream. `process_name`

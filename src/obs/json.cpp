@@ -16,13 +16,18 @@ namespace {
                           ": " + what);
 }
 
-/// Recursive-descent parser over a string_view. Depth-limited so a
-/// pathological input cannot blow the stack.
+/// Recursive-descent parser over a string_view. Every resource a document
+/// can consume — stack depth, decoded string bytes, total value count,
+/// input size — is capped by ParseLimits, so a pathological or hostile
+/// input fails with a ContractViolation instead of exhausting the process.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Json parse_document() {
+    if (text_.size() > limits_.max_input_bytes)
+      parse_fail(0, "document exceeds max_input_bytes");
     const Json v = parse_value(0);
     skip_ws();
     if (pos_ != text_.size()) parse_fail(pos_, "trailing characters");
@@ -30,7 +35,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 200;
 
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -57,7 +61,9 @@ class Parser {
   }
 
   Json parse_value(int depth) {
-    if (depth > kMaxDepth) parse_fail(pos_, "nesting too deep");
+    if (depth > limits_.max_depth) parse_fail(pos_, "nesting too deep");
+    if (++values_ > limits_.max_total_values)
+      parse_fail(pos_, "document exceeds max_total_values");
     skip_ws();
     const char c = peek();
     switch (c) {
@@ -93,6 +99,8 @@ class Parser {
       skip_ws();
       if (peek() != '"') parse_fail(pos_, "expected object key");
       const std::string key = parse_string();
+      if (out.find(key) != nullptr)
+        parse_fail(pos_, "duplicate object key '" + key + "'");
       skip_ws();
       expect(':');
       out[key] = parse_value(depth + 1);
@@ -148,7 +156,12 @@ class Parser {
     }
     // The slice is a validated JSON number; strtod accepts a superset.
     const std::string slice(text_.substr(start, pos_ - start));
-    return Json(std::strtod(slice.c_str(), nullptr));
+    const double d = std::strtod(slice.c_str(), nullptr);
+    // "NaN"/"inf" never lex (the grammar is digits-only), but an oversized
+    // exponent overflows to +-inf — reject it rather than store a value
+    // dump() would later refuse to serialize.
+    if (!std::isfinite(d)) parse_fail(start, "number out of range");
+    return Json(d);
   }
 
   std::string parse_string() {
@@ -156,6 +169,8 @@ class Parser {
     std::string out;
     while (true) {
       if (pos_ >= text_.size()) parse_fail(pos_, "unterminated string");
+      if (out.size() > limits_.max_string_bytes)
+        parse_fail(pos_, "string exceeds max_string_bytes");
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (static_cast<unsigned char>(c) < 0x20)
@@ -227,13 +242,17 @@ class Parser {
   }
 
   std::string_view text_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t values_ = 0;
 };
 
 }  // namespace
 
-Json Json::parse(std::string_view text) {
-  Parser p(text);
+Json Json::parse(std::string_view text) { return parse(text, ParseLimits{}); }
+
+Json Json::parse(std::string_view text, const ParseLimits& limits) {
+  Parser p(text, limits);
   return p.parse_document();
 }
 

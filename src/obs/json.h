@@ -8,6 +8,7 @@
 // keys are kept sorted so dumps are deterministic and diffable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -16,6 +17,24 @@
 #include <vector>
 
 namespace cil::obs {
+
+/// Resource caps enforced while parsing. The defaults are generous enough
+/// for every artifact this repo emits (multi-megabyte sweep summaries
+/// included); ParseLimits::untrusted() is the profile for bytes that arrive
+/// off the network (src/svc request lines), where the parser is the first
+/// thing hostile input meets.
+struct ParseLimits {
+  int max_depth = 200;                       ///< nesting (arrays + objects)
+  std::size_t max_input_bytes = 1u << 30;    ///< whole-document size
+  std::size_t max_string_bytes = 1u << 28;   ///< one decoded string/key
+  std::size_t max_total_values = 200'000'000;  ///< scalars + containers
+
+  /// The tight profile for untrusted network input: 1 MiB documents, 32
+  /// levels, 64 KiB strings, 100k values.
+  static ParseLimits untrusted() {
+    return {32, 1u << 20, 1u << 16, 100'000};
+  }
+};
 
 class Json {
  public:
@@ -64,9 +83,11 @@ class Json {
   /// Compact serialization (no insignificant whitespace).
   std::string dump() const;
 
-  /// Parse a complete JSON document; trailing non-whitespace or any syntax
-  /// error throws ContractViolation with an offset in the message.
+  /// Parse a complete JSON document; trailing non-whitespace, any syntax
+  /// error, a duplicate object key, a non-finite number, or an exceeded
+  /// limit throws ContractViolation with an offset in the message.
   static Json parse(std::string_view text);
+  static Json parse(std::string_view text, const ParseLimits& limits);
 
   friend bool operator==(const Json&, const Json&) = default;
 

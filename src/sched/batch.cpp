@@ -97,6 +97,7 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
   threads = static_cast<int>(std::clamp<std::int64_t>(
       threads, 1, options.num_runs));
 
+  std::atomic<bool> cancelled{false};  ///< any worker saw the cancel flag
   std::vector<RunRecord> records(static_cast<std::size_t>(options.num_runs));
   std::vector<WorkerTiming> timing(static_cast<std::size_t>(threads));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
@@ -113,6 +114,11 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
                     "BatchRunner: scheduler factory returned null provider");
       std::optional<Simulation> sim;
       for (; i < end; ++i) {
+        if (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) {
+          cancelled.store(true, std::memory_order_relaxed);
+          break;
+        }
         const std::uint64_t seed =
             options.first_seed + static_cast<std::uint64_t>(i);
         SimOptions so;
@@ -185,6 +191,11 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
   }
   if (first_error >= 0)
     std::rethrow_exception(errors[static_cast<std::size_t>(first_error)]);
+
+  // Cancellation wins over a summary: a worker that broke out left holes in
+  // `records`, so no partial reduction is offered — the caller asked for
+  // the sweep to stop, not for an approximate answer.
+  if (cancelled.load(std::memory_order_relaxed)) throw BatchCancelled();
 
   // Seed-order reduction over the preallocated slots: thread-count never
   // changes what this loop sees.

@@ -20,9 +20,11 @@
 // the sweep ran on 1 thread or 16 (also pinned by batch_test).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "sched/simulation.h"
@@ -64,6 +66,20 @@ struct BatchOptions {
   std::int64_t check_every = 1;
   bool check_consistency = true;
   bool check_nontriviality = true;
+  /// Optional cooperative cancellation, polled between runs. When the flag
+  /// flips true, workers finish their in-flight run, stop, and run() throws
+  /// BatchCancelled after joining — no partial summary escapes. Borrowed;
+  /// must outlive run(). The coordination service (src/svc) points this at
+  /// a job ticket so a disconnected client stops burning cores mid-sweep.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown by BatchRunner::run when BatchOptions::cancel flipped true before
+/// the sweep finished. Deliberately NOT a ContractViolation: cancellation
+/// is a normal control-flow outcome, not a bug.
+class BatchCancelled : public std::runtime_error {
+ public:
+  BatchCancelled() : std::runtime_error("batch cancelled") {}
 };
 
 /// Arms and returns the scheduler for one run, given that run's seed. The

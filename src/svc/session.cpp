@@ -1,0 +1,89 @@
+#include "svc/session.h"
+
+#include <cerrno>
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/net.h"
+
+namespace cil::svc {
+
+Session::Session(int fd, std::uint64_t id, std::size_t max_line_bytes,
+                 std::size_t max_write_buffer)
+    : fd_(fd),
+      id_(id),
+      max_line_bytes_(max_line_bytes),
+      max_write_buffer_(max_write_buffer) {
+  CIL_EXPECTS(fd >= 0);
+}
+
+Session::~Session() {
+  if (fd_ >= 0) (void)net::close_retry(fd_);
+}
+
+Session::IoStatus Session::read_lines(std::vector<std::string>& lines) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = net::read_retry(fd_, buf, sizeof buf);
+    if (n == 0) {
+      read_closed_ = true;
+      return IoStatus::kClosed;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+      return IoStatus::kError;
+    }
+    bytes_in_ += n;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      if (buf[i] != '\n') continue;
+      std::string line = std::move(read_buf_);
+      read_buf_.clear();
+      line.append(buf + start, i - start);
+      start = i + 1;
+      // The cap applies to complete lines too, not only partial carries —
+      // a line that arrives whole in one read must not dodge it.
+      if (line.size() > max_line_bytes_) {
+        line_overflow_ = true;
+        return IoStatus::kError;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(std::move(line));
+    }
+    read_buf_.append(buf + start, static_cast<std::size_t>(n) - start);
+    if (read_buf_.size() > max_line_bytes_) {
+      line_overflow_ = true;
+      return IoStatus::kError;
+    }
+  }
+}
+
+bool Session::enqueue(std::string frames) {
+  if (frames.empty()) return true;
+  if (write_bytes_ + frames.size() > max_write_buffer_) return false;
+  write_bytes_ += frames.size();
+  write_q_.push_back(std::move(frames));
+  return true;
+}
+
+Session::IoStatus Session::flush() {
+  while (!write_q_.empty()) {
+    const std::string& front = write_q_.front();
+    const ssize_t n = net::send_nosignal(fd_, front.data() + write_off_,
+                                         front.size() - write_off_);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+      return IoStatus::kError;
+    }
+    bytes_out_ += n;
+    write_bytes_ -= static_cast<std::size_t>(n);
+    write_off_ += static_cast<std::size_t>(n);
+    if (write_off_ == front.size()) {
+      write_q_.pop_front();
+      write_off_ = 0;
+    }
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace cil::svc

@@ -1,0 +1,103 @@
+// Per-connection session state: buffered nonblocking reads and writes with
+// line framing, owned and driven exclusively by the server's epoll loop
+// thread.
+//
+// A Session knows nothing about jobs or JSON — it turns readable sockets
+// into complete request lines and queued frames into written bytes, and it
+// enforces the two per-connection resource bounds:
+//
+//   * max_line_bytes  — a request line that grows past this is a framing
+//     attack (or a broken client); the session flags overflow and the
+//     server evicts it.
+//   * max_write_buffer — backpressure: a client that stops reading while a
+//     job streams at it would otherwise buffer the whole sweep in server
+//     memory. enqueue() refuses past the cap and the server evicts the
+//     slow consumer (the kill-the-laggard policy every fan-out system
+//     needs; dropping frames silently would corrupt the JSONL stream).
+//
+// The job-pipeline bookkeeping (active ticket, pending specs) lives here as
+// plain members manipulated by the server — the session is the unit of
+// ownership, not of policy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/queue.h"
+#include "svc/wire.h"
+
+namespace cil::svc {
+
+class Session {
+ public:
+  enum class IoStatus {
+    kOk,      ///< made progress or would block; connection healthy
+    kClosed,  ///< orderly EOF from the peer (read side)
+    kError,   ///< connection broken (reset, EPIPE, ...)
+  };
+
+  /// Takes ownership of `fd` (closes it on destruction). The fd must
+  /// already be nonblocking.
+  Session(int fd, std::uint64_t id, std::size_t max_line_bytes,
+          std::size_t max_write_buffer);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int fd() const { return fd_; }
+  std::uint64_t id() const { return id_; }
+
+  /// Drain the socket, appending every complete '\n'-terminated line
+  /// (terminator stripped, "\r\n" tolerated) to `lines`. kClosed once the
+  /// peer half-closes; any bytes before the EOF still come back as lines.
+  IoStatus read_lines(std::vector<std::string>& lines);
+
+  /// True when a partial line exceeded max_line_bytes; framing is lost and
+  /// the connection must be evicted.
+  bool line_overflow() const { return line_overflow_; }
+
+  /// Queue frame bytes (one or more complete lines). False when the write
+  /// buffer cap is exceeded — the caller must evict this slow consumer.
+  bool enqueue(std::string frames);
+
+  /// Write queued bytes until done or EAGAIN.
+  IoStatus flush();
+
+  bool wants_write() const { return !write_q_.empty(); }
+  bool read_closed() const { return read_closed_; }
+  std::size_t buffered_bytes() const { return write_bytes_; }
+  std::int64_t bytes_in() const { return bytes_in_; }
+  std::int64_t bytes_out() const { return bytes_out_; }
+
+  // Job pipeline (server-managed): the in-flight ticket and the requests
+  // queued behind it. Specs pend here, not in the JobQueue, so frames for
+  // one connection never interleave across its requests.
+  std::shared_ptr<JobTicket> active_job;
+  std::deque<JobSpec> pending_jobs;
+
+  /// Current epoll interest mask (server bookkeeping, avoids redundant
+  /// EPOLL_CTL_MOD syscalls).
+  std::uint32_t epoll_interest = 0;
+
+ private:
+  int fd_;
+  std::uint64_t id_;
+  std::size_t max_line_bytes_;
+  std::size_t max_write_buffer_;
+
+  std::string read_buf_;  ///< the current partial line
+  bool read_closed_ = false;
+  bool line_overflow_ = false;
+
+  std::deque<std::string> write_q_;
+  std::size_t write_off_ = 0;  ///< consumed prefix of write_q_.front()
+  std::size_t write_bytes_ = 0;
+  std::int64_t bytes_in_ = 0;
+  std::int64_t bytes_out_ = 0;
+};
+
+}  // namespace cil::svc

@@ -1,0 +1,88 @@
+#ifndef _WIN32
+
+#include "util/net.h"
+
+#include <cerrno>
+#include <csignal>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cil::net {
+
+ssize_t read_retry(int fd, void* buf, std::size_t count) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, count);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t write_retry(int fd, const void* buf, std::size_t count) {
+  for (;;) {
+    const ssize_t n = ::write(fd, buf, count);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = write_retry(fd, p, left);
+    if (n < 0) return false;
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int open_retry(const char* path, int flags, unsigned mode) {
+  for (;;) {
+    const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int fsync_retry(int fd) {
+  for (;;) {
+    const int r = ::fsync(fd);
+    if (r == 0 || errno != EINTR) return r;
+  }
+}
+
+int close_retry(int fd) {
+  const int r = ::close(fd);
+  if (r != 0 && errno == EINTR) return 0;  // fd is gone on Linux; done
+  return r;
+}
+
+ssize_t send_nosignal(int fd, const void* buf, std::size_t count) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, count, MSG_NOSIGNAL);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+int accept_retry(int listen_fd) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void ignore_sigpipe() {
+  struct sigaction sa = {};
+  sa.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+}  // namespace cil::net
+
+#endif  // _WIN32

@@ -1,0 +1,69 @@
+// EINTR-safe, SIGPIPE-safe POSIX I/O helpers.
+//
+// Every raw ::read/::write/::open/::fsync in this repo can legally return
+// -1/EINTR when a signal lands mid-call — and the fabric supervisor
+// (SIGCHLD from reaped workers) and the coordination service (SIGTERM'd
+// daemons, profiling timers) make that a real event, not a theoretical one.
+// These wrappers retry the interrupted call; callers keep their error
+// handling for genuine failures. The socket-side helpers additionally keep
+// a dead peer from killing the process: a write to a half-closed TCP
+// connection raises SIGPIPE by default, which a server must receive as a
+// plain EPIPE instead.
+//
+// close() is deliberately NOT retried: POSIX leaves the fd state undefined
+// after EINTR from close, and on Linux the fd is always released — retrying
+// can close an fd another thread just opened. close_retry() therefore calls
+// close once and only swallows EINTR as success.
+#pragma once
+
+#ifndef _WIN32
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string_view>
+
+namespace cil::net {
+
+/// ::read, retried on EINTR. Returns the read count, 0 at EOF, or -1 with
+/// errno set (never EINTR).
+ssize_t read_retry(int fd, void* buf, std::size_t count);
+
+/// ::write, retried on EINTR. Returns the written count (possibly short)
+/// or -1 with errno set (never EINTR).
+ssize_t write_retry(int fd, const void* buf, std::size_t count);
+
+/// Write ALL of `data`, retrying on EINTR and on short writes. Returns
+/// false with errno set on any other error. On a nonblocking fd EAGAIN is
+/// an error here — use write_retry and buffer the remainder instead.
+bool write_all(int fd, std::string_view data);
+
+/// ::open, retried on EINTR. Mode is used only with O_CREAT.
+int open_retry(const char* path, int flags, unsigned mode = 0644);
+
+/// ::fsync, retried on EINTR.
+int fsync_retry(int fd);
+
+/// ::close called once; EINTR is reported as success (see header comment).
+int close_retry(int fd);
+
+/// ::send with MSG_NOSIGNAL, retried on EINTR: a peer that vanished mid-
+/// stream yields -1/EPIPE instead of a process-killing SIGPIPE. Sockets
+/// only; for pipes and regular files combine write_retry with
+/// ignore_sigpipe().
+ssize_t send_nosignal(int fd, const void* buf, std::size_t count);
+
+/// ::accept4(SOCK_NONBLOCK | SOCK_CLOEXEC), retried on EINTR.
+int accept_retry(int listen_fd);
+
+/// Set O_NONBLOCK. Returns false with errno set on failure.
+bool set_nonblocking(int fd);
+
+/// Process-wide SIG_IGN for SIGPIPE, once. Belt alongside send_nosignal's
+/// suspenders: writes through fds that are not sockets (pipes to dead
+/// children) fail with EPIPE instead of terminating the process.
+void ignore_sigpipe();
+
+}  // namespace cil::net
+
+#endif  // _WIN32

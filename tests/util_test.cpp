@@ -1,10 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cmath>
 #include <set>
+#include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "util/bitfield.h"
 #include "util/check.h"
+#include "util/net.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -189,6 +197,55 @@ TEST(BitField, BitWidth) {
   EXPECT_EQ(bit_width_u64(255), 8);
   EXPECT_EQ(bit_width_u64(256), 9);
 }
+
+#ifndef _WIN32
+
+TEST(Net, WriteAllAndReadRetryRoundTripThroughPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Big enough to exceed the default 64KiB pipe buffer if written in one
+  // go, so write_all's short-write loop actually loops.
+  const std::string payload(200'000, 'q');
+  std::string received;
+  std::thread reader([&] {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = net::read_retry(fds[0], buf, sizeof buf);
+      ASSERT_GE(n, 0);
+      if (n == 0) break;
+      received.append(buf, static_cast<std::size_t>(n));
+    }
+  });
+  EXPECT_TRUE(net::write_all(fds[1], payload));
+  EXPECT_EQ(net::close_retry(fds[1]), 0);
+  reader.join();
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(net::close_retry(fds[0]), 0);
+}
+
+TEST(Net, WriteAllFailsCleanlyOnClosedPipe) {
+  net::ignore_sigpipe();  // without this the EPIPE below would kill us
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  EXPECT_EQ(net::close_retry(fds[0]), 0);
+  // The write must report failure (EPIPE), not raise SIGPIPE.
+  EXPECT_FALSE(net::write_all(fds[1], "doomed"));
+  EXPECT_EQ(errno, EPIPE);
+  EXPECT_EQ(net::close_retry(fds[1]), 0);
+}
+
+TEST(Net, SetNonblockingMakesReadsReturnEagain) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  EXPECT_TRUE(net::set_nonblocking(fds[0]));
+  char buf[8];
+  EXPECT_EQ(net::read_retry(fds[0], buf, sizeof buf), -1);
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+  EXPECT_EQ(net::close_retry(fds[0]), 0);
+  EXPECT_EQ(net::close_retry(fds[1]), 0);
+}
+
+#endif  // _WIN32
 
 }  // namespace
 }  // namespace cil

@@ -1,0 +1,144 @@
+// coordd — the coordination service daemon.
+//
+// Binds the svc::Server event loop to a CLI: clients connect over TCP, send
+// cilcoord.job.v1 lines (sweep / hunt / replay / ping), and receive the
+// streamed JSONL frames documented in svc/wire.h. All simulation work runs
+// on the worker pool; the process stays responsive to new connections while
+// a million-seed sweep grinds.
+//
+//   ./tools/coordd --port=7077
+//   ./tools/coordd --port=0 --port-file=run/coordd.port --workers=4
+//
+// --port=0 binds an ephemeral port; --port-file writes the bound port (as a
+// bare decimal line, atomically) so scripts and CI can discover it without
+// racing the listen. SIGINT/SIGTERM stop the loop cleanly: in-flight jobs
+// are cancelled, workers joined, a final stats line printed.
+#ifndef _WIN32
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <sys/resource.h>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "svc/server.h"
+#include "tools/cli_util.h"
+
+using namespace cil;
+
+namespace {
+
+svc::Server* g_server = nullptr;
+
+// Async-signal-safe: stop() is an atomic store plus an eventfd write.
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+/// Lift RLIMIT_NOFILE to its hard cap: every session is an fd, and the
+/// default soft limit (often 1024) dies long before the advertised 5k+
+/// concurrent sessions.
+void raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur == lim.rlim_max) return;
+  lim.rlim_cur = lim.rlim_max;
+  (void)::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: coordd [--addr=127.0.0.1] [--port=0] [--port-file=PATH]\n"
+      "              [--workers=N] [--max-sessions=N] [--chunk=N]\n"
+      "              [--max-write-buffer=BYTES] [--max-line-bytes=BYTES]\n"
+      "              [--stats-file=PATH] [--verbose]\n");
+  return 2;
+}
+
+obs::Json stats_to_json(const svc::ServerStats& st) {
+  obs::Json j = obs::Json::object();
+  j["sessions_accepted"] = obs::Json(static_cast<double>(st.sessions_accepted));
+  j["sessions_closed"] = obs::Json(static_cast<double>(st.sessions_closed));
+  j["sessions_evicted"] = obs::Json(static_cast<double>(st.sessions_evicted));
+  j["sessions_rejected"] =
+      obs::Json(static_cast<double>(st.sessions_rejected));
+  j["requests"] = obs::Json(static_cast<double>(st.requests));
+  j["bad_requests"] = obs::Json(static_cast<double>(st.bad_requests));
+  j["frames_sent"] = obs::Json(static_cast<double>(st.frames_sent));
+  j["bytes_in"] = obs::Json(static_cast<double>(st.bytes_in));
+  j["bytes_out"] = obs::Json(static_cast<double>(st.bytes_out));
+  j["jobs_submitted"] = obs::Json(static_cast<double>(st.jobs_submitted));
+  j["jobs_completed"] = obs::Json(static_cast<double>(st.jobs_completed));
+  j["jobs_failed"] = obs::Json(static_cast<double>(st.jobs_failed));
+  j["jobs_cancelled"] = obs::Json(static_cast<double>(st.jobs_cancelled));
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::FlagSet flags(argc, argv);
+
+  svc::ServerOptions options;
+  std::string port_file;
+  std::string stats_file;
+  std::int64_t max_write_buffer = 0;
+  std::int64_t max_line_bytes = 0;
+  std::int64_t max_sessions = 0;
+  flags.take_string("addr", options.listen_addr);
+  flags.take_int("port", options.port);
+  flags.take_string("port-file", port_file);
+  flags.take_string("stats-file", stats_file);
+  flags.take_int("workers", options.job_workers);
+  if (flags.take_int("max-sessions", max_sessions) && max_sessions > 0)
+    options.max_sessions = static_cast<std::size_t>(max_sessions);
+  if (flags.take_int("max-write-buffer", max_write_buffer) &&
+      max_write_buffer > 0)
+    options.max_write_buffer = static_cast<std::size_t>(max_write_buffer);
+  if (flags.take_int("max-line-bytes", max_line_bytes) && max_line_bytes > 0)
+    options.max_line_bytes = static_cast<std::size_t>(max_line_bytes);
+  flags.take_int("chunk", options.job_limits.default_chunk);
+  options.verbose = flags.take_switch("verbose");
+  if (!flags.finish() || !flags.positionals().empty()) return usage();
+  if (options.port < 0 || options.port > 65535 || options.job_workers < 1)
+    return usage();
+
+  raise_fd_limit();
+
+  svc::Server server(options);
+  if (!server.start()) return 1;
+  g_server = &server;
+  (void)std::signal(SIGINT, on_signal);
+  (void)std::signal(SIGTERM, on_signal);
+
+  if (!port_file.empty())
+    obs::write_text_file_atomic(port_file,
+                                std::to_string(server.port()) + "\n");
+  std::fprintf(stderr, "coordd: listening on %s:%d (%d workers)\n",
+               options.listen_addr.c_str(), server.port(),
+               options.job_workers);
+
+  server.run();
+
+  const svc::ServerStats st = server.stats();
+  const std::string stats_line = stats_to_json(st).dump();
+  std::fprintf(stderr, "coordd: stopped; stats %s\n", stats_line.c_str());
+  if (!stats_file.empty())
+    obs::write_text_file_atomic(stats_file, stats_line + "\n");
+  g_server = nullptr;
+  return 0;
+}
+
+#else
+
+#include <cstdio>
+
+int main() {
+  std::fprintf(stderr, "coordd: unsupported on this platform\n");
+  return 2;
+}
+
+#endif  // _WIN32

@@ -408,10 +408,7 @@ int run_fleet(const Args& args) {
 
   if (!args.verify_against.empty()) {
     if (!outcome.complete()) return 3;
-    fabric::ShardSummary whole;
-    whole.range = merged.span();
-    whole.summary = merged.to_batch_summary();
-    return verify_against(args, whole);
+    return verify_against(args, merged.to_shard());
   }
   return outcome.complete() ? 0 : 3;
 }
