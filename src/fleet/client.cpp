@@ -1,0 +1,182 @@
+#include "fleet/client.h"
+
+#ifndef _WIN32
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/net.h"
+
+namespace cil::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_left(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  if (left > 3600'000) return 3600'000;
+  return static_cast<int>(left);
+}
+
+}  // namespace
+
+LineClient::~LineClient() { close(); }
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    net::close_retry(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool LineClient::connect(const std::string& host, int port, int timeout_ms) {
+  close();
+  if (port <= 0 || port > 65535) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Peers are addressed by numeric IP (tests and CI use 127.0.0.1); no
+    // resolver here keeps connect() deadline-bound.
+    return false;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  if (!net::set_nonblocking(fd)) {
+    net::close_retry(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) {
+    net::close_retry(fd);
+    return false;
+  }
+  if (rc < 0) {
+    // In progress: wait for writability, then confirm via SO_ERROR.
+    pollfd p{fd, POLLOUT, 0};
+    int pr;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    do {
+      pr = ::poll(&p, 1, ms_left(deadline));
+    } while (pr < 0 && errno == EINTR);
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (pr <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      net::close_retry(fd);
+      return false;
+    }
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool LineClient::wait_io(bool for_write, int timeout_ms) {
+  pollfd p{fd_, static_cast<short>(for_write ? POLLOUT : POLLIN), 0};
+  int pr;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  do {
+    pr = ::poll(&p, 1, ms_left(deadline));
+  } while (pr < 0 && errno == EINTR);
+  return pr > 0 && (p.revents & (for_write ? POLLOUT : (POLLIN | POLLHUP)));
+}
+
+bool LineClient::send_line(const std::string& line, int timeout_ms) {
+  if (fd_ < 0) return false;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        net::send_nosignal(fd_, line.data() + off, line.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (ms_left(deadline) == 0 || !wait_io(/*for_write=*/true,
+                                             ms_left(deadline))) {
+        close();  // a half-sent request desynchronizes the lockstep link
+        return false;
+      }
+      continue;
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool LineClient::read_line(std::string& out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (buf_.size() > (1u << 20)) {  // mirror the server's line cap
+      close();
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = net::read_retry(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int left = ms_left(deadline);
+      if (left == 0 || !wait_io(/*for_write=*/false, left)) {
+        // Timed out. With no partial line buffered the link is still in
+        // lockstep, so keep it open for a later retry; mid-line we can't
+        // tell a reply apart from its tail, so drop the link.
+        if (!buf_.empty()) close();
+        return false;
+      }
+      continue;
+    }
+    close();  // EOF or hard error
+    return false;
+  }
+}
+
+bool split_host_port(const std::string& addr, std::string& host, int& port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= addr.size())
+    return false;
+  host = addr.substr(0, colon);
+  port = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    const char c = addr[i];
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return false;
+  }
+  return port > 0;
+}
+
+}  // namespace cil::fleet
+
+#endif  // _WIN32

@@ -1,0 +1,56 @@
+// A small blocking-with-deadline JSONL line client for peer links.
+//
+// The fleet layer talks to peers over the svc transport (one JSON object
+// per '\n'-terminated line) from plain worker/heartbeat threads, not from
+// an event loop — so what it needs is a socket wrapper where every
+// operation takes a wall-clock budget and a dead peer turns into `false`
+// within that budget, never a hang. Implemented as a nonblocking fd driven
+// by poll(): connect, send_line, and read_line each honor their own
+// timeout; any error or timeout closes the link (the caller reconnects —
+// links are cheap, and a half-desynchronized lockstep link is worthless).
+//
+// Not thread-safe: each link is owned by exactly one thread at a time
+// (control links by the fleet's heartbeat thread, job links by the
+// dispatching shard worker).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cil::fleet {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connect to host:port within `timeout_ms`. Closes any previous
+  /// connection first. False on refusal/timeout (link left closed).
+  bool connect(const std::string& host, int port, int timeout_ms);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Write the complete line (caller includes the '\n') within
+  /// `timeout_ms`. False on error/timeout (link closed).
+  bool send_line(const std::string& line, int timeout_ms);
+
+  /// Read one complete line (terminator stripped) within `timeout_ms`.
+  /// False on EOF/error/timeout — the link is closed EXCEPT on a pure
+  /// timeout with no partial data consumed, where retrying later is safe.
+  bool read_line(std::string& out, int timeout_ms);
+
+ private:
+  bool wait_io(bool for_write, int timeout_ms);
+
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+/// Split "host:port"; false on a malformed address.
+bool split_host_port(const std::string& addr, std::string& host, int& port);
+
+}  // namespace cil::fleet

@@ -1,0 +1,169 @@
+#include "fleet/election.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cil::fleet {
+
+namespace {
+
+/// Thrown by the bridge context when the automaton asks for a remote word
+/// that has not been supplied yet. Not an error: the engine catches it,
+/// restores the process from the pre-step clone, and parks on
+/// pending_read(). Plain struct, not std::exception — nothing else may
+/// accidentally swallow it.
+struct NeedRemote {
+  int owner;
+};
+
+}  // namespace
+
+/// StepContext bridging one UnboundedProcess to the wire: own-register
+/// writes go to the local replica (and are served to peers by the fleet
+/// layer), remote reads suspend via NeedRemote, coins come from the
+/// engine's per-round stream. One register op per step is enforced by the
+/// automaton itself; the file's permission masks enforce ownership.
+class ElectionEngine::BridgeContext final : public StepContext {
+ public:
+  explicit BridgeContext(ElectionEngine& e) : e_(e) {}
+
+  Word read(RegisterId r) override {
+    if (!e_.fresh_[static_cast<std::size_t>(r)]) throw NeedRemote{r};
+    e_.fresh_[static_cast<std::size_t>(r)] = false;
+    const Word w = e_.file_->read(r, e_.config_.self);
+    e_.emit(obs::EventKind::kRegisterRead, r, w, e_.pending_fresh_ ? 1 : 0);
+    return w;
+  }
+
+  void write(RegisterId r, Word value) override {
+    e_.file_->write(r, e_.config_.self, value);
+    e_.emit(obs::EventKind::kRegisterWrite, r, value, 0);
+  }
+
+  bool flip() override {
+    const bool heads = (e_.rng_->next() & 1u) != 0;
+    e_.emit(obs::EventKind::kCoinFlip, -1, heads ? 1 : 0, 0);
+    return heads;
+  }
+
+  ProcessId pid() const override { return e_.config_.self; }
+
+ private:
+  ElectionEngine& e_;
+};
+
+ElectionEngine::ElectionEngine(const ElectionConfig& config,
+                               obs::EventSink* sink)
+    : config_(config),
+      sink_(sink),
+      // max_value = n-1: inputs are daemon ids. The protocol requires
+      // n >= 2; a 1-daemon fleet never constructs an engine.
+      protocol_(config.n, std::max<Value>(1, config.n - 1)) {
+  CIL_EXPECTS(config.n >= 2 && config.n <= 254);  // pref field holds id + 1
+  CIL_EXPECTS(config.self >= 0 && config.self < config.n);
+}
+
+ElectionEngine::~ElectionEngine() = default;
+
+void ElectionEngine::start_round(std::int64_t round) {
+  CIL_EXPECTS(round > round_);
+  round_ = round;
+  file_ = std::make_unique<RegisterFile>(protocol_.registers());
+  proc_ = protocol_.make_process(config_.self);
+  proc_->init(config_.self);
+  // Independent coin streams per (fleet seed, daemon, round): a restarted
+  // round must not replay the previous round's flips, and symmetric
+  // daemons must not flip in lockstep (the coin exists to break symmetry).
+  SplitMix64 sm(config_.seed ^
+                (static_cast<std::uint64_t>(config_.self) << 32) ^
+                static_cast<std::uint64_t>(round));
+  rng_ = std::make_unique<Xoshiro256>(sm.next());
+  last_seen_.assign(static_cast<std::size_t>(config_.n),
+                    UnboundedProtocol::pack(kNoValue, 0));
+  fresh_.assign(static_cast<std::size_t>(config_.n), false);
+  pending_read_ = -1;
+  pending_fresh_ = false;
+  decided_ = false;
+  steps_ = 0;
+  emit(obs::EventKind::kPhaseChange, -1, 0, round);
+  pump();
+}
+
+int ElectionEngine::leader() const {
+  CIL_EXPECTS(decided_);
+  return static_cast<int>(proc_->decision());
+}
+
+void ElectionEngine::supply(Word word, bool fresh) {
+  CIL_EXPECTS(pending_read_ >= 0);
+  const int owner = pending_read_;
+  // Defensive width clamp: the word arrived off the network and the file
+  // enforces declared widths on write.
+  word &= file_->table().width_mask(owner);
+  note_seen(owner, word);
+  // Stored as a write BY the owner, so the replica respects the file's
+  // single-writer discipline and snapshot tooling sees a legal history.
+  file_->write(owner, owner, word);
+  fresh_[static_cast<std::size_t>(owner)] = true;
+  pending_fresh_ = fresh;
+  pending_read_ = -1;
+  pump();
+}
+
+Word ElectionEngine::own_word() const {
+  if (file_ == nullptr) return UnboundedProtocol::pack(kNoValue, 0);
+  return file_->peek(config_.self);
+}
+
+void ElectionEngine::note_seen(int owner, Word word) {
+  CIL_EXPECTS(owner >= 0 && owner < config_.n);
+  last_seen_[static_cast<std::size_t>(owner)] = word;
+}
+
+Word ElectionEngine::seen_word(int owner) const {
+  CIL_EXPECTS(owner >= 0 && owner < config_.n);
+  return last_seen_[static_cast<std::size_t>(owner)];
+}
+
+void ElectionEngine::pump() {
+  BridgeContext ctx(*this);
+  while (!proc_->decided()) {
+    // Clone-before-step makes the suspension exception-safe without any
+    // knowledge of the automaton's internals: if the step aborts on a
+    // missing remote word, the process rolls back to the pre-step state
+    // and the same step reruns after supply().
+    auto saved = proc_->clone();
+    ++steps_;
+    ++total_steps_;
+    try {
+      proc_->step(ctx);
+    } catch (const NeedRemote& need) {
+      --steps_;
+      --total_steps_;
+      proc_ = std::move(saved);
+      pending_read_ = need.owner;
+      return;
+    }
+  }
+  decided_ = true;
+  pending_read_ = -1;
+  emit(obs::EventKind::kDecision, -1, 0, proc_->decision());
+}
+
+void ElectionEngine::emit(obs::EventKind kind, RegisterId reg, Word value,
+                          std::int64_t arg) {
+  if (sink_ == nullptr) return;
+  obs::Event e;
+  e.kind = kind;
+  e.pid = config_.self;
+  e.step = steps_;
+  e.total_step = total_steps_;
+  e.reg = reg;
+  e.value = value;
+  e.arg = arg;
+  sink_->on_event(e);
+}
+
+}  // namespace cil::fleet

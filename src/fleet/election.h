@@ -1,0 +1,132 @@
+// Leader election by the paper's own protocol, run over the wire.
+//
+// Each daemon in an n-daemon fleet runs ONE processor of the Figure 2
+// unbounded-register protocol (core/unbounded.h) with its own daemon id as
+// input; the decided value is the merge leader's id. The protocol instance
+// is the real UnboundedProcess — not a reimplementation — driven one step
+// at a time against a local replica RegisterFile built from
+// UnboundedProtocol::registers():
+//
+//   * writes land in the local file (we own register r_self) and are served
+//     to peers over read_req/read_resp frames;
+//   * reads of a remote register r_q suspend the automaton: pending_read()
+//     names q, the fleet layer fetches the word from q over the wire, and
+//     supply() stores it into the replica (as a write by q, so the file's
+//     single-writer discipline still holds) and resumes stepping.
+//
+// The suspension trick needs no protocol introspection: the bridge
+// StepContext throws when the automaton asks for a word we don't have yet,
+// and the engine restores the process from a clone taken before the step —
+// so ANY protocol whose reads are its only remote dependency could be
+// driven this way.
+//
+// Register semantics across the wire, honestly stated: while a register's
+// owner is alive, reads are served by the owner from its own current word —
+// atomic, exactly the paper's model. When the owner is DEAD the paper's
+// model keeps the register available (shared memory survives crashes), but
+// a wire has no memory: the fleet layer falls back to the last word it saw
+// from that owner this round (supply(..., fresh=false)), or ⊥ if it never
+// saw one. ⊥ is precisely the register's initial value, so a daemon that
+// crashed before anyone read it looks exactly like one that never started —
+// the regime Figure 2 already tolerates (crash-stop, up to n-1 failures; a
+// ⊥ register can never satisfy condition 1 and trails every live register
+// by >= 2 once nums reach 2, so condition 2 still terminates). The one gap
+// this opens versus Theorem 8 — two readers observing DIFFERENT last words
+// of a crashed owner — is closed a level up by rounds: conflicting leader
+// announcements for one round trigger a fresh round (fleet.h).
+//
+// Every protocol action is emitted as an obs event (the election
+// transcript): kPhaseChange opens a round (arg = round), kRegisterWrite /
+// kRegisterRead / kCoinFlip narrate the steps, kDecision closes it
+// (arg = elected id). The stream validates under `traceview --check`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/unbounded.h"
+#include "obs/events.h"
+#include "registers/register_file.h"
+#include "sched/process.h"
+#include "util/rng.h"
+
+namespace cil::fleet {
+
+struct ElectionConfig {
+  int n = 0;     ///< fleet size (>= 2; a 1-daemon fleet skips elections)
+  int self = 0;  ///< this daemon's id in [0, n)
+  /// Coin seed base; the per-round stream is split from (seed, self, round)
+  /// so restarted rounds and distinct daemons draw independent coins.
+  std::uint64_t seed = 1;
+};
+
+class ElectionEngine {
+ public:
+  /// `sink` receives the transcript events; may be null (no transcript).
+  /// Borrowed — must outlive the engine.
+  ElectionEngine(const ElectionConfig& config, obs::EventSink* sink);
+  ~ElectionEngine();
+
+  ElectionEngine(const ElectionEngine&) = delete;
+  ElectionEngine& operator=(const ElectionEngine&) = delete;
+
+  /// Abandon any in-progress round and start `round` fresh: new process
+  /// (input = self), new replica file, first pump. Rounds are monotone;
+  /// starting a round <= the current one is a caller bug.
+  void start_round(std::int64_t round);
+
+  std::int64_t round() const { return round_; }
+  /// True between start_round() and the decision.
+  bool active() const { return proc_ != nullptr && !decided_; }
+  bool decided() const { return decided_; }
+  /// The elected daemon id; valid only once decided().
+  int leader() const;
+
+  /// The remote pid whose register word the automaton needs next, or -1
+  /// when decided / not started. Stable until supply() is called.
+  int pending_read() const { return pending_read_; }
+
+  /// Resume with a word for pending_read()'s register. `fresh` marks an
+  /// owner-served (atomic) read; false means a cached/⊥ fallback for a dead
+  /// owner — recorded in the transcript (kRegisterRead arg: 1 fresh,
+  /// 0 fallback) so a captured election shows exactly which reads degraded.
+  void supply(Word word, bool fresh);
+
+  /// Our own register's current word this round (what read_resp serves).
+  Word own_word() const;
+
+  /// Remember the last word seen from `owner` this round (any successful
+  /// read_resp); cached(owner) is the dead-owner fallback.
+  void note_seen(int owner, Word word);
+  /// Last word seen from `owner` this round, or the register's initial ⊥.
+  Word seen_word(int owner) const;
+
+  /// Protocol steps taken this round (transcript `step` field).
+  std::int64_t steps_this_round() const { return steps_; }
+
+ private:
+  class BridgeContext;
+
+  void pump();  ///< step until a remote read is needed or the run decides
+  void emit(obs::EventKind kind, RegisterId reg, Word value,
+            std::int64_t arg);
+
+  ElectionConfig config_;
+  obs::EventSink* sink_;
+  UnboundedProtocol protocol_;
+
+  std::int64_t round_ = 0;
+  std::unique_ptr<RegisterFile> file_;  ///< local replica, one reg per daemon
+  std::unique_ptr<Process> proc_;
+  std::unique_ptr<Xoshiro256> rng_;     ///< per-round coin stream
+  std::vector<Word> last_seen_;         ///< per-owner cache, this round
+  std::vector<bool> fresh_;             ///< replica slot holds an unconsumed word
+  bool pending_fresh_ = false;          ///< provenance of the supplied word
+  int pending_read_ = -1;
+  bool decided_ = false;
+  std::int64_t steps_ = 0;        ///< per-round
+  std::int64_t total_steps_ = 0;  ///< across rounds (transcript tstep)
+};
+
+}  // namespace cil::fleet

@@ -1,0 +1,118 @@
+#include "fleet/wire.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <initializer_list>
+
+#include "util/check.h"
+
+namespace cil::fleet {
+
+namespace {
+
+[[noreturn]] void msg_fail(const std::string& what) {
+  throw ContractViolation("bad peer frame: " + what);
+}
+
+std::int64_t take_int(const obs::Json& doc, const char* key, std::int64_t def,
+                      std::int64_t lo, std::int64_t hi) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number()) msg_fail(std::string(key) + " must be a number");
+  const double d = v->as_number();
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d)
+    msg_fail(std::string(key) + " must be integral");
+  if (i < lo || i > hi) msg_fail(std::string(key) + " out of range");
+  return i;
+}
+
+/// Register words are 64-bit; they travel as decimal strings (the same
+/// convention fabric summaries use for seeds).
+Word take_word(const obs::Json& doc, const char* key) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return 0;
+  if (!v->is_string()) msg_fail(std::string(key) + " must be a string");
+  const std::string& s = v->as_string();
+  if (s.empty() || s.size() > 20) msg_fail(std::string(key) + " malformed");
+  Word out = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') msg_fail(std::string(key) + " malformed");
+    const Word digit = static_cast<Word>(c - '0');
+    if (out > (UINT64_MAX - digit) / 10)
+      msg_fail(std::string(key) + " overflows uint64");
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+std::string word_str(Word w) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, w);
+  return buf;
+}
+
+bool one_of(const std::string& v, std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed)
+    if (v == a) return true;
+  return false;
+}
+
+}  // namespace
+
+bool is_peer_frame(const obs::Json& doc) {
+  if (!doc.is_object()) return false;
+  const obs::Json* tag = doc.find("peer");
+  return tag != nullptr && tag->is_string() &&
+         tag->as_string() == kPeerArtifactName;
+}
+
+std::string peer_frame(const PeerMsg& m) {
+  obs::Json j = obs::Json::object();
+  j["peer"] = obs::Json(kPeerArtifactName);
+  j["type"] = obs::Json(m.type);
+  j["from"] = obs::Json(m.from);
+  if (m.type == "hb" || m.type == "hb_ack" || m.type == "read_req" ||
+      m.type == "read_resp" || m.type == "elect" || m.type == "leader" ||
+      m.type == "status")
+    j["round"] = obs::Json(m.round);
+  if (m.type == "hb" || m.type == "hb_ack" || m.type == "read_resp" ||
+      m.type == "leader" || m.type == "status")
+    j["leader"] = obs::Json(m.leader);
+  if (m.type == "read_req") j["target"] = obs::Json(m.target);
+  if (m.type == "read_resp") {
+    j["ok"] = obs::Json(m.ok);
+    j["word"] = obs::Json(word_str(m.word));
+  }
+  if ((m.type == "status" || m.type == "roster") && m.extra.is_object())
+    j["info"] = m.extra;
+  return j.dump() + "\n";
+}
+
+PeerMsg peer_msg_from_json(const obs::Json& doc) {
+  if (!is_peer_frame(doc)) msg_fail("missing or wrong artifact tag");
+  PeerMsg m;
+  const obs::Json* type = doc.find("type");
+  if (type == nullptr || !type->is_string()) msg_fail("missing type");
+  m.type = type->as_string();
+  if (!one_of(m.type, {"hb", "hb_ack", "read_req", "read_resp", "elect",
+                       "leader", "ok", "status_req", "status", "roster_req",
+                       "roster"}))
+    msg_fail("unknown type '" + m.type + "'");
+  // Daemon ids index the roster; 4096 is far beyond any real fleet and
+  // keeps a hostile frame from smuggling huge ints into array sizing.
+  m.from = static_cast<int>(take_int(doc, "from", -1, -1, 4096));
+  m.round = take_int(doc, "round", 0, 0, INT64_MAX / 2);
+  m.leader = static_cast<int>(take_int(doc, "leader", kNoLeader, -1, 4096));
+  m.target = static_cast<int>(take_int(doc, "target", -1, -1, 4096));
+  if (const obs::Json* ok = doc.find("ok"); ok != nullptr) {
+    if (!ok->is_bool()) msg_fail("ok must be a bool");
+    m.ok = ok->as_bool();
+  }
+  m.word = take_word(doc, "word");
+  if (const obs::Json* info = doc.find("info"); info != nullptr)
+    m.extra = *info;
+  return m;
+}
+
+}  // namespace cil::fleet

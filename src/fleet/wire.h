@@ -1,0 +1,73 @@
+// The fleet control plane's wire format: cilcoord.peer.v1 frames.
+//
+// Peer frames ride the same line-framed JSONL transport as client jobs —
+// one JSON object per '\n'-terminated line, on the same TCP port coordd
+// already serves — but are tagged "peer":"cilcoord.peer.v1" instead of
+// "job":"cilcoord.job.v1". The svc server routes them to the fleet layer's
+// handler (ServerOptions::peer_handler) instead of the job queue, and every
+// request type gets exactly one reply line, so a control link can run in
+// strict lockstep: send one request, read one reply.
+//
+// Message types (req -> reply):
+//
+//   hb         -> hb_ack      liveness probe; both carry (round, leader) so
+//                             heartbeats double as gossip — a daemon that
+//                             rejoined learns the fleet's round and elected
+//                             leader from its first successful exchange
+//   read_req   -> read_resp   one shared-register read of the Figure 2
+//                             election: the requester asks the register's
+//                             OWNER for its current word. ok=false when the
+//                             responder is not in the requested round (its
+//                             own round rides back so the laggard catches
+//                             up). The word travels as a decimal string —
+//                             register words are 64-bit, JSON numbers are
+//                             doubles.
+//   elect      -> ok          round kick: join (at least) this round
+//   leader     -> ok          decision announce for a round
+//   status_req -> status      observability: round, leader, peer liveness
+//   roster_req -> roster      the static peer list (tools/coordd --join)
+//
+// The codec tolerates unknown members (forward compatibility) but rejects
+// missing/mistyped required ones — peer frames arrive off the network and
+// are parsed under obs::ParseLimits::untrusted() like everything else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "registers/register_file.h"  // Word
+
+namespace cil::fleet {
+
+/// Artifact tag of a peer control frame.
+inline constexpr const char* kPeerArtifactName = "cilcoord.peer.v1";
+
+/// "no leader elected" in wire and in-memory form.
+inline constexpr int kNoLeader = -1;
+
+/// One parsed peer control message. Field groups are by type; unused
+/// members keep their defaults and are not serialized.
+struct PeerMsg {
+  std::string type;       ///< see header comment
+  int from = -1;          ///< sender's daemon id
+  std::int64_t round = 0; ///< election round the message refers to
+  int leader = kNoLeader; ///< hb/hb_ack/read_resp/leader/status
+  int target = -1;        ///< read_req: the register's owner pid
+  bool ok = false;        ///< read_resp: word is valid for `round`
+  Word word = 0;          ///< read_resp: the register's current word
+  obs::Json extra;        ///< status/roster payload, passed through verbatim
+};
+
+/// True when `doc` is an object carrying the cilcoord.peer.v1 tag. The svc
+/// server uses this to route a request line to the peer handler.
+bool is_peer_frame(const obs::Json& doc);
+
+/// Serialize as one complete line including the trailing '\n'.
+std::string peer_frame(const PeerMsg& m);
+
+/// Parse + validate. Throws ContractViolation on a wrong tag, unknown
+/// type, or malformed field.
+PeerMsg peer_msg_from_json(const obs::Json& doc);
+
+}  // namespace cil::fleet

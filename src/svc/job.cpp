@@ -1,5 +1,7 @@
 #include "svc/job.h"
 
+#include <csignal>
+
 #include <algorithm>
 #include <memory>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "search/evaluate.h"
 #include "search/optimize.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace cil::svc {
 
@@ -76,6 +79,24 @@ void check_cancel(const std::atomic<bool>& cancel) {
   if (cancel.load(std::memory_order_relaxed)) throw JobCancelled();
 }
 
+/// The chaos-soak kill switch (JobLimits::chaos_kill_prob): a per-seed
+/// coin, drawn after each completed run, that SIGKILLs the whole daemon.
+/// Seed-keyed so a restarted daemon re-running the same shard dies at the
+/// same run — and the retried shard only completes once reassignment or a
+/// fresh seed path avoids the mine, which is exactly the behavior the
+/// fleet soak wants to exercise. Returns an empty hook when disabled.
+RunHook make_chaos_kill_hook(const JobLimits& limits) {
+  if (limits.chaos_kill_prob <= 0.0) return nullptr;
+  const double prob = std::min(limits.chaos_kill_prob, 1.0);
+  const std::uint64_t key = limits.chaos_kill_seed;
+  return [prob, key](std::uint64_t seed) {
+    const std::uint64_t draw = SplitMix64(key ^ (seed * 0x9E3779B97F4A7C15ull))
+                                   .next();
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u < prob) (void)::raise(SIGKILL);
+  };
+}
+
 void run_sweep(const JobSpec& spec, const std::atomic<bool>& cancel,
                const JobLimits& limits, const EmitFrame& emit) {
   const auto protocol = make_protocol(spec.protocol, spec.n, "");
@@ -89,6 +110,7 @@ void run_sweep(const JobSpec& spec, const std::atomic<bool>& cancel,
                                                           spec.seeds));
   const std::vector<SeedRange> chunks =
       shard_seed_range({spec.first_seed, spec.seeds}, chunk_size);
+  const RunHook chaos = make_chaos_kill_hook(limits);
 
   BatchRunner runner(*protocol, inputs);
   fabric::SweepSummary merged;
@@ -104,7 +126,7 @@ void run_sweep(const JobSpec& spec, const std::atomic<bool>& cancel,
     bo.cancel = &cancel;
     BatchSummary summary;
     try {
-      summary = runner.run(bo, factory);
+      summary = runner.run(bo, factory, nullptr, chaos);
     } catch (const BatchCancelled&) {
       throw JobCancelled();
     }
@@ -220,16 +242,45 @@ void run_replay(const JobSpec& spec, const std::atomic<bool>& cancel,
 }  // namespace
 
 void run_job(const JobSpec& spec, const std::atomic<bool>& cancel,
-             const JobLimits& limits, const EmitFrame& emit) {
+             const JobLimits& limits, const EmitFrame& emit,
+             FleetRunner* fleet) {
   check_cancel(cancel);
   if (spec.kind == "sweep") {
-    run_sweep(spec, cancel, limits, emit);
+    if (spec.fleet) {
+      CIL_CHECK_MSG(fleet != nullptr,
+                    "fleet sweep refused: this daemon is not in a fleet");
+      fleet->run_fleet_sweep(spec, cancel, emit);
+    } else {
+      run_sweep(spec, cancel, limits, emit);
+    }
   } else if (spec.kind == "hunt") {
     run_hunt(spec, cancel, limits, emit);
   } else if (spec.kind == "replay") {
     run_replay(spec, cancel, limits, emit);
   } else {
     CIL_CHECK_MSG(false, "unknown job kind '" + spec.kind + "'");
+  }
+}
+
+fabric::ShardSummary run_sweep_shard(const JobSpec& spec,
+                                     const SeedRange& range,
+                                     const std::atomic<bool>& cancel) {
+  const auto protocol = make_protocol(spec.protocol, spec.n, "");
+  const std::vector<Value> inputs = default_inputs(protocol->num_processes());
+  const SchedulerFactory factory = make_factory(spec.adversary);
+
+  BatchRunner runner(*protocol, inputs);
+  BatchOptions bo;
+  bo.first_seed = range.first_seed;
+  bo.num_runs = range.num_runs;
+  bo.threads = spec.threads;
+  bo.max_total_steps = spec.steps;
+  bo.check_every = spec.check_every;
+  bo.cancel = &cancel;
+  try {
+    return {range, runner.run(bo, factory)};
+  } catch (const BatchCancelled&) {
+    throw JobCancelled();
   }
 }
 

@@ -5,8 +5,9 @@
 
 namespace cil::svc {
 
-JobQueue::JobQueue(int workers, JobLimits limits, Post post)
-    : limits_(limits), post_(std::move(post)) {
+JobQueue::JobQueue(int workers, JobLimits limits, Post post,
+                   FleetRunner* fleet)
+    : limits_(limits), post_(std::move(post)), fleet_(fleet) {
   CIL_EXPECTS(workers >= 1);
   CIL_EXPECTS(post_ != nullptr);
   workers_.reserve(static_cast<std::size_t>(workers));
@@ -84,7 +85,7 @@ void JobQueue::worker_main() {
     Outcome outcome = Outcome::kCompleted;
     std::string last;
     try {
-      run_job(ticket->spec, ticket->cancel, limits_, emit);
+      run_job(ticket->spec, ticket->cancel, limits_, emit, fleet_);
       last = frame_done(id);
     } catch (const JobCancelled&) {
       outcome = Outcome::kCancelled;

@@ -56,7 +56,10 @@ class JobQueue {
   using Post = std::function<void(std::uint64_t session_id,
                                   std::string frames, bool job_finished)>;
 
-  JobQueue(int workers, JobLimits limits, Post post);
+  /// `fleet` (optional, borrowed, must outlive the queue) routes
+  /// fleet-tagged sweeps; see svc::FleetRunner.
+  JobQueue(int workers, JobLimits limits, Post post,
+           FleetRunner* fleet = nullptr);
   ~JobQueue();  ///< calls stop()
 
   JobQueue(const JobQueue&) = delete;
@@ -78,6 +81,7 @@ class JobQueue {
 
   const JobLimits limits_;
   const Post post_;
+  FleetRunner* const fleet_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

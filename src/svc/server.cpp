@@ -10,10 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 
 #include "util/check.h"
 #include "util/net.h"
@@ -25,6 +28,12 @@ namespace {
 // epoll_event.data.u64 tags for the two non-session fds.
 constexpr std::uint64_t kListenTag = 0;
 constexpr std::uint64_t kWakeTag = 1;
+
+// Accept-backoff pause bounds after fd exhaustion.
+constexpr int kAcceptBackoffMinMs = 50;
+constexpr int kAcceptBackoffMaxMs = 5'000;
+
+using SteadyClock = std::chrono::steady_clock;
 
 std::int64_t count_lines(const std::string& frames) {
   std::int64_t n = 0;
@@ -121,7 +130,8 @@ bool Server::start() {
         }
         const std::uint64_t tick = 1;
         (void)net::write_retry(wake_fd_, &tick, sizeof tick);
-      });
+      },
+      options_.fleet);
   return true;
 }
 
@@ -136,12 +146,15 @@ void Server::run() {
   std::array<epoll_event, 256> events;
   while (!stopping_.load(std::memory_order_relaxed)) {
     const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), -1);
+                               static_cast<int>(events.size()),
+                               loop_timeout_ms());
     if (n < 0) {
       if (errno == EINTR) continue;
       std::perror("svc: epoll_wait");
       break;
     }
+    maybe_resume_accepting();
+    reap_idle_sessions();
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
       const std::uint32_t ev = events[i].events;
@@ -187,6 +200,9 @@ ServerStats Server::stats() const {
   out.sessions_closed = stats_.sessions_closed.load();
   out.sessions_evicted = stats_.sessions_evicted.load();
   out.sessions_rejected = stats_.sessions_rejected.load();
+  out.sessions_idle_closed = stats_.sessions_idle_closed.load();
+  out.accept_backoffs = stats_.accept_backoffs.load();
+  out.peer_frames = stats_.peer_frames.load();
   out.requests = stats_.requests.load();
   out.bad_requests = stats_.bad_requests.load();
   out.frames_sent = stats_.frames_sent.load();
@@ -210,9 +226,18 @@ void Server::accept_ready() {
     const int fd = net::accept_retry(listen_fd_);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion: the pending connection stays in the backlog,
+        // so a level-triggered EPOLLIN would re-fire immediately and spin
+        // the loop at 100% CPU. Disarm and retry after a growing pause.
+        pause_accepting();
+        return;
+      }
       if (options_.verbose) std::perror("svc: accept");
       return;
     }
+    accept_backoff_ms_ = 0;  // a successful accept ends the exhaustion
     if (sessions_.size() >= options_.max_sessions) {
       // Best-effort courtesy frame; the close is the real answer.
       const std::string line = frame_error("", "server full");
@@ -236,6 +261,7 @@ void Server::accept_ready() {
       continue;  // ~Session closes the fd
     }
     session->epoll_interest = EPOLLIN;
+    session->last_activity = SteadyClock::now();
     Session& s = *session;
     sessions_.emplace(id, std::move(session));
     ++stats_.sessions_accepted;
@@ -244,10 +270,81 @@ void Server::accept_ready() {
   }
 }
 
+void Server::pause_accepting() {
+  accept_backoff_ms_ = accept_backoff_ms_ == 0
+                           ? kAcceptBackoffMinMs
+                           : std::min(accept_backoff_ms_ * 2,
+                                      kAcceptBackoffMaxMs);
+  if (!accept_paused_) {
+    epoll_event ev{};
+    ev.events = 0;  // keep registered, wake for nothing
+    ev.data.u64 = kListenTag;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+    accept_paused_ = true;
+  }
+  accept_resume_at_ =
+      SteadyClock::now() + std::chrono::milliseconds(accept_backoff_ms_);
+  ++stats_.accept_backoffs;
+  if (options_.verbose)
+    std::fprintf(stderr, "svc: accept paused %dms (fd exhaustion)\n",
+                 accept_backoff_ms_);
+}
+
+void Server::maybe_resume_accepting() {
+  if (!accept_paused_ || SteadyClock::now() < accept_resume_at_) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+  accept_paused_ = false;
+  // If fds are still exhausted the next accept re-pauses with a doubled
+  // backoff; accept_backoff_ms_ carries across for exactly that reason.
+}
+
+void Server::reap_idle_sessions() {
+  if (options_.idle_timeout_seconds <= 0.0) return;
+  const auto deadline =
+      SteadyClock::now() -
+      std::chrono::duration_cast<SteadyClock::duration>(
+          std::chrono::duration<double>(options_.idle_timeout_seconds));
+  // Collect ids first: close_session mutates sessions_.
+  std::vector<std::uint64_t> idle;
+  for (const auto& [id, s] : sessions_) {
+    if (s->active_job != nullptr || !s->pending_jobs.empty()) continue;
+    if (s->last_activity > deadline) continue;
+    idle.push_back(id);
+  }
+  for (const std::uint64_t id : idle) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    Session& s = *it->second;
+    // Courtesy frame, best effort — the enqueue may itself evict, in which
+    // case the session is already gone and the idle count still applies.
+    ++stats_.sessions_idle_closed;
+    if (!enqueue_or_evict(s, frame_error("", "idle timeout"))) continue;
+    (void)s.flush();
+    close_session(s, /*evicted=*/false);
+  }
+}
+
+int Server::loop_timeout_ms() const {
+  int timeout = -1;
+  if (options_.idle_timeout_seconds > 0.0) timeout = 250;
+  if (accept_paused_) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          accept_resume_at_ - SteadyClock::now())
+                          .count();
+    const int ms = static_cast<int>(std::clamp<long long>(left, 1, 60'000));
+    timeout = timeout < 0 ? ms : std::min(timeout, ms);
+  }
+  return timeout;
+}
+
 void Server::session_readable(Session& s) {
   std::vector<std::string> lines;
   const std::int64_t before = s.bytes_in();
   const Session::IoStatus st = s.read_lines(lines);
+  if (s.bytes_in() != before) s.last_activity = SteadyClock::now();
   stats_.bytes_in += s.bytes_in() - before;
   for (const std::string& line : lines) {
     if (!handle_line(s, line)) return;  // session closed under us
@@ -282,6 +379,14 @@ bool Server::handle_line(Session& s, const std::string& line) {
   try {
     const obs::Json doc =
         obs::Json::parse(line, obs::ParseLimits::untrusted());
+    // Fleet control frames ride the same listener but skip the job layer
+    // entirely: the handler answers inline on the loop thread.
+    if (doc.is_object() && doc.find("peer") != nullptr) {
+      if (!options_.peer_handler) throw std::runtime_error(
+          "peer frame refused: this daemon is not in a fleet");
+      ++stats_.peer_frames;
+      return enqueue_or_evict(s, options_.peer_handler(doc));
+    }
     spec = job_spec_from_json(doc);
   } catch (const std::exception& e) {
     // Framing is intact (we got a complete line), so the connection
@@ -324,6 +429,7 @@ void Server::drain_outbox() {
       continue;
     if (m.job_finished) {
       s.active_job.reset();
+      s.last_activity = SteadyClock::now();  // job end restarts the clock
       if (!pump_pipeline(s)) continue;
       if (maybe_finish(s)) continue;
     }

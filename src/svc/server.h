@@ -30,18 +30,26 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "svc/job.h"
 #include "svc/queue.h"
 #include "svc/session.h"
 
 namespace cil::svc {
+
+/// Handles one inbound peer control frame (a parsed JSON object tagged
+/// "peer") and returns the complete reply line. Runs on the loop thread —
+/// must not block. Throwing yields the standard error frame.
+using PeerHandler = std::function<std::string(const obs::Json& doc)>;
 
 struct ServerOptions {
   std::string listen_addr = "127.0.0.1";
@@ -51,7 +59,18 @@ struct ServerOptions {
   std::size_t max_sessions = 65'536;
   std::size_t max_line_bytes = 1u << 20;     ///< request framing cap
   std::size_t max_write_buffer = 4u << 20;   ///< per-session backpressure cap
+  /// Close connections that sit connected but jobless (no in-flight or
+  /// pending work) with no inbound traffic for this long. 0 disables. The
+  /// close is graceful: an error frame explains it, and sessions with any
+  /// job activity are never reaped no matter how long the job runs.
+  double idle_timeout_seconds = 0.0;
   JobLimits job_limits;
+  /// Routes lines tagged "peer" (fleet control frames) instead of the job
+  /// parser; unset, such lines get a bad-request error. Installed by the
+  /// fleet layer via tools/coordd.
+  PeerHandler peer_handler;
+  /// Executes fleet-tagged sweeps (borrowed; must outlive the server).
+  FleetRunner* fleet = nullptr;
   bool verbose = false;
 };
 
@@ -61,6 +80,9 @@ struct ServerStats {
   std::int64_t sessions_closed = 0;
   std::int64_t sessions_evicted = 0;   ///< slow consumer / overflow / error
   std::int64_t sessions_rejected = 0;  ///< over max_sessions
+  std::int64_t sessions_idle_closed = 0;  ///< reaped by the idle timeout
+  std::int64_t accept_backoffs = 0;    ///< accept paused on fd exhaustion
+  std::int64_t peer_frames = 0;        ///< lines routed to the peer handler
   std::int64_t requests = 0;           ///< well-formed specs (incl. pings)
   std::int64_t bad_requests = 0;       ///< parse/validation failures
   std::int64_t frames_sent = 0;        ///< enqueue() calls that stuck
@@ -109,6 +131,16 @@ class Server {
   // closed (and destroyed) during the call — the caller must drop its
   // reference immediately.
   void accept_ready();
+  /// Stop accepting for a while after fd exhaustion (EMFILE/ENFILE/...):
+  /// disarm the listen fd's EPOLLIN so a full backlog cannot spin the
+  /// loop, and re-arm after an exponentially growing pause.
+  void pause_accepting();
+  void maybe_resume_accepting();
+  /// Close sessions idle past ServerOptions::idle_timeout_seconds.
+  void reap_idle_sessions();
+  /// The epoll_wait timeout: -1 unless the idle reaper or the accept
+  /// re-arm deadline needs the loop to wake on its own.
+  int loop_timeout_ms() const;
   void session_readable(Session& s);
   void session_writable(Session& s);
   bool handle_line(Session& s, const std::string& line);
@@ -127,6 +159,11 @@ class Server {
   int wake_fd_ = -1;  ///< eventfd: outbox posts and stop() wake the loop
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+
+  // Accept backoff state (loop thread only).
+  bool accept_paused_ = false;
+  std::chrono::steady_clock::time_point accept_resume_at_{};
+  int accept_backoff_ms_ = 0;  ///< doubles per consecutive exhaustion
 
   // Ids below 16 are reserved for the listen socket and wake eventfd tags
   // in epoll_event.data.u64.
@@ -152,6 +189,9 @@ class Server {
     std::atomic<std::int64_t> sessions_closed{0};
     std::atomic<std::int64_t> sessions_evicted{0};
     std::atomic<std::int64_t> sessions_rejected{0};
+    std::atomic<std::int64_t> sessions_idle_closed{0};
+    std::atomic<std::int64_t> accept_backoffs{0};
+    std::atomic<std::int64_t> peer_frames{0};
     std::atomic<std::int64_t> requests{0};
     std::atomic<std::int64_t> bad_requests{0};
     std::atomic<std::int64_t> frames_sent{0};

@@ -20,6 +20,7 @@
 // ownership, not of policy.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -78,6 +79,12 @@ class Session {
   // one connection never interleave across its requests.
   std::shared_ptr<JobTicket> active_job;
   std::deque<JobSpec> pending_jobs;
+
+  /// Last moment this connection did anything that proves a live client:
+  /// inbound bytes, a request, or a job finishing. Server-managed; the
+  /// idle reaper (ServerOptions::idle_timeout_seconds) closes connections
+  /// that sit hello-complete and jobless past the deadline.
+  std::chrono::steady_clock::time_point last_activity{};
 
   /// Current epoll interest mask (server bookkeeping, avoids redundant
   /// EPOLL_CTL_MOD syscalls).

@@ -115,6 +115,7 @@ JobSpec job_spec_from_json(const obs::Json& doc) {
     spec.chunk = take_int(doc, "chunk", spec.chunk, 0, 1'000'000);
     spec.threads = static_cast<int>(take_int(doc, "threads", spec.threads,
                                              1, 16));
+    spec.fleet = take_bool(doc, "fleet", spec.fleet);
     return spec;
   }
 
@@ -163,6 +164,7 @@ obs::Json job_spec_to_json(const JobSpec& spec) {
     j["check_every"] = obs::Json(spec.check_every);
     j["chunk"] = obs::Json(spec.chunk);
     j["threads"] = obs::Json(spec.threads);
+    if (spec.fleet) j["fleet"] = obs::Json(true);
   } else if (spec.kind == "hunt") {
     j["search"] = obs::Json(spec.search);
     if (!spec.ablation.empty()) j["ablation"] = obs::Json(spec.ablation);

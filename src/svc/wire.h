@@ -59,6 +59,7 @@ struct JobSpec {
   std::int64_t check_every = 1;
   std::int64_t chunk = 0;  ///< progress granularity; 0 = server default
   int threads = 1;         ///< BatchRunner threads per chunk
+  bool fleet = false;      ///< fan this sweep across the daemon's fleet
 
   // kind=hunt
   std::string search = "evo";  ///< "uniform" | "anneal" | "evo"

@@ -22,6 +22,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -334,6 +335,76 @@ TEST(Supervisor, SigkilledSweepResumesToTheUninterruptedSummary) {
   const BatchSummary uninterrupted = run_range(config.range);
   EXPECT_TRUE(fabric::deterministic_fields_equal(resumed, uninterrupted));
   EXPECT_EQ(resumed.steps.samples(), uninterrupted.steps.samples());
+}
+
+TEST(Supervisor, ConcurrentSupervisorsOnOneCheckpointDoNotDoubleCommit) {
+  // Two whole supervisors race over the SAME checkpoint directory — the
+  // operator ran the resume command twice. The two-phase protocol must
+  // make that harmless: shard writes are atomic and deterministic
+  // (identical bytes either way), manifest commits are idempotent, and
+  // the union is exactly one commit per shard with the bit-identical
+  // merged summary.
+  const std::string dir = temp_dir("sup_concurrent");
+  const SweepConfig config = test_config(32, 4);  // 8 shards
+
+  const auto spawn_supervisor = [&]() -> pid_t {
+    const pid_t child = fork();
+    if (child != 0) return child;
+    CheckpointStore store(dir);
+    (void)store.open(config);
+    SupervisorOptions options = fast_options();
+    options.workers = 2;
+    const ShardWorker worker = [&](const ShardTask& task, int) {
+      // A little jitter so the two fleets interleave rather than racing
+      // through in lockstep.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(5 + (task.index * 7) % 20));
+      return compute_and_write(store, task);
+    };
+    const SweepOutcome outcome =
+        fabric::run_supervised(all_tasks(store), options, store, worker);
+    _exit(outcome.complete() ? 0 : 3);
+  };
+
+  const pid_t a = spawn_supervisor();
+  ASSERT_GE(a, 0);
+  const pid_t b = spawn_supervisor();
+  ASSERT_GE(b, 0);
+  for (const pid_t child : {a, b}) {
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // The manifest must list every shard exactly once — a duplicate index
+  // means a double commit slipped through the idempotence guard.
+  std::string manifest_text;
+  {
+    std::FILE* f = std::fopen((dir + "/manifest.json").c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+      manifest_text.append(buf, n);
+    std::fclose(f);
+  }
+  const obs::Json manifest = obs::Json::parse(manifest_text);
+  const obs::Json& committed = manifest.at("completed");
+  ASSERT_TRUE(committed.is_array());
+  std::vector<int> indexes;
+  for (std::size_t i = 0; i < committed.size(); ++i)
+    indexes.push_back(static_cast<int>(committed.at(i).as_number()));
+  std::vector<int> unique = indexes;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(indexes.size(), unique.size()) << "manifest has duplicate commits";
+  EXPECT_EQ(unique.size(), 8u);
+
+  CheckpointStore store(dir);
+  EXPECT_EQ(store.open(config).size(), 8u);
+  EXPECT_TRUE(fabric::deterministic_fields_equal(
+      store.merged().to_batch_summary(), run_range(config.range)));
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -422,6 +423,89 @@ TEST(SvcTest, ManyConcurrentSessions) {
   const ServerStats st = server.stats();
   EXPECT_EQ(st.jobs_completed, kSessions);
   EXPECT_EQ(st.sessions_evicted, 0);
+}
+
+TEST(SvcTest, IdleTimeoutReapsJoblessSessions) {
+  ServerOptions options;
+  options.idle_timeout_seconds = 0.3;
+  TestServer server(options);
+
+  // An idle session: hello, then silence. The reaper must close it with a
+  // courtesy error frame.
+  Client idle(server.port());
+  idle.expect_hello();
+  const Json err = idle.read_frame();  // blocks until the reaper fires
+  ASSERT_TRUE(err.is_object());
+  EXPECT_EQ(err.at("event").as_string(), "error");
+  EXPECT_NE(err.at("what").as_string().find("idle"), std::string::npos);
+  EXPECT_TRUE(idle.read_line().empty());  // then EOF
+
+  EXPECT_TRUE(wait_until(
+      [&] { return server.stats().sessions_idle_closed >= 1; }, 5000));
+
+  // A session with a job in flight is never reaped, no matter how long the
+  // job runs past the idle deadline; the done frame restarts its clock.
+  Client busy(server.port());
+  busy.expect_hello();
+  busy.send_line(sweep_request("long", 1, 100'000, 2000, 0));
+  const Json done = busy.read_until("done");
+  EXPECT_EQ(done.at("id").as_string(), "long");
+  // After the job, the connection is jobless again and gets reaped in turn.
+  const Json err2 = busy.read_frame();
+  ASSERT_TRUE(err2.is_object());
+  EXPECT_EQ(err2.at("event").as_string(), "error");
+  EXPECT_TRUE(wait_until(
+      [&] { return server.stats().sessions_idle_closed >= 2; }, 5000));
+  EXPECT_EQ(server.stats().sessions_evicted, 0);
+}
+
+TEST(SvcTest, AcceptBackoffSurvivesFdExhaustion) {
+  TestServer server;
+  // A healthy session proves the server works before the squeeze.
+  Client before(server.port());
+  before.expect_hello();
+
+  // Clamp the process fd limit to just past the next free descriptor: the
+  // client's socket() gets the last fd, so the server's accept() fails with
+  // EMFILE and must back off instead of spinning on the ready listener.
+  rlimit old_lim{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_lim), 0);
+  const int probe = ::dup(0);
+  ASSERT_GE(probe, 0);
+  ASSERT_EQ(::close(probe), 0);
+  rlimit squeezed = old_lim;
+  squeezed.rlim_cur = static_cast<rlim_t>(probe + 1);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &squeezed), 0);
+
+  Client starved(server.port());  // connect lands in the backlog
+  EXPECT_TRUE(wait_until(
+      [&] { return server.stats().accept_backoffs >= 1; }, 10000));
+
+  // Lift the limit: the paused listener re-arms after its backoff and the
+  // queued connection finally gets its session and hello frame.
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_lim), 0);
+  starved.expect_hello();
+  const ServerStats st = server.stats();
+  EXPECT_GE(st.accept_backoffs, 1);
+  EXPECT_GE(st.sessions_accepted, 2);
+
+  // And the server is still fully functional.
+  starved.send_line(R"({"job":"cilcoord.job.v1","kind":"ping","id":"p"})");
+  EXPECT_EQ(starved.read_until("pong").at("id").as_string(), "p");
+}
+
+TEST(SvcTest, PeerFrameWithoutHandlerGetsErrorNotEviction) {
+  TestServer server;
+  Client c(server.port());
+  c.expect_hello();
+  c.send_line(R"({"peer":"cilcoord.peer.v1","type":"status_req","from":-1})");
+  const Json err = c.read_frame();
+  ASSERT_TRUE(err.is_object());
+  EXPECT_EQ(err.at("event").as_string(), "error");
+  // The connection survives: a peer frame at a non-fleet daemon is a bad
+  // request, not a protocol break.
+  c.send_line(R"({"job":"cilcoord.job.v1","kind":"ping","id":"p"})");
+  EXPECT_EQ(c.read_until("pong").at("id").as_string(), "p");
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -38,10 +39,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include "bench/bench_util.h"
+#include "fleet/client.h"
+#include "fleet/wire.h"
+#include "obs/export.h"
 #include "obs/json.h"
 #include "tools/cli_util.h"
 #include "util/net.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 using namespace cil;
@@ -55,7 +62,11 @@ int usage() {
       "usage: loadgen --port=P [--addr=127.0.0.1] [--sessions=N] [--jobs=K]\n"
       "               [--seeds=S] [--steps=T] [--chunk=C] [--protocol=NAME]\n"
       "               [--adversary=NAME] [--churn=K] [--capture=FILE]\n"
-      "               [--connect-burst=N] [--timeout-sec=S] [--quiet]\n");
+      "               [--connect-burst=N] [--timeout-sec=S] [--quiet]\n"
+      "  fleet soak:  --fleet=HOST:PORT,HOST:PORT,... [--jobs=K] [--seeds=S]\n"
+      "               [--first-seed=N] [--fleet-frontend=K]\n"
+      "               [--result-out=FILE] [--kill-pids=F1,F2,...]\n"
+      "               [--kill-prob=P] [--max-kills=N] [--kill-seed=N]\n");
   return 2;
 }
 
@@ -74,6 +85,18 @@ struct Config {
   std::int64_t connect_burst = 256;
   std::int64_t timeout_sec = 180;
   bool quiet = false;
+
+  // Fleet soak mode (--fleet): drive "fleet":true sweeps at a fleet of
+  // coordd daemons instead of fanning sessions at one. The roster order
+  // must match the daemons' --peers order (ids index it).
+  std::string fleet_csv;
+  std::uint64_t first_seed = 1;
+  std::int64_t fleet_frontend = -1;  ///< fixed submit target; -1 = leader
+  std::string result_out;            ///< last result's summary artifact
+  std::string kill_pids_csv;         ///< pid files of kill-eligible daemons
+  double kill_prob = 0.0;            ///< per (job, pidfile) SIGKILL chance
+  std::int64_t max_kills = 1 << 30;
+  std::uint64_t kill_seed = 1;
 };
 
 struct Conn {
@@ -479,6 +502,237 @@ int Fleet::run() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet soak mode: submit "fleet":true sweeps at the elected merge leader,
+// optionally SIGKILLing peer daemons between jobs (the CI chaos soak). The
+// client is deliberately synchronous — one sweep at a time, resubmitted from
+// scratch whenever the serving daemon dies — because the property under test
+// is the fleet's, not the client's: every job must eventually complete with
+// the bit-identical merged summary no matter which daemons it outlives.
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < csv.size()) out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// One status_req round-robin over the roster: the first daemon that
+/// answers reports the fleet's current leader (-1 while an election runs).
+int discover_leader(const std::vector<std::string>& roster, int timeout_ms) {
+  for (const std::string& addr : roster) {
+    std::string host;
+    int port = 0;
+    if (!fleet::split_host_port(addr, host, port)) continue;
+    fleet::LineClient link;
+    if (!link.connect(host, port, timeout_ms)) continue;
+    fleet::PeerMsg req;
+    req.type = "status_req";
+    if (!link.send_line(fleet::peer_frame(req), timeout_ms)) continue;
+    std::string line;
+    for (int skip = 0; skip < 8; ++skip) {  // the hello frame precedes
+      if (!link.read_line(line, timeout_ms)) break;
+      try {
+        const obs::Json doc =
+            obs::Json::parse(line, obs::ParseLimits::untrusted());
+        if (!fleet::is_peer_frame(doc)) continue;
+        const fleet::PeerMsg resp = fleet::peer_msg_from_json(doc);
+        if (resp.type == "status") return resp.leader;
+      } catch (const std::exception&) {
+        break;
+      }
+    }
+  }
+  return fleet::kNoLeader;
+}
+
+struct FleetJobResult {
+  bool ok = false;
+  std::string summary_json;  ///< the result frame's summary payload
+  std::int64_t attempts = 0;
+  long long latency_us = 0;  ///< first successful submit -> done
+};
+
+FleetJobResult run_fleet_job(const Config& cfg,
+                             const std::vector<std::string>& roster,
+                             std::int64_t job_idx) {
+  FleetJobResult out;
+  const auto deadline = Clock::now() + std::chrono::seconds(cfg.timeout_sec);
+  const int io_ms = 2'000;
+  while (Clock::now() < deadline) {
+    ++out.attempts;
+    int target = static_cast<int>(cfg.fleet_frontend);
+    if (target < 0) target = discover_leader(roster, io_ms);
+    if (target < 0 || target >= static_cast<int>(roster.size())) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      continue;
+    }
+    std::string host;
+    int port = 0;
+    if (!fleet::split_host_port(roster[static_cast<std::size_t>(target)],
+                                host, port))
+      return out;  // roster is malformed; retrying cannot help
+    fleet::LineClient link;
+    if (!link.connect(host, port, io_ms)) continue;
+
+    obs::Json j = obs::Json::object();
+    j["job"] = obs::Json("cilcoord.job.v1");
+    j["kind"] = obs::Json("sweep");
+    const std::string id = "fleet-j" + std::to_string(job_idx) + "-a" +
+                           std::to_string(out.attempts);
+    j["id"] = obs::Json(id);
+    j["protocol"] = obs::Json(cfg.protocol);
+    j["adversary"] = obs::Json(cfg.adversary);
+    j["first_seed"] = obs::Json(std::to_string(cfg.first_seed));
+    j["seeds"] = obs::Json(static_cast<double>(cfg.seeds));
+    j["steps"] = obs::Json(static_cast<double>(cfg.steps));
+    if (cfg.chunk > 0)
+      j["chunk"] = obs::Json(static_cast<double>(cfg.chunk));
+    j["fleet"] = obs::Json(true);
+
+    const auto t0 = Clock::now();
+    if (!link.send_line(j.dump() + "\n", io_ms)) continue;
+
+    std::string summary;
+    bool done = false, failed = false;
+    std::string line;
+    while (!done && !failed && Clock::now() < deadline) {
+      if (!link.read_line(line, 1'000)) {
+        if (link.connected()) continue;  // pure timeout; keep waiting
+        failed = true;                   // serving daemon died mid-sweep
+        break;
+      }
+      try {
+        const obs::Json doc =
+            obs::Json::parse(line, obs::ParseLimits::untrusted());
+        const obs::Json* ev = doc.find("event");
+        if (ev == nullptr || !ev->is_string()) continue;
+        const std::string& event = ev->as_string();
+        if (event == "error") {
+          failed = true;
+        } else if (event == "result") {
+          if (const obs::Json* s = doc.find("summary"); s != nullptr)
+            summary = s->dump();
+        } else if (event == "done") {
+          const obs::Json* idv = doc.find("id");
+          if (idv != nullptr && idv->is_string() && idv->as_string() == id)
+            done = true;
+        }
+      } catch (const std::exception&) {
+        failed = true;
+      }
+    }
+    if (done && !summary.empty()) {
+      out.ok = true;
+      out.summary_json = std::move(summary);
+      out.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - t0)
+                           .count();
+      return out;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  return out;
+}
+
+/// Between jobs: SIGKILL each kill-eligible daemon with probability
+/// kill_prob (deterministic in kill_seed). Pid files are re-read every
+/// time — a supervisor restart loop rewrites them with the fresh pid.
+std::int64_t maybe_kill_peers(const Config& cfg,
+                              const std::vector<std::string>& pid_files,
+                              Xoshiro256& rng, std::int64_t kills_so_far) {
+  std::int64_t kills = 0;
+  for (const std::string& pf : pid_files) {
+    const double u =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+    if (u >= cfg.kill_prob) continue;
+    if (kills_so_far + kills >= cfg.max_kills) break;
+    std::FILE* f = std::fopen(pf.c_str(), "rb");
+    if (f == nullptr) continue;
+    long long pid = 0;
+    const bool got = std::fscanf(f, "%lld", &pid) == 1;
+    std::fclose(f);
+    if (!got || pid <= 1) continue;
+    if (::kill(static_cast<pid_t>(pid), SIGKILL) == 0) {
+      ++kills;
+      if (!cfg.quiet)
+        std::fprintf(stderr, "loadgen: chaos-killed daemon pid %lld (%s)\n",
+                     pid, pf.c_str());
+    }
+  }
+  return kills;
+}
+
+int run_fleet_mode(const Config& cfg) {
+  const std::vector<std::string> roster = split_csv(cfg.fleet_csv);
+  if (roster.empty()) return usage();
+  const std::vector<std::string> pid_files = split_csv(cfg.kill_pids_csv);
+  Xoshiro256 kill_rng(SplitMix64(cfg.kill_seed).next());
+
+  SampleSet latency_us;
+  std::int64_t kills = 0, attempts = 0, completed = 0;
+  std::string last_summary;
+  const auto t0 = Clock::now();
+  for (std::int64_t job = 0; job < cfg.jobs; ++job) {
+    if (job > 0) kills += maybe_kill_peers(cfg, pid_files, kill_rng, kills);
+    const FleetJobResult r = run_fleet_job(cfg, roster, job);
+    attempts += r.attempts;
+    if (!r.ok) {
+      std::fprintf(stderr,
+                   "loadgen: FAILED fleet job %lld after %lld attempts\n",
+                   static_cast<long long>(job),
+                   static_cast<long long>(r.attempts));
+      return 1;
+    }
+    latency_us.add(r.latency_us);
+    last_summary = r.summary_json;
+    ++completed;
+  }
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  if (!cfg.result_out.empty() &&
+      !obs::write_text_file_atomic(cfg.result_out, last_summary + "\n")) {
+    std::fprintf(stderr, "loadgen: cannot write %s\n",
+                 cfg.result_out.c_str());
+    return 1;
+  }
+
+  std::printf(
+      "loadgen: fleet soak %lld/%lld jobs (%lld submit attempts, "
+      "%lld chaos kills), %.2fs\n",
+      static_cast<long long>(completed), static_cast<long long>(cfg.jobs),
+      static_cast<long long>(attempts), static_cast<long long>(kills), secs);
+  if (latency_us.count() > 0)
+    std::printf("loadgen: fleet latency p50=%lldus p99=%lldus max=%lldus\n",
+                static_cast<long long>(latency_us.percentile(0.50)),
+                static_cast<long long>(latency_us.percentile(0.99)),
+                static_cast<long long>(latency_us.max()));
+
+  {
+    bench::BenchReport report("loadgen-fleet");
+    report.set_meta("protocol", cfg.protocol);
+    report.set_meta("adversary", cfg.adversary);
+    report.set_value("fleet_size", static_cast<double>(roster.size()));
+    report.set_value("jobs", static_cast<double>(completed));
+    report.set_value("attempts", static_cast<double>(attempts));
+    report.set_value("chaos_kills", static_cast<double>(kills));
+    report.set_value("seeds", static_cast<double>(cfg.seeds));
+    report.set_value("wall.seconds", secs);
+    if (latency_us.count() > 0)
+      report.add_samples("latency_us", latency_us);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -497,8 +751,22 @@ int main(int argc, char** argv) {
   flags.take_string("capture", cfg.capture);
   flags.take_int("connect-burst", cfg.connect_burst);
   flags.take_int("timeout-sec", cfg.timeout_sec);
+  flags.take_string("fleet", cfg.fleet_csv);
+  flags.take_uint64("first-seed", cfg.first_seed);
+  flags.take_int("fleet-frontend", cfg.fleet_frontend);
+  flags.take_string("result-out", cfg.result_out);
+  flags.take_string("kill-pids", cfg.kill_pids_csv);
+  flags.take_double("kill-prob", cfg.kill_prob);
+  flags.take_int("max-kills", cfg.max_kills);
+  flags.take_uint64("kill-seed", cfg.kill_seed);
   cfg.quiet = flags.take_switch("quiet");
   if (!flags.finish() || !flags.positionals().empty()) return usage();
+  if (!cfg.fleet_csv.empty()) {
+    if (cfg.jobs < 1 || cfg.kill_prob < 0.0 || cfg.kill_prob > 1.0)
+      return usage();
+    net::ignore_sigpipe();
+    return run_fleet_mode(cfg);
+  }
   if (cfg.port <= 0 || cfg.port > 65535 || cfg.sessions < 1 ||
       cfg.jobs < 1 || cfg.churn > cfg.sessions)
     return usage();
