@@ -92,6 +92,34 @@ SampleSet measure(const TwoProcessProtocol& protocol,
   return steps;
 }
 
+// The same sweeps through BatchEngine::kLane: W seeds in lockstep per
+// worker. The BatchSummary is bit-identical to measure()'s (pinned by
+// batch_test's BatchLane suite), so only the rate changes — the random
+// sweep takes the SoA kernel, the adversary sweep the scalar fallback
+// (its rate shows the knob costs nothing when the kernel can't engage).
+void measure_lane(const TwoProcessProtocol& protocol,
+                  const char* scheduler_name, BenchReport& report) {
+  const std::string name = scheduler_name;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = kRuns;
+  opts.threads = bench_threads();
+  opts.engine = BatchEngine::kLane;
+  opts.lanes = bench_lanes();
+  opts.lane_sched = name == "random"
+                        ? LaneSchedSpec{LaneSchedSpec::Kind::kRandom, 0x1234, 0}
+                        : LaneSchedSpec{LaneSchedSpec::Kind::kAvoid, 0, 17};
+  const BatchSummary b = batch.run(opts, nullptr);
+  add_lane_batch_report(report, scheduler_name, b);
+  std::printf(
+      "  [%s engine=lane: %.0f runs/s on %d threads x %d lanes,"
+      " %.2f us/run]\n",
+      scheduler_name, static_cast<double>(b.num_runs) / b.wall_seconds,
+      opts.threads, opts.lanes,
+      1e6 * b.wall_seconds / static_cast<double>(b.num_runs));
+}
+
 }  // namespace
 
 int main() {
@@ -116,6 +144,8 @@ int main() {
     summary_row(s, steps);
     report.add_samples(std::string("steps.") + s, steps);
   }
+  for (const char* s : {"random", "adaptive-adversary"})
+    measure_lane(protocol, s, report);
   {
     // THE worst case: the argmax policy extracted from the MDP, run live.
     // Its sample mean converges to the exact supremum of 10 — the paper's

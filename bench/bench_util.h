@@ -91,6 +91,17 @@ inline int bench_threads() {
   return static_cast<int>(std::min<unsigned>(8, hw == 0 ? 1 : hw));
 }
 
+/// Lane width W for engine=lane sweeps: default 8 (the committed-baseline
+/// width), overridable via CIL_BENCH_LANES for lane-width scaling runs
+/// (EXPERIMENTS.md X13 sweeps W in {1,2,4,8,16}).
+inline int bench_lanes() {
+  if (const char* env = std::getenv("CIL_BENCH_LANES")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 8;
+}
+
 /// Wall-clock throughput meter for a measurement loop. Start it, add the
 /// step count of every run measured, and it yields steps/sec (for humans)
 /// and ns/step (lower-is-better, the form the perf gate consumes).
@@ -220,6 +231,29 @@ inline void add_batch_report(BenchReport& report, const std::string& key,
       b.num_runs > 0 ? 1e6 * wall / static_cast<double>(b.num_runs) : 0.0);
   report.set_value("wall." + key + ".construct_s", b.construct_seconds);
   report.set_value("wall." + key + ".run_s", b.run_seconds);
+}
+
+/// The engine=lane twin of add_batch_report, for a sweep of the SAME
+/// workload rerun through BatchEngine::kLane: the summary is bit-identical
+/// by contract (pinned by batch_test), so only rate metrics are emitted —
+///   batch.<key>.lane_runs_per_sec            — the human headline rate;
+///   batch.<key>.lane_us_per_run              — its lower-is-better form,
+///       the one the strict release-perf gate watches;
+///   wall.<key>.lane_steps_per_sec / .lane_ns_per_step — per-step framing.
+inline void add_lane_batch_report(BenchReport& report, const std::string& key,
+                                  const BatchSummary& b) {
+  const double wall = b.wall_seconds > 0 ? b.wall_seconds : 1e-12;
+  report.set_value("batch." + key + ".lane_runs_per_sec",
+                   static_cast<double>(b.num_runs) / wall);
+  report.set_value(
+      "batch." + key + ".lane_us_per_run",
+      b.num_runs > 0 ? 1e6 * wall / static_cast<double>(b.num_runs) : 0.0);
+  report.set_value("wall." + key + ".lane_steps_per_sec",
+                   static_cast<double>(b.total_steps) / wall);
+  report.set_value(
+      "wall." + key + ".lane_ns_per_step",
+      b.total_steps > 0 ? 1e9 * wall / static_cast<double>(b.total_steps)
+                        : 0.0);
 }
 
 }  // namespace cil::bench

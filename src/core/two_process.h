@@ -84,6 +84,14 @@ class TwoProcessProtocol final : public Protocol {
     return w == 0 ? kNoValue : static_cast<Value>(w - 1);
   }
 
+  /// Default mode is exactly the automaton the lane engine's SoA kernel
+  /// implements; preinitialized mode changes the codec and the initial pc,
+  /// so it diverges to the scalar path. (buggy_warm_recovery only alters
+  /// recovery, which the SoA-eligible schedulers never trigger.)
+  bool lane_soa_two_process() const override {
+    return !options_.preinitialized_registers;
+  }
+
   Value max_value() const { return max_value_; }
   const Options& options() const { return options_; }
 

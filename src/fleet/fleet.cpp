@@ -745,7 +745,7 @@ void FleetService::run_fleet_sweep(const svc::JobSpec& spec,
       }
       note("shard " + std::to_string(local_idx) + " running locally");
       const fabric::ShardSummary out = svc::run_sweep_shard(spec, range,
-                                                            cancel);
+                                                            cancel, limits_);
       {
         std::lock_guard<std::mutex> lock(shard_mu_);
         commit_shard_result(local_idx, out, spec);

@@ -8,8 +8,8 @@ namespace cil::obs {
 
 namespace {
 constexpr std::array<std::string_view, kNumEventKinds> kKindNames = {
-    "step",  "read",  "write", "coin",     "decision",
-    "crash", "stall", "fault", "watchdog", "phase",    "recover",
+    "step",  "read",  "write", "coin",     "decision", "crash",
+    "stall", "fault", "watchdog", "phase", "recover",  "active_set",
 };
 }  // namespace
 

@@ -35,8 +35,11 @@ enum class EventKind : std::uint8_t {
   kPhaseChange,      ///< the automaton's leading state component changed
   kRecover,          ///< a crashed processor restarted from persistent state
                      ///< (arg = global steps it spent down)
+  kActiveSet,        ///< scheduler-side active-set size changed (arg = new
+                     ///< |active|; pid = the transitioning processor, -1
+                     ///< for the baseline sample at run start)
 };
-inline constexpr int kNumEventKinds = 11;
+inline constexpr int kNumEventKinds = 12;
 
 /// Stable wire name ("step", "read", "write", ...). Used by the JSONL
 /// exporter and parsed back by tools/traceview.
@@ -102,6 +105,13 @@ struct ObsOptions {
   bool coin_flips = true;     ///< emit kCoinFlip
   bool phase_changes = true;  ///< emit kPhaseChange (costs one
                               ///< encode_state() per observed step)
+  /// Emit kActiveSet: a baseline sample when the run starts plus one sample
+  /// per active-set transition (decision/crash/recover), carrying the new
+  /// |active| in arg — the engine's ground truth for the Perfetto
+  /// "active_processes" counter track, preferred by the exporter over its
+  /// event-derived reconstruction. Off by default: the stream stays
+  /// schema-identical to the historical one unless asked for.
+  bool active_set = false;
 
   bool enabled() const { return sink != nullptr; }
 };

@@ -203,7 +203,17 @@ std::string perfetto_trace_json(const std::vector<Event>& events,
   // Scheduler-side counters: the active set (live AND undecided processors
   // — the set the schedulers actually pick from) sampled at every
   // transition, and crash/recovery churn bucketed per 1k timebase units.
+  // When the engine narrated its own active-set transitions (kActiveSet,
+  // ObsOptions::active_set), those ground-truth samples ARE the track;
+  // otherwise it is reconstructed from crash/recover/decision events.
   {
+    bool engine_samples = false;
+    for (const Event& e : events) {
+      if (e.kind == EventKind::kActiveSet) {
+        counter_event("active_processes", event_ts(e), "active", e.arg);
+        engine_samples = true;
+      }
+    }
     std::map<int, bool> alive, decided;
     for (const Event& e : events)
       if (e.pid >= 0 && !alive.count(e.pid)) {
@@ -213,8 +223,9 @@ std::string perfetto_trace_json(const std::vector<Event>& events,
     std::int64_t active = static_cast<std::int64_t>(alive.size());
     std::map<std::int64_t, std::int64_t> churn_per_bucket;
     if (!alive.empty()) {
-      counter_event("active_processes", event_ts(events.front()), "active",
-                    active);
+      if (!engine_samples)
+        counter_event("active_processes", event_ts(events.front()), "active",
+                      active);
       for (const Event& e : events) {
         if (e.pid < 0) continue;
         const bool was_active = alive[e.pid] && !decided[e.pid];
@@ -236,7 +247,8 @@ std::string perfetto_trace_json(const std::vector<Event>& events,
         const bool is_active = alive[e.pid] && !decided[e.pid];
         if (is_active != was_active) {
           active += is_active ? 1 : -1;
-          counter_event("active_processes", event_ts(e), "active", active);
+          if (!engine_samples)
+            counter_event("active_processes", event_ts(e), "active", active);
         }
       }
     }

@@ -1,0 +1,29 @@
+#include "registers/lane_register_file.h"
+
+namespace cil {
+
+LaneRegisterFile::LaneRegisterFile(
+    std::shared_ptr<const RegisterSpecTable> table, int lanes)
+    : table_(std::move(table)), lanes_(lanes) {
+  CIL_EXPECTS(table_ != nullptr);
+  CIL_EXPECTS(lanes_ >= 1);
+  values_.assign(static_cast<std::size_t>(size()) *
+                     static_cast<std::size_t>(lanes_),
+                 0);
+  max_word_.assign(static_cast<std::size_t>(lanes_), 0);
+  reset();
+}
+
+void LaneRegisterFile::reset_lane(int lane) {
+  CIL_EXPECTS(lane >= 0 && lane < lanes_);
+  for (RegisterId r = 0; r < size(); ++r)
+    values_[static_cast<std::size_t>(r) * static_cast<std::size_t>(lanes_) +
+            static_cast<std::size_t>(lane)] = table_->spec(r).initial;
+  max_word_[static_cast<std::size_t>(lane)] = 0;
+}
+
+void LaneRegisterFile::reset() {
+  for (int lane = 0; lane < lanes_; ++lane) reset_lane(lane);
+}
+
+}  // namespace cil

@@ -1,0 +1,90 @@
+// Structure-of-arrays register storage for the lane-parallel engine.
+//
+// A LaneRegisterFile holds the shared registers of W independent simulated
+// systems ("lanes") advancing in lockstep: value[reg][lane] words laid out
+// so one register's lanes are contiguous — the layout mgsim uses for its
+// ported/arbitrated register files, minus the ports (our whole execution is
+// serialized per lane, so atomicity is by construction, exactly as in
+// RegisterFile). What RegisterFile enforces per access, this file front-loads
+// to setup time: the lane engine validates every write/read *site* against
+// the shared RegisterSpecTable once (a bit test per site, word-wide across
+// all lanes at once), so the per-step path does no permission or width
+// checking at all — see LaneEngine::soa_supported.
+//
+// Instrumentation is reduced to the one counter the sweeps actually consume:
+// the per-lane high-water mark of written words, from which max_bits_written
+// (the Theorem 9 probe) falls out at harvest time because bit_width is
+// monotone. Everything else (per-register op counts, fault hooks, snapshot)
+// stays a scalar-engine concern; lanes that need those fall back to the
+// scalar path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "registers/register_file.h"
+#include "util/bitfield.h"
+
+namespace cil {
+
+class LaneRegisterFile {
+ public:
+  /// Share a protocol's already-built spec table (the same object
+  /// Protocol::make_registers hands every scalar RegisterFile), replicated
+  /// across `lanes` independent columns, each starting at the declared
+  /// initial values.
+  LaneRegisterFile(std::shared_ptr<const RegisterSpecTable> table, int lanes);
+
+  int size() const { return table_->size(); }
+  int lanes() const { return lanes_; }
+  const RegisterSpecTable& table() const { return *table_; }
+
+  /// Unchecked SoA accessors — permission/width are setup-time validated by
+  /// the caller (LaneEngine), not re-checked per step.
+  Word load(RegisterId r, int lane) const {
+    return values_[static_cast<std::size_t>(r) *
+                       static_cast<std::size_t>(lanes_) +
+                   static_cast<std::size_t>(lane)];
+  }
+  void store(RegisterId r, int lane, Word value) {
+    values_[static_cast<std::size_t>(r) * static_cast<std::size_t>(lanes_) +
+            static_cast<std::size_t>(lane)] = value;
+    if (value > max_word_[static_cast<std::size_t>(lane)])
+      max_word_[static_cast<std::size_t>(lane)] = value;
+  }
+  /// One register's lane row (contiguous `lanes()` words).
+  const Word* lane_row(RegisterId r) const {
+    return values_.data() +
+           static_cast<std::size_t>(r) * static_cast<std::size_t>(lanes_);
+  }
+
+  /// Raw views for the lane engine's round loop: the full register-major
+  /// value plane (size() x lanes() words) and the per-lane high-water
+  /// words. Callers uphold the same setup-time-validated contract as
+  /// load()/store() — a store at index r*lanes()+lane must also fold the
+  /// word into max_word_data()[lane].
+  Word* values_data() { return values_.data(); }
+  Word* max_word_data() { return max_word_.data(); }
+
+  /// Largest bit width written in `lane` since its last reset — identical
+  /// to RegisterFile::max_bits_written for the same write sequence, because
+  /// max over writes of bit_width(w) == bit_width(max over writes of w).
+  int max_bits_written(int lane) const {
+    return bit_width_u64(max_word_[static_cast<std::size_t>(lane)]);
+  }
+
+  /// Re-arm one lane for a fresh run: initial values, zeroed high-water.
+  /// The lane engine refills finished lanes with the next seed while the
+  /// others keep stepping, so per-lane reset is the hot variant.
+  void reset_lane(int lane);
+  /// All lanes at once (engine construction / full restart).
+  void reset();
+
+ private:
+  std::shared_ptr<const RegisterSpecTable> table_;
+  int lanes_;
+  std::vector<Word> values_;     ///< size() x lanes(), register-major
+  std::vector<Word> max_word_;   ///< per lane: largest word ever stored
+};
+
+}  // namespace cil

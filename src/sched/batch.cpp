@@ -81,7 +81,12 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
                               const SchedulerFactory& make_scheduler,
                               const RunProbe& probe, const RunHook& after_run) {
   CIL_EXPECTS(options.num_runs >= 0);
-  CIL_EXPECTS(make_scheduler != nullptr);
+  const bool lane = options.engine == BatchEngine::kLane;
+  CIL_EXPECTS(lane || make_scheduler != nullptr);
+  // The lane engine has no per-run Simulation to hand a probe (SoA lanes
+  // share one state block); probed sweeps stay on the scalar engine.
+  CIL_CHECK_MSG(!lane || probe == nullptr,
+                "BatchRunner: engine=lane cannot serve a RunProbe");
   BatchSummary out;
   if (options.num_runs == 0) return out;
 
@@ -105,7 +110,58 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
       static_cast<std::size_t>(threads),
       std::numeric_limits<std::int64_t>::max());
 
-  const auto worker = [&](int w, std::int64_t begin, std::int64_t end) {
+  // engine=kLane shard execution: same shard boundaries, same seed-indexed
+  // record slots, same earliest-seed error attribution — only the inner
+  // loop changes, from one pooled Simulation to W lockstep lanes. The
+  // reduction below cannot tell the workers apart, which is exactly the
+  // thread-count/engine-invariance contract.
+  const auto lane_worker = [&](int w, std::int64_t begin, std::int64_t end) {
+    WorkerTiming& wt = timing[static_cast<std::size_t>(w)];
+    try {
+      const auto c0 = Clock::now();
+      LaneEngine engine(protocol_, inputs_);
+      LaneRunOptions lo;
+      lo.lanes = options.lanes;
+      lo.max_total_steps = options.max_total_steps;
+      lo.check_every = options.check_every;
+      lo.check_consistency = options.check_consistency;
+      lo.check_nontriviality = options.check_nontriviality;
+      lo.sched = options.lane_sched;
+      lo.cancel = options.cancel;
+      const auto c1 = Clock::now();
+      wt.construct += seconds_between(c0, c1);
+      bool complete = false;
+      try {
+        complete = engine.run(
+            options.first_seed + static_cast<std::uint64_t>(begin),
+            end - begin, lo, [&](const LaneRunView& v) {
+              RunRecord& rec = records[static_cast<std::size_t>(
+                  v.seed - options.first_seed)];
+              rec.total_steps = v.total_steps;
+              rec.steps_p0 = v.steps_p0;
+              rec.steps_p1 = v.steps_p1;
+              rec.recoveries = v.recoveries;
+              rec.max_register_bits = v.max_register_bits;
+              rec.decision = v.decision;
+              rec.all_decided = v.all_decided;
+              if (after_run != nullptr) after_run(v.seed);
+            });
+      } catch (...) {
+        error_run[static_cast<std::size_t>(w)] =
+            begin + std::max<std::int64_t>(0, engine.failed_run_index());
+        throw;
+      }
+      wt.run += seconds_between(c1, Clock::now());
+      if (!complete) cancelled.store(true, std::memory_order_relaxed);
+    } catch (...) {
+      errors[static_cast<std::size_t>(w)] = std::current_exception();
+      if (error_run[static_cast<std::size_t>(w)] ==
+          std::numeric_limits<std::int64_t>::max())
+        error_run[static_cast<std::size_t>(w)] = begin;
+    }
+  };
+
+  const auto scalar_worker = [&](int w, std::int64_t begin, std::int64_t end) {
     WorkerTiming& wt = timing[static_cast<std::size_t>(w)];
     std::int64_t i = begin;
     try {
@@ -161,6 +217,9 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
     }
   };
 
+  const std::function<void(int, std::int64_t, std::int64_t)> worker =
+      lane ? std::function<void(int, std::int64_t, std::int64_t)>(lane_worker)
+           : scalar_worker;
   if (threads == 1) {
     worker(0, 0, options.num_runs);
   } else {
@@ -198,11 +257,24 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
   if (cancelled.load(std::memory_order_relaxed)) throw BatchCancelled();
 
   // Seed-order reduction over the preallocated slots: thread-count never
-  // changes what this loop sees.
+  // changes what this loop sees. Decision values are tallied in a tiny
+  // linear-scan accumulator first — distinct decisions are bounded by the
+  // input set, so a map node lookup per run would be pure overhead.
+  std::vector<std::pair<Value, std::int64_t>> decision_tally;
   for (const RunRecord& rec : records) {
     ++out.num_runs;
     if (rec.all_decided) ++out.decided_runs;
-    if (rec.decision != kNoValue) ++out.decision_counts[rec.decision];
+    if (rec.decision != kNoValue) {
+      bool found = false;
+      for (auto& [value, count] : decision_tally) {
+        if (value == rec.decision) {
+          ++count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) decision_tally.emplace_back(rec.decision, 1);
+    }
     out.total_steps += rec.total_steps;
     out.recoveries += rec.recoveries;
     out.steps.add(rec.total_steps);
@@ -211,6 +283,8 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
     out.max_register_bits.add(rec.max_register_bits);
     if (probe != nullptr) out.probe.add(rec.probe);
   }
+  for (const auto& [value, count] : decision_tally)
+    out.decision_counts[value] = count;
   for (const WorkerTiming& wt : timing) {
     out.construct_seconds += wt.construct;
     out.run_seconds += wt.run;

@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sched/lane_engine.h"
 #include "sched/simulation.h"
 #include "util/stats.h"
 
@@ -55,12 +56,31 @@ std::vector<SeedRange> split_seed_range(const SeedRange& range, int parts);
 std::vector<SeedRange> shard_seed_range(const SeedRange& range,
                                         std::int64_t shard_size);
 
+/// Which per-worker execution engine a batch uses. The summary is
+/// bit-identical either way (pinned by batch_test); only wall clock and the
+/// surfaces served differ — the lane engine takes no RunProbe and requires
+/// the scheduler be expressed as a LaneSchedSpec instead of a factory.
+enum class BatchEngine {
+  kScalar,  ///< one pooled Simulation per worker (the historical path)
+  kLane,    ///< LaneEngine: W seeds in lockstep per worker (sched/lane_engine.h)
+};
+
 struct BatchOptions {
   std::uint64_t first_seed = 1;  ///< runs use seeds first_seed + i
   std::int64_t num_runs = 0;
   /// Worker threads; 0 = hardware concurrency. Clamped to num_runs. The
   /// summary does not depend on this (only the wall timings do).
   int threads = 1;
+  /// engine == kLane runs each worker's shard through a LaneEngine at
+  /// `lanes` lockstep lanes, armed by `lane_sched` (the make_scheduler
+  /// factory argument is ignored and may be null). Configurations outside
+  /// the SoA kernel's reach (adaptive adversaries, other protocols) still
+  /// work — LaneEngine falls back per lane to scalar-identical math — so
+  /// callers flip the knob without caring which path serves them. The
+  /// summary never depends on engine, threads, or lanes.
+  BatchEngine engine = BatchEngine::kScalar;
+  int lanes = 8;
+  LaneSchedSpec lane_sched;
   // Per-run SimOptions (seed is supplied per run).
   std::int64_t max_total_steps = 1'000'000;
   std::int64_t check_every = 1;
@@ -111,7 +131,10 @@ using RunProbe =
 /// run (after the probe) with that run's seed. NOT part of the summary —
 /// it exists for side effects: progress reporting, and the fabric's
 /// chaos-kill injection (a hook that _exit()s the worker process mid-shard).
-/// Must be thread-safe: workers call it concurrently.
+/// Must be thread-safe: workers call it concurrently. Under engine=kLane
+/// the hook fires in lane-harvest order, not seed order, within a shard —
+/// callers keying side effects on the seed (both existing users) are
+/// unaffected.
 using RunHook = std::function<void(std::uint64_t seed)>;
 
 /// The deterministic, seed-order-stable reduction of a batch: every field

@@ -1,0 +1,485 @@
+#include "sched/lane_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <optional>
+#include <sstream>
+
+#include "sched/adversary.h"
+#include "sched/schedulers.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cil {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// Figure 1's default-mode register codec (TwoProcessProtocol::encode /
+/// decode). The SoA kernel owns a copy because it reimplements the whole
+/// automaton; Protocol::lane_soa_two_process is the promise that this codec
+/// and program match the protocol instance.
+constexpr Word lane_encode(Value v) {
+  return v == kNoValue ? 0 : static_cast<Word>(v) + 1;
+}
+constexpr Value lane_decode(Word w) {
+  return w == 0 ? kNoValue : static_cast<Value>(w - 1);
+}
+
+}  // namespace
+
+/// The lockstep state block: one column per lane, every field SoA so a
+/// round's touches stay within a handful of cache lines per array. PRNG
+/// states are the exact xoshiro256** words a scalar Rng(seed) holds —
+/// word k of lane l lives at s[k][l].
+struct LaneEngine::Soa {
+  Soa(std::shared_ptr<const RegisterSpecTable> table, int lanes)
+      : W(lanes), regs(std::move(table), lanes) {
+    for (auto& s : sim_s) s.assign(static_cast<std::size_t>(W), 0);
+    for (auto& s : sch_s) s.assign(static_cast<std::size_t>(W), 0);
+    pc.assign(2 * static_cast<std::size_t>(W), 0);
+    mine.assign(2 * static_cast<std::size_t>(W), kNoValue);
+    seen.assign(2 * static_cast<std::size_t>(W), kNoValue);
+    dec.assign(2 * static_cast<std::size_t>(W), kNoValue);
+    steps.assign(2 * static_cast<std::size_t>(W), 0);
+    active.assign(static_cast<std::size_t>(W), 0);
+    total.assign(static_cast<std::size_t>(W), 0);
+    seed.assign(static_cast<std::size_t>(W), 0);
+    schedule.resize(static_cast<std::size_t>(W));
+  }
+
+  /// Expand `s` into lane `lane` of a 4-word SoA xoshiro state, exactly as
+  /// Xoshiro256's constructor would (SplitMix64 expansion + all-zero guard).
+  static void seed_state(std::array<std::vector<std::uint64_t>, 4>& st,
+                         int lane, std::uint64_t s) {
+    SplitMix64 sm(s);
+    std::uint64_t w[4];
+    for (auto& x : w) x = sm.next();
+    if ((w[0] | w[1] | w[2] | w[3]) == 0) w[0] = 1;
+    for (int k = 0; k < 4; ++k) st[k][static_cast<std::size_t>(lane)] = w[k];
+  }
+
+  /// One xoshiro256** draw from lane `lane` — the same recurrence as
+  /// Xoshiro256::next, over SoA state.
+  static std::uint64_t next(std::array<std::vector<std::uint64_t>, 4>& st,
+                            int lane) {
+    const auto l = static_cast<std::size_t>(lane);
+    std::uint64_t& s0 = st[0][l];
+    std::uint64_t& s1 = st[1][l];
+    std::uint64_t& s2 = st[2][l];
+    std::uint64_t& s3 = st[3][l];
+    const std::uint64_t result = rotl64(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl64(s3, 45);
+    return result;
+  }
+
+  int W;
+  LaneRegisterFile regs;
+  std::array<std::vector<std::uint64_t>, 4> sim_s;  ///< coin stream
+  std::array<std::vector<std::uint64_t>, 4> sch_s;  ///< scheduler stream
+  // Per (process, lane), process-major: index p * W + lane.
+  // pc/active/acted are word-typed on purpose: char-typed elements (a
+  // previous int8_t draft) may alias ANY store under the strict-aliasing
+  // rules, so every write through them forced the compiler to reload every
+  // other hot pointer — measurably slower than the few bytes saved.
+  std::vector<std::int32_t> pc;  ///< 0 write-input, 1 read, 2 coin-write
+  std::vector<Value> mine;
+  std::vector<Value> seen;
+  std::vector<Value> dec;        ///< kNoValue = undecided
+  std::vector<std::int64_t> steps;
+  // Per lane.
+  std::vector<std::uint32_t> active;  ///< bit p: P_p not decided
+  std::vector<std::int64_t> total;
+  std::vector<std::uint64_t> seed;
+  std::vector<std::vector<ProcessId>> schedule;
+};
+
+LaneEngine::LaneEngine(const Protocol& protocol, std::vector<Value> inputs)
+    : protocol_(protocol), inputs_(std::move(inputs)) {
+  CIL_EXPECTS(static_cast<int>(inputs_.size()) == protocol_.num_processes());
+
+  // The SoA kernel's setup-time validation: the protocol must claim the
+  // Figure 1 default-mode automaton, and the word-wide checks RegisterFile
+  // performs per access must hold for every access site the kernel will
+  // ever execute — P_p writes register p and reads register 1-p, with
+  // encoded preferences drawn from {inputs} ∪ {adopted peer inputs}. The
+  // sites and specs are identical in every lane, so this is one check per
+  // site, not per lane per step. Anything failing here diverges to the
+  // scalar path, which reproduces the scalar engine's diagnostics.
+  if (protocol_.lane_soa_two_process() && protocol_.num_processes() == 2) {
+    const RegisterSpecTable& t = *protocol_.shared_spec_table();
+    bool ok = t.size() == 2;
+    for (ProcessId p = 0; ok && p < 2; ++p) {
+      ok = t.writer_allowed(p, p) && t.reader_allowed(1 - p, p) &&
+           inputs_[static_cast<std::size_t>(p)] >= 0 &&
+           (lane_encode(inputs_[static_cast<std::size_t>(p)]) &
+            ~t.width_mask(p)) == 0;
+    }
+    two_process_default_mode_ = ok;
+  }
+}
+
+LaneEngine::~LaneEngine() = default;
+
+bool LaneEngine::soa_supported(const LaneRunOptions& options) const {
+  return two_process_default_mode_ && options.scalar_run == nullptr &&
+         options.sched.kind == LaneSchedSpec::Kind::kRandom &&
+         options.obs.sink == nullptr;
+}
+
+bool LaneEngine::run(std::uint64_t first_seed, std::int64_t num_runs,
+                     const LaneRunOptions& options,
+                     const LaneHarvest& harvest) {
+  CIL_EXPECTS(num_runs >= 0);
+  CIL_EXPECTS(options.lanes >= 1);
+  CIL_EXPECTS(harvest != nullptr);
+  failed_run_index_ = -1;
+  if (num_runs == 0) return true;
+  return soa_supported(options)
+             ? run_soa(first_seed, num_runs, options, harvest)
+             : run_scalar(first_seed, num_runs, options, harvest);
+}
+
+bool LaneEngine::run_soa(std::uint64_t first_seed, std::int64_t num_runs,
+                         const LaneRunOptions& options,
+                         const LaneHarvest& harvest) {
+  return options.record_schedule
+             ? run_soa_impl<true>(first_seed, num_runs, options, harvest)
+             : run_soa_impl<false>(first_seed, num_runs, options, harvest);
+}
+
+template <bool kRecordSchedule>
+bool LaneEngine::run_soa_impl(std::uint64_t first_seed, std::int64_t num_runs,
+                              const LaneRunOptions& options,
+                              const LaneHarvest& harvest) {
+  // W lanes, one bit each in the live mask; the mask type caps W at 64.
+  const int W = static_cast<int>(std::clamp<std::int64_t>(
+      std::min<std::int64_t>(options.lanes, num_runs), 1, 64));
+  if (soa_ == nullptr || soa_->W != W)
+    soa_ = std::make_unique<Soa>(protocol_.shared_spec_table(), W);
+  Soa& s = *soa_;
+
+  const auto cancel_requested = [&] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
+  const auto refill = [&](int lane, std::uint64_t seed) {
+    const auto l = static_cast<std::size_t>(lane);
+    s.regs.reset_lane(lane);
+    for (ProcessId p = 0; p < 2; ++p) {
+      const std::size_t i = static_cast<std::size_t>(p * W) + l;
+      s.pc[i] = 0;  // Pc::kWriteInput
+      s.mine[i] = inputs_[static_cast<std::size_t>(p)];
+      s.seen[i] = kNoValue;
+      s.dec[i] = kNoValue;
+      s.steps[i] = 0;
+    }
+    s.active[l] = 3;
+    s.total[l] = 0;
+    s.seed[l] = seed;
+    s.schedule[l].clear();
+    Soa::seed_state(s.sim_s, lane, seed);
+    Soa::seed_state(s.sch_s, lane, seed ^ options.sched.seed_xor);
+  };
+
+  const auto harvest_lane = [&](int lane) {
+    const auto l = static_cast<std::size_t>(lane);
+    const Value dbuf[2] = {s.dec[l], s.dec[static_cast<std::size_t>(W) + l]};
+    const std::int64_t sbuf[2] = {s.steps[l],
+                                  s.steps[static_cast<std::size_t>(W) + l]};
+    LaneRunView v;
+    v.seed = s.seed[l];
+    v.total_steps = s.total[l];
+    v.steps_p0 = sbuf[0];
+    v.steps_p1 = sbuf[1];
+    v.recoveries = 0;
+    v.max_register_bits = s.regs.max_bits_written(lane);
+    v.all_decided = dbuf[0] != kNoValue && dbuf[1] != kNoValue;
+    v.decision = dbuf[0] != kNoValue ? dbuf[0] : dbuf[1];
+    v.decisions = dbuf;
+    v.steps_per_process = sbuf;
+    v.num_processes = 2;
+    v.schedule = s.schedule[l].data();
+    v.schedule_len = static_cast<std::int64_t>(s.schedule[l].size());
+    harvest(v);
+  };
+
+  std::int64_t next_run = 0;
+  std::int64_t harvested = 0;
+  std::uint64_t live = 0;
+  const std::int64_t max_total_steps = options.max_total_steps;
+  bool cancelled = cancel_requested();
+  for (int lane = 0; lane < W && next_run < num_runs && !cancelled; ++lane) {
+    refill(lane, first_seed + static_cast<std::uint64_t>(next_run++));
+    live |= std::uint64_t{1} << lane;
+  }
+
+  // Raw hot-path views, hoisted once. None of these vectors reallocates
+  // inside the round loop (schedule[] grows, but owns separate storage), so
+  // the round loop runs on plain pointers instead of re-deriving
+  // vector-begin indirections after every store.
+  std::uint64_t* const g0 = s.sch_s[0].data();
+  std::uint64_t* const g1 = s.sch_s[1].data();
+  std::uint64_t* const g2 = s.sch_s[2].data();
+  std::uint64_t* const g3 = s.sch_s[3].data();
+  std::uint64_t* const c0 = s.sim_s[0].data();
+  std::uint64_t* const c1 = s.sim_s[1].data();
+  std::uint64_t* const c2 = s.sim_s[2].data();
+  std::uint64_t* const c3 = s.sim_s[3].data();
+  std::int32_t* const pc = s.pc.data();
+  Value* const mine = s.mine.data();
+  Value* const seen = s.seen.data();
+  Value* const dec = s.dec.data();
+  std::int64_t* const steps = s.steps.data();
+  std::uint32_t* const active = s.active.data();
+  std::int64_t* const total = s.total.data();
+  // Register plane: register-major with exactly W lanes per row, so P_p's
+  // own register for lane l sits at the same flat index i = p*W + l the
+  // per-process state arrays use, and the peer's at (1-p)*W + l.
+  Word* const vals = s.regs.values_data();
+  Word* const maxw = s.regs.max_word_data();
+
+  while (live != 0) {
+    // One lockstep round: a step for every live lane, walked straight off
+    // the live mask. A lane whose run finished is harvested and refilled
+    // in place, so the round never idles a lane on tail imbalance.
+    for (std::uint64_t m = live; m != 0; m &= m - 1) {
+      const int lane = std::countr_zero(m);
+      const auto l = static_cast<std::size_t>(lane);
+
+      // The scheduler pick. A scalar RandomScheduler draws exactly one
+      // below(|active|) word per pick, and for |active| in {1, 2} the
+      // rejection threshold is 0, so that word maps to active_list[w %
+      // |active|] directly: both active -> pid = w & 1; one active -> the
+      // lone active pid, arithmetically (active mask 1 -> P0, 2 -> P1).
+      // The draw is the xoshiro256** recurrence inlined over the SoA
+      // state; the ** output finalizer collapses to its low bit — bit 0 of
+      // rotl(s1*5, 7) * 9 is bit 0 of rotl(s1*5, 7) (9 is odd), i.e. bit
+      // 57 of s1*5 — since nothing else of the word is ever consumed.
+      std::uint64_t s0v = g0[l], s1v = g1[l], s2v = g2[l], s3v = g3[l];
+      const unsigned w = static_cast<unsigned>((s1v * 5) >> 57) & 1u;
+      const std::uint64_t t = s1v << 17;
+      s2v ^= s0v;
+      s3v ^= s1v;
+      s1v ^= s2v;
+      s0v ^= s3v;
+      s2v ^= t;
+      g0[l] = s0v;
+      g1[l] = s1v;
+      g2[l] = s2v;
+      g3[l] = rotl64(s3v, 45);
+      const unsigned a = active[l];
+      const ProcessId p =
+          a == 3u ? static_cast<ProcessId>(w) : static_cast<ProcessId>(a >> 1);
+      const std::size_t i = static_cast<std::size_t>(p) *
+                            static_cast<std::size_t>(W) + l;
+      bool decided_now = false;
+      unsigned na = a;
+      const std::int32_t c = pc[i];
+      if (c == 1) {  // (1) read r_other; decide on agreement or ⊥
+        const Value v = lane_decode(
+            vals[static_cast<std::size_t>(1 - p) * static_cast<std::size_t>(W) +
+                 l]);
+        if (v == mine[i] || v == kNoValue) {
+          dec[i] = mine[i];
+          na = a & ~(1u << p);
+          active[l] = na;
+          decided_now = true;
+        } else {
+          seen[i] = v;  // only a coin step ever reads it back
+          pc[i] = 2;
+        }
+      } else {
+        // (2) coin: heads rewrite, tails adopt; then write. (0) is the same
+        // minus the coin — the initial write of the input preference. The
+        // coin is bit 0 of one full xoshiro draw from the lane's sim
+        // stream (Rng::flip consumes one word, keeps bit 0); as with the
+        // pick, bit 0 survives the odd-multiplier finalizer as bit 57 of
+        // s1*5.
+        if (c != 0) {
+          std::uint64_t k0 = c0[l], k1 = c1[l], k2 = c2[l], k3 = c3[l];
+          const unsigned coin = static_cast<unsigned>((k1 * 5) >> 57) & 1u;
+          const std::uint64_t kt = k1 << 17;
+          k2 ^= k0;
+          k3 ^= k1;
+          k1 ^= k2;
+          k0 ^= k3;
+          k2 ^= kt;
+          c0[l] = k0;
+          c1[l] = k1;
+          c2[l] = k2;
+          c3[l] = rotl64(k3, 45);
+          if (coin == 0) mine[i] = seen[i];
+        }
+        const Word wv = lane_encode(mine[i]);
+        vals[i] = wv;
+        if (wv > maxw[l]) maxw[l] = wv;
+        pc[i] = 1;
+      }
+      ++steps[i];
+      const std::int64_t tl = ++total[l];
+      if constexpr (kRecordSchedule) s.schedule[l].push_back(p);
+
+      if (decided_now) {
+        // Decision events are the only place the coordination properties
+        // can newly fail, so the checks live here (rare) instead of on the
+        // step path. check_every only defers *detection* in the scalar
+        // engine; decisions latch identically, so eager checking here
+        // changes nothing for any run that passes.
+        const Value v = s.dec[i];
+        const Value other =
+            s.dec[static_cast<std::size_t>(1 - p) *
+                      static_cast<std::size_t>(W) + l];
+        if (options.check_consistency && other != kNoValue && other != v) {
+          failed_run_index_ =
+              static_cast<std::int64_t>(s.seed[l] - first_seed);
+          std::ostringstream os;
+          os << "consistency violated: P" << p << " decided " << v
+             << " but P" << (1 - p) << " decided " << other;
+          throw CoordinationViolation(os.str());
+        }
+        if (options.check_nontriviality) {
+          // "P_p activated" == "P_p took >= 1 step": the decider has just
+          // stepped, so its own count is already > 0, matching the scalar
+          // engine's note_activation-before-check ordering.
+          const bool ok =
+              (steps[l] > 0 && v == inputs_[0]) ||
+              (steps[static_cast<std::size_t>(W) + l] > 0 && v == inputs_[1]);
+          if (!ok) {
+            failed_run_index_ =
+                static_cast<std::int64_t>(s.seed[l] - first_seed);
+            std::ostringstream os;
+            os << "nontriviality violated: P" << p << " decided " << v
+               << " which is no activated processor's input";
+            throw CoordinationViolation(os.str());
+          }
+        }
+      }
+
+      if (na == 0 || tl >= max_total_steps) {
+        harvest_lane(lane);
+        ++harvested;
+        cancelled = cancelled || cancel_requested();
+        if (!cancelled && next_run < num_runs) {
+          refill(lane, first_seed + static_cast<std::uint64_t>(next_run++));
+        } else {
+          live &= ~(std::uint64_t{1} << lane);
+        }
+      }
+    }
+  }
+  return harvested == num_runs;
+}
+
+bool LaneEngine::run_scalar(std::uint64_t first_seed, std::int64_t num_runs,
+                            const LaneRunOptions& options,
+                            const LaneHarvest& harvest) {
+  // The divergence path: identical math to a scalar BatchRunner worker —
+  // one pooled Simulation reset per seed, one pooled scheduler re-armed per
+  // seed — so "lane diverged" can never mean "result differs".
+  std::optional<Simulation> sim;
+  std::optional<RandomScheduler> random;
+  std::optional<DecisionAvoidingAdversary> avoid;
+
+  for (std::int64_t i = 0; i < num_runs; ++i) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed))
+      return false;
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+
+    SimResult r;
+    try {
+      if (options.scalar_run != nullptr) {
+        r = options.scalar_run(seed);
+      } else {
+        SimOptions so;
+        so.seed = seed;
+        so.max_total_steps = options.max_total_steps;
+        so.check_every = options.check_every;
+        so.check_consistency = options.check_consistency;
+        so.check_nontriviality = options.check_nontriviality;
+        so.record_schedule = options.record_schedule;
+        so.obs = options.obs;
+        if (!sim) {
+          sim.emplace(protocol_, inputs_, so);
+        } else {
+          sim->reset(inputs_, so);
+        }
+        Scheduler* sched = nullptr;
+        if (options.sched.kind == LaneSchedSpec::Kind::kRandom) {
+          if (!random) {
+            random.emplace(seed ^ options.sched.seed_xor);
+          } else {
+            random->reseed(seed ^ options.sched.seed_xor);
+          }
+          sched = &*random;
+        } else {
+          if (!avoid) {
+            avoid.emplace(seed + options.sched.seed_add);
+          } else {
+            avoid->reseed(seed + options.sched.seed_add);
+          }
+          sched = &*avoid;
+        }
+        r = sim->run(*sched);
+      }
+    } catch (...) {
+      failed_run_index_ = i;
+      throw;
+    }
+
+    LaneRunView v;
+    v.seed = seed;
+    v.total_steps = r.total_steps;
+    if (!r.steps_per_process.empty()) {
+      v.steps_p0 = r.steps_per_process[0];
+      if (r.steps_per_process.size() > 1) v.steps_p1 = r.steps_per_process[1];
+    }
+    v.recoveries = r.recoveries;
+    v.max_register_bits = r.max_register_bits;
+    v.all_decided = r.all_decided;
+    v.decision = r.decision.value_or(kNoValue);
+    v.decisions = r.decisions.data();
+    v.steps_per_process = r.steps_per_process.data();
+    v.num_processes = static_cast<int>(r.decisions.size());
+    v.schedule = r.schedule.data();
+    v.schedule_len = static_cast<std::int64_t>(r.schedule.size());
+    harvest(v);
+  }
+  return true;
+}
+
+std::vector<SimResult> LaneEngine::run_collect(std::uint64_t first_seed,
+                                               std::int64_t num_runs,
+                                               const LaneRunOptions& options) {
+  std::vector<SimResult> out(static_cast<std::size_t>(num_runs));
+  const bool complete =
+      run(first_seed, num_runs, options, [&](const LaneRunView& v) {
+        SimResult r;
+        r.all_decided = v.all_decided;
+        if (v.decision != kNoValue) r.decision = v.decision;
+        r.decisions.assign(v.decisions, v.decisions + v.num_processes);
+        r.steps_per_process.assign(v.steps_per_process,
+                                   v.steps_per_process + v.num_processes);
+        r.total_steps = v.total_steps;
+        r.schedule.assign(v.schedule, v.schedule + v.schedule_len);
+        r.max_register_bits = v.max_register_bits;
+        r.recoveries = v.recoveries;
+        out[static_cast<std::size_t>(v.seed - first_seed)] = std::move(r);
+      });
+  CIL_CHECK_MSG(complete, "run_collect cancelled mid-sweep");
+  return out;
+}
+
+}  // namespace cil

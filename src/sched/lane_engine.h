@@ -1,0 +1,155 @@
+// The lane-parallel engine: W independent seeds advancing in lockstep.
+//
+// A sweep's runs share everything except their seed, so one core can carry W
+// of them at once in structure-of-arrays form: register words live in a
+// LaneRegisterFile (`value[reg][lane]`), the per-lane PRNG states are SoA
+// word arrays stepped by the same xoshiro256** recurrence as util/rng.h,
+// liveness/decision state is a bitmask per lane, and the set of lanes still
+// hosting a run is one word-wide mask the round loop walks with countr_zero.
+// Scheduling picks, permission checks, and property bookkeeping cost no
+// per-lane branching on the common path: the random pick is an arithmetic
+// select over the lane's active mask, register-access permissions and
+// widths are validated once at setup (word-wide, per site — the registers
+// and access sites are the same in every lane), and the consistency /
+// nontriviality checks trigger only on decision events.
+//
+// The contract that keeps the speedup honest is BIT-IDENTITY: every lane
+// produces exactly the run a scalar `Simulation` with the same seed and an
+// equivalently-seeded scheduler produces — same PRNG streams (one scheduler
+// word per step including single-active picks, coin words only at
+// coin-flip steps), same schedule, decisions, step counts, recoveries, and
+// max_register_bits. engine_golden_test pins this per lane over the whole
+// golden corpus at W in {1,4,8}.
+//
+// The SoA kernel serves the hot case: TwoProcessProtocol (default mode)
+// under uniformly random scheduling with no observation sink. Everything
+// else — adaptive adversaries, other protocols, fault hooks, observed runs,
+// custom rigs — DIVERGES to the scalar fallback: one pooled Simulation per
+// engine, reset per seed, run through exactly the code path BatchRunner's
+// scalar workers use, so divergent lanes are bit-identical by construction
+// rather than by reimplementation. `soa_supported()` reports which path a
+// configuration takes; sweeps need not care.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "registers/lane_register_file.h"
+#include "sched/simulation.h"
+
+namespace cil {
+
+/// How each lane's scheduler is derived from the lane's run seed. This is a
+/// value (not a Scheduler&) so one spec can arm any number of lanes and
+/// cross thread boundaries; the two built-in kinds mirror the scheduler
+/// factories every sweep in this repo uses.
+struct LaneSchedSpec {
+  enum class Kind {
+    kRandom,  ///< RandomScheduler(seed ^ seed_xor) — SoA-eligible
+    kAvoid,   ///< DecisionAvoidingAdversary(seed + seed_add) — scalar path
+  };
+  Kind kind = Kind::kRandom;
+  std::uint64_t seed_xor = 0x1234;  ///< kRandom: scheduler seed = seed ^ this
+  std::uint64_t seed_add = 17;      ///< kAvoid: scheduler seed = seed + this
+};
+
+struct LaneRunOptions {
+  int lanes = 8;  ///< W; clamped to the number of runs
+  // Per-run SimOptions fields (seed is supplied per run).
+  std::int64_t max_total_steps = 1'000'000;
+  std::int64_t check_every = 1;
+  bool check_consistency = true;
+  bool check_nontriviality = true;
+  bool record_schedule = false;
+  LaneSchedSpec sched;
+  /// Custom scalar runner for rigs the spec kinds cannot express (split
+  /// adversaries, fault plans, preset hooks). When set, every lane runs
+  /// through it and `sched` is ignored; the engine is then purely a
+  /// harvesting loop. Must be a pure function of the seed.
+  std::function<SimResult(std::uint64_t seed)> scalar_run;
+  /// Observation forces the scalar fallback for all lanes (the SoA kernel
+  /// has no event stream), so an observed lane run emits exactly the
+  /// scalar engine's stream — including the kActiveSet counter samples.
+  obs::ObsOptions obs;
+  /// Optional cooperative cancellation, polled when a finished lane would
+  /// refill. In-flight lanes finish their current run first; run() then
+  /// returns false without harvesting the unstarted remainder.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// One finished run, as the engine hands it to the harvest callback. Plain
+/// borrowed views — valid only during the callback (the lane is recycled
+/// immediately after).
+struct LaneRunView {
+  std::uint64_t seed = 0;
+  std::int64_t total_steps = 0;
+  std::int64_t steps_p0 = 0;
+  std::int64_t steps_p1 = 0;
+  std::int64_t recoveries = 0;
+  int max_register_bits = 0;
+  bool all_decided = false;
+  Value decision = kNoValue;        ///< first decided pid's value
+  const Value* decisions = nullptr; ///< per process, kNoValue if undecided
+  const std::int64_t* steps_per_process = nullptr;  ///< per process
+  int num_processes = 0;
+  const ProcessId* schedule = nullptr;  ///< iff record_schedule
+  std::int64_t schedule_len = 0;
+};
+
+/// Called once per finished run, in lane-harvest order (NOT seed order —
+/// lanes finish when their runs do). Callers wanting seed order write into
+/// seed-indexed slots, exactly as BatchRunner does.
+using LaneHarvest = std::function<void(const LaneRunView&)>;
+
+class LaneEngine {
+ public:
+  /// Every run uses the same protocol and inputs; only the seed varies.
+  LaneEngine(const Protocol& protocol, std::vector<Value> inputs);
+  ~LaneEngine();
+
+  /// True iff (protocol, options) take the SoA lockstep kernel; false means
+  /// run() still works, through the per-lane scalar fallback.
+  bool soa_supported(const LaneRunOptions& options) const;
+
+  /// Sweep seeds [first_seed, first_seed + num_runs), W at a time, calling
+  /// `harvest` once per finished run. Returns false iff options.cancel
+  /// flipped true before every run was harvested (the remainder is skipped;
+  /// harvested runs stay valid). Property violations throw
+  /// CoordinationViolation; failed_run_index() then names the run a serial
+  /// sweep would blame.
+  bool run(std::uint64_t first_seed, std::int64_t num_runs,
+           const LaneRunOptions& options, const LaneHarvest& harvest);
+
+  /// Convenience for tests: run and collect full SimResults in seed order.
+  std::vector<SimResult> run_collect(std::uint64_t first_seed,
+                                     std::int64_t num_runs,
+                                     const LaneRunOptions& options);
+
+  /// After a throwing run(): the 0-based run index (seed - first_seed) of
+  /// the failing run.
+  std::int64_t failed_run_index() const { return failed_run_index_; }
+
+ private:
+  struct Soa;  // the SoA lane state block (lane_engine.cpp)
+
+  bool run_soa(std::uint64_t first_seed, std::int64_t num_runs,
+               const LaneRunOptions& options, const LaneHarvest& harvest);
+  /// The kernel proper, specialized at compile time on whether the pid
+  /// schedule is recorded — the bench path carries no push_back code.
+  template <bool kRecordSchedule>
+  bool run_soa_impl(std::uint64_t first_seed, std::int64_t num_runs,
+                    const LaneRunOptions& options, const LaneHarvest& harvest);
+  bool run_scalar(std::uint64_t first_seed, std::int64_t num_runs,
+                  const LaneRunOptions& options, const LaneHarvest& harvest);
+
+  const Protocol& protocol_;
+  std::vector<Value> inputs_;
+  bool two_process_default_mode_ = false;  ///< SoA kernel precondition
+  std::unique_ptr<Soa> soa_;               ///< lazily sized to options.lanes
+  std::int64_t failed_run_index_ = -1;
+};
+
+}  // namespace cil

@@ -76,6 +76,16 @@ class Protocol {
     return p;
   }
 
+  /// True iff this protocol is the default-mode Figure 1 two-processor
+  /// automaton that the lane engine's SoA lockstep kernel reimplements
+  /// (sched/lane_engine.cpp): ⊥ = 0 / value v = v+1 register codec,
+  /// write-input → read-decide → coin-write program. Protocols answering
+  /// true promise bit-identical semantics to that kernel; everything else
+  /// takes the engine's scalar fallback. A virtual (rather than a
+  /// dynamic_cast in the engine) because src/core links against src/sched,
+  /// not the other way around.
+  virtual bool lane_soa_two_process() const { return false; }
+
   /// Convenience: build the register file from registers(). The validated
   /// spec table (permission bitmasks, width masks) is built once per
   /// protocol instance and shared by every file returned afterwards, so a
@@ -85,9 +95,16 @@ class Protocol {
   /// construction). Not thread-safe against concurrent first calls; build
   /// the first file before fanning out, as all callers already do.
   RegisterFile make_registers() const {
+    return RegisterFile(shared_spec_table());
+  }
+
+  /// The shared static description behind make_registers, for callers that
+  /// replicate storage themselves (LaneRegisterFile columns). Same lazy
+  /// build, same thread-safety caveat.
+  std::shared_ptr<const RegisterSpecTable> shared_spec_table() const {
     if (spec_table_ == nullptr)
       spec_table_ = std::make_shared<const RegisterSpecTable>(registers());
-    return RegisterFile(spec_table_);
+    return spec_table_;
   }
 
  private:

@@ -127,6 +127,7 @@ Simulation::Simulation(const Protocol& protocol, std::vector<Value> inputs,
   if (options_.obs.sink != nullptr) {
     sinks_.push_back(options_.obs.sink);
     init_phase_baseline();
+    emit_active_set(-1);
   }
 }
 
@@ -164,6 +165,7 @@ void Simulation::reset(const std::vector<Value>& inputs, SimOptions options) {
   if (options_.obs.sink != nullptr) {
     sinks_.push_back(options_.obs.sink);
     init_phase_baseline();
+    emit_active_set(-1);
   }
 }
 
@@ -215,8 +217,12 @@ void Simulation::crash(ProcessId p) {
   // The paper tolerates up to n-1 fail-stop crashes: keep one survivor.
   const int alive = num_processes() - num_crashed_ - (crashed_[p] ? 0 : 1);
   CIL_CHECK_MSG(alive >= 1, "cannot crash the last live processor");
+  bool left_active_set = false;
   if (!crashed_[p]) {
-    if (!procs_[p]->decided()) active_erase(p);
+    if (!procs_[p]->decided()) {
+      active_erase(p);
+      left_active_set = true;
+    }
     ++num_crashed_;
   }
   crashed_[p] = true;
@@ -228,6 +234,7 @@ void Simulation::crash(ProcessId p) {
     e.step = steps_[p];
     e.total_step = total_steps_;
     emit(e);
+    if (left_active_set) emit_active_set(p);
   }
 }
 
@@ -277,6 +284,7 @@ bool Simulation::recover(ProcessId p) {
     e.arg = procs_[p]->decision();
     emit(e);
   }
+  if (!sinks_.empty() && !procs_[p]->decided()) emit_active_set(p);
   check_properties_after_step(p);
   return true;
 }
@@ -327,6 +335,7 @@ bool Simulation::step_once(Scheduler& sched) {
 
   if (procs_[p]->decided()) {
     active_erase(p);  // p was active when picked, so this is its transition
+    if (!sinks_.empty()) emit_active_set(p);
     if (options_.check_every == 1) {
       check_properties_after_step(p);
     } else {
@@ -339,6 +348,17 @@ bool Simulation::step_once(Scheduler& sched) {
   if (check_pending_ && total_steps_ % options_.check_every == 0)
     check_properties_deferred();
   return true;
+}
+
+void Simulation::emit_active_set(ProcessId pid) {
+  if (!options_.obs.active_set || sinks_.empty()) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kActiveSet;
+  e.pid = pid;
+  e.step = pid >= 0 ? steps_[pid] : 0;
+  e.total_step = total_steps_;
+  e.arg = num_active();
+  emit(e);
 }
 
 void Simulation::note_activation(ProcessId p) {

@@ -227,6 +227,9 @@ class Simulation {
   void note_activation(ProcessId p);
   void on_decided(ProcessId p);
   void emit_after_step(ProcessId p, std::int64_t faults_before);
+  /// Emit a kActiveSet sample (arg = num_active) if ObsOptions::active_set
+  /// asked for the track; pid = the transitioning processor (-1 baseline).
+  void emit_active_set(ProcessId pid);
   std::int64_t phase_of(ProcessId p) const;
   void init_phase_baseline();
 

@@ -79,6 +79,20 @@ void check_cancel(const std::atomic<bool>& cancel) {
   if (cancel.load(std::memory_order_relaxed)) throw JobCancelled();
 }
 
+/// Arm a sweep's BatchOptions with the server's engine knobs. The lane
+/// spec re-derives the exact scheduler seeding make_factory uses, so the
+/// lane engine's scalar fallback — and its SoA kernel, by the golden pin —
+/// produce byte-identical summaries to the scalar engine.
+void apply_engine(BatchOptions& bo, const JobLimits& limits,
+                  const std::string& adversary) {
+  if (limits.sweep_engine != BatchEngine::kLane) return;
+  bo.engine = BatchEngine::kLane;
+  bo.lanes = limits.sweep_lanes;
+  bo.lane_sched = adversary == "random"
+                      ? LaneSchedSpec{LaneSchedSpec::Kind::kRandom, 0x1234, 0}
+                      : LaneSchedSpec{LaneSchedSpec::Kind::kAvoid, 0, 17};
+}
+
 /// The chaos-soak kill switch (JobLimits::chaos_kill_prob): a per-seed
 /// coin, drawn after each completed run, that SIGKILLs the whole daemon.
 /// Seed-keyed so a restarted daemon re-running the same shard dies at the
@@ -124,6 +138,7 @@ void run_sweep(const JobSpec& spec, const std::atomic<bool>& cancel,
     bo.max_total_steps = spec.steps;
     bo.check_every = spec.check_every;
     bo.cancel = &cancel;
+    apply_engine(bo, limits, spec.adversary);
     BatchSummary summary;
     try {
       summary = runner.run(bo, factory, nullptr, chaos);
@@ -264,7 +279,8 @@ void run_job(const JobSpec& spec, const std::atomic<bool>& cancel,
 
 fabric::ShardSummary run_sweep_shard(const JobSpec& spec,
                                      const SeedRange& range,
-                                     const std::atomic<bool>& cancel) {
+                                     const std::atomic<bool>& cancel,
+                                     const JobLimits& limits) {
   const auto protocol = make_protocol(spec.protocol, spec.n, "");
   const std::vector<Value> inputs = default_inputs(protocol->num_processes());
   const SchedulerFactory factory = make_factory(spec.adversary);
@@ -277,6 +293,7 @@ fabric::ShardSummary run_sweep_shard(const JobSpec& spec,
   bo.max_total_steps = spec.steps;
   bo.check_every = spec.check_every;
   bo.cancel = &cancel;
+  apply_engine(bo, limits, spec.adversary);
   try {
     return {range, runner.run(bo, factory)};
   } catch (const BatchCancelled&) {

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <optional>
 #include <sstream>
@@ -353,6 +354,126 @@ TEST(BatchRunner, MultiThreadCrashRecoverySmoke) {
   EXPECT_GT(serial.total_steps, 0);
   EXPECT_GT(serial.recoveries, 0);
   expect_equal_summaries(serial, sharded);
+}
+
+// -- engine=lane: the SoA engine behind the same BatchOptions knob ----------
+// The TSan CI job runs this suite (--gtest_filter='BatchLane.*') at 4
+// threads x 8 lanes to pin the lane workers' data-race freedom.
+
+SchedulerFactory avoid_factory(std::uint64_t add) {
+  return [add] {
+    auto s = std::make_shared<DecisionAvoidingAdversary>(0);
+    return [s, add](std::uint64_t seed) -> Scheduler& {
+      s->reseed(seed + add);
+      return *s;
+    };
+  };
+}
+
+TEST(BatchLane, RandomTwoProcessMatchesScalarEngine) {
+  // The SoA kernel path: TwoProcessProtocol under the random spec. Both
+  // engines must reduce to the same BatchSummary, sample for sample.
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = 400;
+  opts.threads = 2;
+  const BatchSummary scalar = batch.run(opts, random_factory(0x1234));
+
+  opts.engine = BatchEngine::kLane;
+  opts.lanes = 8;
+  opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+  const BatchSummary lane = batch.run(opts, /*make_scheduler=*/nullptr);
+
+  EXPECT_EQ(lane.num_runs, 400);
+  EXPECT_EQ(lane.decided_runs, 400);
+  expect_equal_summaries(scalar, lane);
+}
+
+TEST(BatchLane, FallbackPathsMatchScalarEngine) {
+  // Configurations the SoA kernel cannot serve — a three-process protocol,
+  // and the adaptive adversary — must flow through the lane engine's pooled
+  // scalar fallback and still reduce identically.
+  {
+    UnboundedProtocol protocol(3);
+    BatchRunner batch(protocol, {0, 1, 0});
+    BatchOptions opts;
+    opts.first_seed = 0;
+    opts.num_runs = 200;
+    opts.threads = 3;
+    const BatchSummary scalar = batch.run(opts, random_factory(0x1234));
+    opts.engine = BatchEngine::kLane;
+    opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+    const BatchSummary lane = batch.run(opts, nullptr);
+    expect_equal_summaries(scalar, lane);
+  }
+  {
+    TwoProcessProtocol protocol;
+    BatchRunner batch(protocol, {0, 1});
+    BatchOptions opts;
+    opts.first_seed = 0;
+    opts.num_runs = 120;
+    opts.threads = 2;
+    const BatchSummary scalar = batch.run(opts, avoid_factory(17));
+    opts.engine = BatchEngine::kLane;
+    opts.lane_sched = {LaneSchedSpec::Kind::kAvoid, 0, 17};
+    const BatchSummary lane = batch.run(opts, nullptr);
+    expect_equal_summaries(scalar, lane);
+  }
+}
+
+TEST(BatchLane, SummaryIsThreadAndLaneCountInvariant) {
+  // The per-worker reseeding contract, re-verified under engine=lane: one
+  // thread with one lane vs four threads with eight lanes each must produce
+  // the identical BatchSummary — no shard boundary or lane-refill order can
+  // leak into the reduction.
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 5;
+  opts.num_runs = 400;
+  opts.engine = BatchEngine::kLane;
+  opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+
+  opts.threads = 1;
+  opts.lanes = 1;
+  const BatchSummary serial = batch.run(opts, nullptr);
+  opts.threads = 4;
+  opts.lanes = 8;
+  const BatchSummary sharded = batch.run(opts, nullptr);
+
+  EXPECT_EQ(serial.num_runs, 400);
+  EXPECT_EQ(serial.decided_runs, 400);
+  expect_equal_summaries(serial, sharded);
+}
+
+TEST(BatchLane, RunHookSeesEverySeedExactlyOnce) {
+  // The RunHook contract under engine=lane: harvest order differs from seed
+  // order, but every seed fires exactly once (the fabric keys chaos-kill
+  // injection on this).
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 100;
+  opts.num_runs = 64;
+  opts.threads = 2;
+  opts.engine = BatchEngine::kLane;
+  opts.lanes = 8;
+  opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+
+  std::mutex mu;
+  std::vector<std::uint64_t> seen;
+  const RunHook hook = [&](std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(seed);
+  };
+  (void)batch.run(opts, nullptr, nullptr, hook);
+
+  ASSERT_EQ(seen.size(), 64u);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 100 + static_cast<std::uint64_t>(i));
 }
 
 }  // namespace

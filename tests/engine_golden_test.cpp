@@ -24,6 +24,7 @@
 #include "fault/fault_plan.h"
 #include "fault/sim_faults.h"
 #include "sched/adversary.h"
+#include "sched/lane_engine.h"
 #include "sched/schedulers.h"
 #include "sched/simulation.h"
 
@@ -56,18 +57,32 @@ SimOptions base_options(std::uint64_t seed) {
   return options;
 }
 
+std::unique_ptr<Protocol> case_protocol(const std::string& proto) {
+  if (proto == "two") return std::make_unique<TwoProcessProtocol>();
+  if (proto == "unbounded3") return std::make_unique<UnboundedProtocol>(3);
+  if (proto == "unbounded4") return std::make_unique<UnboundedProtocol>(4);
+  if (proto == "bounded3") return std::make_unique<BoundedThreeProtocol>();
+  return nullptr;
+}
+
+std::vector<Value> case_inputs(const std::string& proto) {
+  if (proto == "two") return {0, 1};
+  if (proto == "unbounded3") return {0, 1, 0};
+  if (proto == "unbounded4") return {0, 1, 1, 0};
+  return {1, 0, 1};  // bounded3
+}
+
 /// Rebuild the run a golden line names — must mirror tools/goldengen.cpp
 /// case for case.
-std::string replay_case(const std::string& name, std::uint64_t seed) {
-  const auto run = [&](const Protocol& protocol,
-                       const std::vector<Value>& inputs,
-                       Scheduler& sched) -> std::string {
-    Simulation sim(protocol, inputs, base_options(seed));
-    return format_run(name, seed, sim.run(sched));
-  };
-
+SimResult run_case_scalar(const std::string& name, std::uint64_t seed) {
   const std::string proto = name.substr(0, name.find('/'));
   const std::string kind = name.substr(name.find('/') + 1);
+  const std::unique_ptr<Protocol> protocol = case_protocol(proto);
+  if (protocol == nullptr) {
+    ADD_FAILURE() << "golden corpus names unknown case: " << name;
+    return {};
+  }
+  const std::vector<Value> inputs = case_inputs(proto);
 
   if (kind == "random" || kind == "adversary") {
     std::unique_ptr<Scheduler> sched;
@@ -75,15 +90,13 @@ std::string replay_case(const std::string& name, std::uint64_t seed) {
       sched = std::make_unique<RandomScheduler>(seed ^ 0x1234);
     else
       sched = std::make_unique<DecisionAvoidingAdversary>(seed + 17);
-    if (proto == "two") return run(TwoProcessProtocol(), {0, 1}, *sched);
-    if (proto == "unbounded3")
-      return run(UnboundedProtocol(3), {0, 1, 0}, *sched);
-    if (proto == "bounded3")
-      return run(BoundedThreeProtocol(), {1, 0, 1}, *sched);
+    Simulation sim(*protocol, inputs, base_options(seed));
+    return sim.run(*sched);
   }
   if (name == "unbounded3/split") {
     SplitKeepingAdversary sched(seed + 3, &UnboundedProtocol::unpack_pref);
-    return run(UnboundedProtocol(3), {0, 1, 0}, sched);
+    Simulation sim(*protocol, inputs, base_options(seed));
+    return sim.run(sched);
   }
   if (name == "unbounded3/faults+adversary") {
     fault::RegisterFaultConfig config;
@@ -91,12 +104,11 @@ std::string replay_case(const std::string& name, std::uint64_t seed) {
     config.stale_depth = 2;
     config.delay_prob = 0.1;
     config.delay_window = 2;
-    UnboundedProtocol protocol(3);
-    Simulation sim(protocol, {0, 1, 0}, base_options(seed));
+    Simulation sim(*protocol, inputs, base_options(seed));
     fault::SimRegisterFaults hook(config, seed ^ 0xfa, sim.regs().size());
     sim.mutable_regs().set_fault_hook(&hook);
     DecisionAvoidingAdversary sched(seed + 5);
-    return format_run(name, seed, sim.run(sched));
+    return sim.run(sched);
   }
   if (name == "unbounded4/crash+recovery") {
     fault::FaultPlan plan;
@@ -105,14 +117,38 @@ std::string replay_case(const std::string& name, std::uint64_t seed) {
     plan.crashes.push_back({2, 5});
     plan.recoveries.push_back({1, 40});
     plan.stalls.push_back({0, 2, 6});
-    UnboundedProtocol protocol(4);
-    Simulation sim(protocol, {0, 1, 1, 0}, base_options(seed));
+    Simulation sim(*protocol, inputs, base_options(seed));
     RandomScheduler inner(seed ^ 0x77);
     fault::FaultPlanScheduler sched(inner, plan);
-    return format_run(name, seed, sim.run(sched));
+    return sim.run(sched);
   }
   ADD_FAILURE() << "golden corpus names unknown case: " << name;
   return {};
+}
+
+std::string replay_case(const std::string& name, std::uint64_t seed) {
+  return format_run(name, seed, run_case_scalar(name, seed));
+}
+
+/// Lane-engine options that reproduce a golden case: the built-in spec
+/// kinds for random/adversary lines (exercising the SoA kernel for
+/// two/random and the pooled-scheduler fallback for the rest), a custom
+/// scalar_run for the exotic rigs (split adversary, register faults, fault
+/// plans) — exercising the kCustom divergence arm.
+LaneRunOptions lane_case_options(const std::string& name, int lanes) {
+  const std::string kind = name.substr(name.find('/') + 1);
+  LaneRunOptions lo;
+  lo.lanes = lanes;
+  lo.max_total_steps = 200'000;
+  lo.record_schedule = true;
+  if (kind == "random") {
+    lo.sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+  } else if (kind == "adversary") {
+    lo.sched = {LaneSchedSpec::Kind::kAvoid, 0, 17};
+  } else {
+    lo.scalar_run = [name](std::uint64_t s) { return run_case_scalar(name, s); };
+  }
+  return lo;
 }
 
 TEST(EngineGolden, ReplaysEveryCorpusLineBitForBit) {
@@ -135,6 +171,61 @@ TEST(EngineGolden, ReplaysEveryCorpusLineBitForBit) {
   // The corpus covers all three core protocols, both adaptive adversaries,
   // register faults, and crash+recovery; a truncated file must not pass.
   EXPECT_GE(lines, 50);
+}
+
+// The lane-vs-scalar pin: every corpus case, run through the lane engine at
+// W in {1, 4, 8}, produces byte-identical formatted runs per lane — total
+// steps, recoveries, max register bits, decisions, and the exact schedule —
+// against a freshly-built scalar Simulation of the same seed. Each width
+// sweeps more runs than lanes, so the SoA kernel's harvest-and-refill path
+// (a finished lane reloading the next seed mid-round) is pinned too, and
+// every divergence arm is exercised: two/random takes the SoA kernel,
+// adversary lines the pooled-scheduler fallback, the exotic rigs the
+// custom scalar_run fallback.
+TEST(EngineGolden, LaneEngineMatchesScalarPerLaneAtEveryWidth) {
+  std::ifstream is(CIL_GOLDENS_PATH);
+  ASSERT_TRUE(is) << "cannot open " << CIL_GOLDENS_PATH;
+  std::string line;
+  int soa_cases = 0, fallback_cases = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    unsigned long long seed = 0;
+    ASSERT_EQ(std::sscanf(line.c_str() + sp, " seed=%llu", &seed), 1) << line;
+
+    const std::string proto = name.substr(0, name.find('/'));
+    const std::unique_ptr<Protocol> protocol = case_protocol(proto);
+    ASSERT_NE(protocol, nullptr) << name;
+    const std::vector<Value> inputs = case_inputs(proto);
+
+    for (const int lanes : {1, 4, 8}) {
+      LaneEngine engine(*protocol, inputs);
+      const LaneRunOptions lo = lane_case_options(name, lanes);
+      if (engine.soa_supported(lo)) {
+        ++soa_cases;
+      } else {
+        ++fallback_cases;
+      }
+      // lanes + 3 runs: every lane starts once and at least three lanes
+      // refill, so harvest order != seed order for W > 1.
+      const std::int64_t runs = lanes + 3;
+      const std::vector<SimResult> results =
+          engine.run_collect(seed, runs, lo);
+      ASSERT_EQ(static_cast<std::int64_t>(results.size()), runs);
+      for (std::int64_t j = 0; j < runs; ++j) {
+        const std::uint64_t s = seed + static_cast<std::uint64_t>(j);
+        EXPECT_EQ(format_run(name, s, results[static_cast<std::size_t>(j)]),
+                  replay_case(name, s))
+            << "lane mismatch: " << name << " seed=" << s << " W=" << lanes;
+      }
+    }
+  }
+  // two/random lines take the SoA kernel; everything else must have
+  // exercised a fallback arm. Both paths must appear, or the pin is vacuous.
+  EXPECT_GT(soa_cases, 0);
+  EXPECT_GT(fallback_cases, 0);
 }
 
 }  // namespace

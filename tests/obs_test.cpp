@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
@@ -21,6 +22,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "runtime/threaded.h"
+#include "sched/lane_engine.h"
 #include "sched/schedulers.h"
 #include "sched/simulation.h"
 #include "util/check.h"
@@ -522,6 +524,119 @@ TEST(ObsExport, JsonlStreamSinkWritesDuringTheRunAndRoundTrips) {
   EXPECT_EQ(back, events);
   EXPECT_FALSE(events.empty());
   std::remove(path.c_str());
+}
+
+std::vector<Event> record_active_set_run(std::uint64_t seed) {
+  TwoProcessProtocol protocol;
+  obs::RecordingSink rec;
+  SimOptions options;
+  options.seed = seed;
+  options.obs.sink = &rec;
+  options.obs.active_set = true;
+  Simulation sim(protocol, {0, 1}, options);
+  RandomScheduler sched(seed ^ 0x1234);
+  sim.run(sched);
+  return rec.take();
+}
+
+TEST(ObsSim, ActiveSetSamplesNarrateEngineTruth) {
+  const auto events = record_active_set_run(9);
+  std::vector<const Event*> samples;
+  for (const Event& e : events)
+    if (e.kind == EventKind::kActiveSet) samples.push_back(&e);
+  // A crash-free two-process run transitions exactly at the two decisions:
+  // baseline |active|=2 at run start (pid -1), then 1, then 0.
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0]->pid, -1);
+  EXPECT_EQ(samples[0]->total_step, 0);
+  EXPECT_EQ(samples[0]->arg, 2);
+  EXPECT_EQ(samples[1]->arg, 1);
+  EXPECT_EQ(samples[2]->arg, 0);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_TRUE(samples[i]->pid == 0 || samples[i]->pid == 1);
+    EXPECT_GT(samples[i]->total_step, 0);
+  }
+
+  // Off by default: the historical stream carries no kActiveSet events.
+  for (const Event& e : record_sim_run(9))
+    EXPECT_NE(e.kind, EventKind::kActiveSet);
+}
+
+TEST(ObsLane, ObservedLaneRunEmitsTheScalarStream) {
+  // An observation sink forces every lane onto the scalar fallback, so an
+  // observed lane run's stream is byte-identical to the Simulation's own —
+  // including the kActiveSet counter samples.
+  const std::uint64_t seed = 11;
+  TwoProcessProtocol protocol;
+  obs::RecordingSink direct;
+  SimOptions so;
+  so.seed = seed;
+  so.obs.sink = &direct;
+  so.obs.active_set = true;
+  Simulation sim(protocol, {0, 1}, so);
+  RandomScheduler sched(seed ^ 0x1234);
+  (void)sim.run(sched);
+
+  obs::RecordingSink lane;
+  LaneEngine engine(protocol, {0, 1});
+  LaneRunOptions lo;
+  lo.lanes = 4;
+  lo.obs.sink = &lane;
+  lo.obs.active_set = true;
+  EXPECT_FALSE(engine.soa_supported(lo));
+  int harvested = 0;
+  ASSERT_TRUE(
+      engine.run(seed, 1, lo, [&](const LaneRunView&) { ++harvested; }));
+  EXPECT_EQ(harvested, 1);
+  ASSERT_FALSE(direct.events().empty());
+  EXPECT_EQ(lane.events(), direct.events());
+}
+
+TEST(ObsExport, PerfettoActiveTrackPrefersEngineSamples) {
+  // With kActiveSet in the stream, the exporter's active_processes track is
+  // the engine's own samples — one counter event per sample, same values,
+  // no event-derived reconstruction mixed in.
+  const auto events = record_active_set_run(13);
+  std::vector<std::int64_t> expected;
+  for (const Event& e : events)
+    if (e.kind == EventKind::kActiveSet) expected.push_back(e.arg);
+  ASSERT_FALSE(expected.empty());
+
+  const Json doc =
+      Json::parse(obs::perfetto_trace_json(events, "obs_test active_set"));
+  std::vector<std::int64_t> track;
+  for (std::size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+    const Json& ev = doc.at("traceEvents").at(i);
+    if (ev.at("ph").as_string() == "C" &&
+        ev.at("name").as_string() == "active_processes")
+      track.push_back(ev.at("args").at("active").as_int());
+  }
+  EXPECT_EQ(track, expected);
+}
+
+TEST(ObsExport, TraceviewCheckAcceptsExportedArtifacts) {
+  // End-to-end artifact pin: a JSONL event log and a run report written by
+  // the exporters must pass the real `traceview --check` binary.
+  const auto events = record_active_set_run(23);
+  const std::string dir = testing::TempDir();
+  const std::string jsonl = dir + "/obs_traceview_events.jsonl";
+  const std::string report = dir + "/obs_traceview_report.json";
+  {
+    std::ofstream os(jsonl, std::ios::binary);
+    ASSERT_TRUE(os.good());
+    obs::write_jsonl(os, events);
+  }
+  obs::MetricsRegistry registry;
+  registry.counter("runs").inc(1);
+  ASSERT_TRUE(obs::write_text_file(
+      report,
+      obs::run_report_json("obs_test", {{"seed", "23"}}, registry)));
+
+  const std::string cmd =
+      std::string(CIL_TRACEVIEW_PATH) + " --check " + jsonl + " " + report;
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  std::remove(jsonl.c_str());
+  std::remove(report.c_str());
 }
 
 TEST(ObsBadness, ViolationDominatesEveryViolationFreeRun) {

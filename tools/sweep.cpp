@@ -22,6 +22,12 @@
 // Flags:
 //   --protocol=two|unbounded|bounded   --n=<procs>   (unbounded only)
 //   --adversary=random|avoid
+//   --engine=scalar|lane    per-worker execution engine (default scalar);
+//                           lane runs --lanes seeds in lockstep per thread
+//                           (sched/lane_engine) — summaries and artifacts
+//                           are bit-identical either way, so
+//                           --verify-against works across engines
+//   --lanes=<W>             (default 8; engine=lane only)
 //   --seeds=<count>         (default 200)     --first-seed=<s> (default 1)
 //   --steps=<per-run cap>   (default 1000000) --check-every=<k> (default 1)
 //   --shard-size=<runs>     (default 0: seeds / (4 * workers), min 1)
@@ -73,6 +79,8 @@ struct Args {
   std::string protocol = "unbounded";
   int n = 3;
   std::string adversary = "random";
+  std::string engine = "scalar";
+  int lanes = 8;
   std::int64_t seeds = 200;
   std::uint64_t first_seed = 1;
   std::int64_t steps = 1'000'000;
@@ -97,6 +105,8 @@ bool parse(int argc, char** argv, Args& args) {
   flags.take_string("protocol", args.protocol);
   flags.take_int("n", args.n);
   flags.take_string("adversary", args.adversary);
+  flags.take_string("engine", args.engine);
+  flags.take_int("lanes", args.lanes);
   flags.take_int("seeds", args.seeds);
   flags.take_uint64("first-seed", args.first_seed);
   flags.take_int("steps", args.steps);
@@ -117,8 +127,12 @@ bool parse(int argc, char** argv, Args& args) {
   if (!flags.finish()) return false;
   if (args.seeds < 1 || args.workers < 1 || args.threads < 0 ||
       args.retries < 0 || args.shard_size < 0 || args.chaos_kill_prob < 0.0 ||
-      args.chaos_kill_prob > 1.0) {
+      args.chaos_kill_prob > 1.0 || args.lanes < 1) {
     std::fprintf(stderr, "sweep: flag value out of range\n");
+    return false;
+  }
+  if (args.engine != "scalar" && args.engine != "lane") {
+    std::fprintf(stderr, "sweep: unknown engine %s\n", args.engine.c_str());
     return false;
   }
   if (args.out.empty()) args.out = args.checkpoint + "/summary.json";
@@ -189,6 +203,16 @@ BatchSummary run_shard(const Args& args, const Protocol& protocol,
   bo.threads = args.threads;
   bo.max_total_steps = args.steps;
   bo.check_every = args.check_every;
+  if (args.engine == "lane") {
+    // Same seed derivations as make_factory, expressed as a LaneSchedSpec;
+    // the summary stays bit-identical (pinned by batch_test), so lane
+    // artifacts verify cleanly against scalar ones and vice versa.
+    bo.engine = BatchEngine::kLane;
+    bo.lanes = args.lanes;
+    bo.lane_sched = args.adversary == "random"
+                        ? LaneSchedSpec{LaneSchedSpec::Kind::kRandom, 0x1234, 0}
+                        : LaneSchedSpec{LaneSchedSpec::Kind::kAvoid, 0, 17};
+  }
   return runner.run(bo, make_factory(args), nullptr, hook);
 }
 
