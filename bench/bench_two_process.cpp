@@ -20,6 +20,7 @@
 #include "analysis/mdp.h"
 #include "bench/bench_util.h"
 #include "core/two_process.h"
+#include "fault/fault_plan.h"
 #include "sched/adversary.h"
 #include "sched/schedulers.h"
 #include "util/stats.h"
@@ -120,6 +121,48 @@ void measure_lane(const TwoProcessProtocol& protocol,
       1e6 * b.wall_seconds / static_cast<double>(b.num_runs));
 }
 
+// X14's crash series: the random sweep under a shared crash/recovery plan
+// (P0 crashes at its 2nd step, recovers 8 ticks later), measured on both
+// engines. The lane engine serves the plan natively through its per-lane
+// fault cursors — summaries stay bit-identical (BatchLane.FaultSweepBitIdentity),
+// so the lane_us_per_run / us_per_run ratio is the fault kernel's speedup.
+void measure_crash_series(const TwoProcessProtocol& protocol,
+                          BenchReport& report) {
+  fault::FaultPlan plan;
+  plan.crashes.push_back({0, 2});
+  plan.recoveries.push_back({0, 8});
+
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = kRuns;
+  opts.threads = bench_threads();
+  opts.fault_plan = &plan;
+  const auto factory = [] {
+    auto s = std::make_shared<RandomScheduler>(0);
+    return [s](std::uint64_t seed) -> Scheduler& {
+      s->reseed(seed ^ 0x1234);
+      return *s;
+    };
+  };
+  const BatchSummary scalar = batch.run(opts, factory);
+  add_batch_report(report, "crash-recovery", scalar);
+  std::printf("  [crash-recovery: %.2f us/run scalar, %lld recoveries]\n",
+              1e6 * scalar.wall_seconds / static_cast<double>(scalar.num_runs),
+              static_cast<long long>(scalar.recoveries));
+
+  opts.engine = BatchEngine::kLane;
+  opts.lanes = bench_lanes();
+  opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+  const BatchSummary lane = batch.run(opts, nullptr);
+  add_lane_batch_report(report, "crash-recovery", lane);
+  std::printf(
+      "  [crash-recovery engine=lane: %.2f us/run on %d threads x %d lanes,"
+      " simd_width=%d]\n",
+      1e6 * lane.wall_seconds / static_cast<double>(lane.num_runs),
+      opts.threads, opts.lanes, lane.simd_width);
+}
+
 }  // namespace
 
 int main() {
@@ -127,6 +170,7 @@ int main() {
   BenchReport report("bench_two_process");
   report.set_meta("protocol", "two_process");
   report.set_meta("experiment", "F1/T6/T7/C7");
+  set_simd_meta(report);
 
   header("T6: consistency, exhaustively (full configuration-space closure)");
   {
@@ -146,6 +190,7 @@ int main() {
   }
   for (const char* s : {"random", "adaptive-adversary"})
     measure_lane(protocol, s, report);
+  measure_crash_series(protocol, report);
   {
     // THE worst case: the argmax policy extracted from the MDP, run live.
     // Its sample mean converges to the exact supremum of 10 — the paper's

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "sched/batch.h"
 #include "sched/simulation.h"
+#include "util/simd.h"
 #include "util/stats.h"
 
 namespace cil::bench {
@@ -254,6 +255,20 @@ inline void add_lane_batch_report(BenchReport& report, const std::string& key,
       "wall." + key + ".lane_ns_per_step",
       b.total_steps > 0 ? 1e9 * wall / static_cast<double>(b.total_steps)
                         : 0.0);
+  // The width this sweep's kernels actually ran at, so a lane number in a
+  // report is never compared against one computed by a different vector
+  // ISA without the difference being visible in the artifact.
+  report.set_value("batch." + key + ".simd_width",
+                   static_cast<double>(b.simd_width));
+}
+
+/// Stamp the process-wide SIMD selection into a report's meta block:
+/// simd_width (what the lane kernels default to on this host, after the
+/// $CIL_SIMD_WIDTH override) and simd_isa (its human name). Benches call
+/// this once so run-reports are self-describing about the vector ISA.
+inline void set_simd_meta(BenchReport& report) {
+  report.set_meta("simd_width", std::to_string(simd::active_width()));
+  report.set_meta("simd_isa", simd::width_isa(simd::active_width()));
 }
 
 }  // namespace cil::bench

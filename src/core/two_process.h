@@ -86,10 +86,14 @@ class TwoProcessProtocol final : public Protocol {
 
   /// Default mode is exactly the automaton the lane engine's SoA kernel
   /// implements; preinitialized mode changes the codec and the initial pc,
-  /// so it diverges to the scalar path. (buggy_warm_recovery only alters
-  /// recovery, which the SoA-eligible schedulers never trigger.)
+  /// so it diverges to the scalar path.
   bool lane_soa_two_process() const override {
     return !options_.preinitialized_registers;
+  }
+  /// The planted warm-recovery bug replaces the conservative re-read, so
+  /// fault-plan lanes must take the scalar path to reproduce it.
+  bool lane_soa_conservative_recovery() const override {
+    return lane_soa_two_process() && !options_.buggy_warm_recovery;
   }
 
   Value max_value() const { return max_value_; }

@@ -37,6 +37,9 @@ Json sweep_config_to_json(const SweepConfig& config) {
   j["shard_size"] = Json(config.shard_size);
   j["max_total_steps"] = Json(config.max_total_steps);
   j["check_every"] = Json(config.check_every);
+  // Written only when set: fault-free manifests keep their historical shape,
+  // so pre-fault checkpoints stay resumable by this binary and vice versa.
+  if (!config.fault_plan.empty()) j["fault_plan"] = Json(config.fault_plan);
   return j;
 }
 
@@ -50,6 +53,7 @@ SweepConfig sweep_config_from_json(const Json& j) {
   c.shard_size = j.at("shard_size").as_int();
   c.max_total_steps = j.at("max_total_steps").as_int();
   c.check_every = j.at("check_every").as_int();
+  if (const Json* v = j.find("fault_plan")) c.fault_plan = v->as_string();
   return c;
 }
 

@@ -50,6 +50,10 @@ struct SweepConfig {
   std::int64_t shard_size = 0;  ///< runs per shard (>= 1)
   std::int64_t max_total_steps = 1'000'000;
   std::int64_t check_every = 1;
+  /// Shared fault schedule in FaultPlan::serialize form; empty = fault-free.
+  /// Part of the identity: the same seeds under a different plan produce
+  /// different summaries, so a resume across plans must be refused.
+  std::string fault_plan;
 
   friend bool operator==(const SweepConfig&, const SweepConfig&) = default;
 };

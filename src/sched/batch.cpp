@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <limits>
 #include <optional>
 #include <thread>
 
+#include "fault/sim_faults.h"
 #include "util/check.h"
 
 namespace cil {
@@ -81,14 +83,51 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
                               const SchedulerFactory& make_scheduler,
                               const RunProbe& probe, const RunHook& after_run) {
   CIL_EXPECTS(options.num_runs >= 0);
-  const bool lane = options.engine == BatchEngine::kLane;
-  CIL_EXPECTS(lane || make_scheduler != nullptr);
+  const bool lane_requested = options.engine == BatchEngine::kLane;
   // The lane engine has no per-run Simulation to hand a probe (SoA lanes
-  // share one state block); probed sweeps stay on the scalar engine.
-  CIL_CHECK_MSG(!lane || probe == nullptr,
-                "BatchRunner: engine=lane cannot serve a RunProbe");
+  // share one state block), so a probed engine=lane sweep degrades to the
+  // scalar engine — same summary (the engines are bit-identical), just no
+  // lockstep speedup — rather than aborting a sweep that is perfectly
+  // serviceable. The downgrade is loud: once on stderr, and durably in
+  // BatchSummary::note so artifacts record it.
+  const bool lane = lane_requested && probe == nullptr;
+  CIL_CHECK_MSG(lane || make_scheduler != nullptr,
+                lane_requested
+                    ? "BatchRunner: engine=lane with a RunProbe falls back to "
+                      "the scalar engine, which needs a scheduler factory"
+                    : "BatchRunner: engine=scalar needs a scheduler factory");
   BatchSummary out;
+  if (lane_requested && !lane) {
+    std::fprintf(stderr,
+                 "BatchRunner: engine=lane cannot serve a RunProbe; running "
+                 "this sweep on the scalar engine\n");
+    out.note =
+        "engine=lane downgraded to scalar: a RunProbe needs per-run "
+        "Simulation access";
+  }
   if (options.num_runs == 0) return out;
+
+  // One LaneRunOptions mapping shared by the width report and every lane
+  // worker, so they cannot drift.
+  const auto lane_options = [&options] {
+    LaneRunOptions lo;
+    lo.lanes = options.lanes;
+    lo.max_total_steps = options.max_total_steps;
+    lo.check_every = options.check_every;
+    lo.check_consistency = options.check_consistency;
+    lo.check_nontriviality = options.check_nontriviality;
+    lo.sched = options.lane_sched;
+    lo.cancel = options.cancel;
+    lo.fault_plan = options.fault_plan;
+    lo.simd_width = options.simd_width;
+    return lo;
+  };
+  if (lane) {
+    // What width the workers' kernels will run at (pure function of the
+    // protocol, options, and host CPU — cheap to ask a throwaway engine).
+    LaneEngine width_probe(protocol_, inputs_);
+    out.simd_width = width_probe.selected_simd_width(lane_options());
+  }
 
   const auto t_start = Clock::now();
 
@@ -120,14 +159,7 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
     try {
       const auto c0 = Clock::now();
       LaneEngine engine(protocol_, inputs_);
-      LaneRunOptions lo;
-      lo.lanes = options.lanes;
-      lo.max_total_steps = options.max_total_steps;
-      lo.check_every = options.check_every;
-      lo.check_consistency = options.check_consistency;
-      lo.check_nontriviality = options.check_nontriviality;
-      lo.sched = options.lane_sched;
-      lo.cancel = options.cancel;
+      const LaneRunOptions lo = lane_options();
       const auto c1 = Clock::now();
       wt.construct += seconds_between(c0, c1);
       bool complete = false;
@@ -169,6 +201,13 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
       CIL_CHECK_MSG(provide != nullptr,
                     "BatchRunner: scheduler factory returned null provider");
       std::optional<Simulation> sim;
+      // Fault rig, re-armed per seed: FaultPlanScheduler wants fresh event
+      // cursors for every run, and the register hook must be re-installed
+      // after every reset (RegisterFile::reset clears it). Keyed by the
+      // plan's own seed so every run sees the same fault stream — the same
+      // rig LaneEngine's fallback builds, hence engine-invariant summaries.
+      std::optional<fault::FaultPlanScheduler> plan_sched;
+      std::optional<fault::SimRegisterFaults> reg_faults;
       for (; i < end; ++i) {
         if (options.cancel != nullptr &&
             options.cancel->load(std::memory_order_relaxed)) {
@@ -190,9 +229,18 @@ BatchSummary BatchRunner::run(const BatchOptions& options,
         } else {
           sim->reset(inputs_, so);
         }
-        Scheduler& sched = provide(seed);
+        Scheduler* sched = &provide(seed);
+        if (options.fault_plan != nullptr) {
+          plan_sched.emplace(*sched, *options.fault_plan);
+          sched = &*plan_sched;
+          if (options.fault_plan->registers.any_word_faults()) {
+            reg_faults.emplace(options.fault_plan->registers,
+                               options.fault_plan->seed, sim->regs().size());
+            sim->mutable_regs().set_fault_hook(&*reg_faults);
+          }
+        }
         const auto c1 = Clock::now();
-        const SimResult r = sim->run(sched);
+        const SimResult r = sim->run(*sched);
         const auto c2 = Clock::now();
         wt.construct += seconds_between(c0, c1);
         wt.run += seconds_between(c1, c2);

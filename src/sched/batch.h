@@ -25,6 +25,7 @@
 #include <functional>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sched/lane_engine.h"
@@ -81,6 +82,19 @@ struct BatchOptions {
   BatchEngine engine = BatchEngine::kScalar;
   int lanes = 8;
   LaneSchedSpec lane_sched;
+  /// Shared fault schedule applied to every run, or null for fault-free
+  /// sweeps. Served by BOTH engines with bit-identical summaries: scalar
+  /// workers wrap each seed's scheduler in a FaultPlanScheduler (plus the
+  /// SimRegisterFaults hook when the plan carries word-fault rates); lane
+  /// workers hand the plan to LaneEngine, whose SoA fault kernel carries
+  /// representable crash/recovery plans in the lanes and falls back to the
+  /// same scalar rig for the rest. Borrowed; must outlive run().
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// SIMD width request forwarded to lane workers: 0 picks the widest
+  /// compiled width the CPU supports; 1/2/4 force a narrower kernel (for
+  /// cross-width comparisons). Never changes the summary — only which
+  /// vector ISA computes it. Ignored by engine=scalar.
+  int simd_width = 0;
   // Per-run SimOptions (seed is supplied per run).
   std::int64_t max_total_steps = 1'000'000;
   std::int64_t check_every = 1;
@@ -155,8 +169,18 @@ struct BatchSummary {
   SampleSet max_register_bits;   ///< Theorem 9 high-water mark per run
   SampleSet probe;               ///< RunProbe values; empty without a probe
 
-  // Wall clock — NOT part of the deterministic contract. construct/run are
-  // summed across workers (CPU-seconds-like); wall is end-to-end.
+  // Machine/engine metadata — NOT part of the deterministic contract (the
+  // values above never depend on them; pinned by batch_test). construct/run
+  // are summed across workers (CPU-seconds-like); wall is end-to-end.
+  /// The SIMD width the lane kernels ran at (after the simd_width request
+  /// and the runtime CPU clamp); 1 for engine=scalar and for lane
+  /// configurations that took the scalar fallback. Reported so artifacts
+  /// record which vector ISA computed them (see tools/sweep
+  /// --verify-against).
+  int simd_width = 1;
+  /// One-line advisory about engine selection (e.g. a probed sweep forced
+  /// engine=lane down to scalar); empty when nothing noteworthy happened.
+  std::string note;
   double wall_seconds = 0.0;
   double construct_seconds = 0.0;  ///< Simulation ctor/reset + scheduler arming
   double run_seconds = 0.0;        ///< Simulation::run

@@ -23,12 +23,35 @@
 //
 // The SoA kernel serves the hot case: TwoProcessProtocol (default mode)
 // under uniformly random scheduling with no observation sink. Everything
-// else — adaptive adversaries, other protocols, fault hooks, observed runs,
-// custom rigs — DIVERGES to the scalar fallback: one pooled Simulation per
+// else — adaptive adversaries, other protocols, observed runs, custom
+// rigs — DIVERGES to the scalar fallback: one pooled Simulation per
 // engine, reset per seed, run through exactly the code path BatchRunner's
 // scalar workers use, so divergent lanes are bit-identical by construction
 // rather than by reimplementation. `soa_supported()` reports which path a
 // configuration takes; sweeps need not care.
+//
+// Two dimensions of the kernel are decided per run() call:
+//
+//  * SIMD WIDTH. The round loop batch-advances all W lanes' xoshiro256**
+//    scheduler states (and, masked, the coin states of the lanes about to
+//    flip) through util/simd.h's u64x<N> kernels — N in {1, 2, 4} compiled
+//    into every binary, the widest CPU-supported one picked at runtime
+//    (LaneRunOptions::simd_width and $CIL_SIMD_WIDTH force it down). Width
+//    never changes results: a u64x<N> batch update is exactly N scalar
+//    updates, so bit-identity holds at every (W, N) combination.
+//
+//  * FAULTS. A LaneRunOptions::fault_plan brings crash/recovery sweeps
+//    into the lanes: each lane carries its own cursors over the shared
+//    plan (pending-crash flag, armed/consumed recovery-event masks, due
+//    steps), crash masks fold into the lane's liveness word, and recovery
+//    applies the protocol's conservative re-read (persisted own word; ⊥ →
+//    cold restart) — the exact event semantics of FaultPlanScheduler +
+//    Simulation::crash/recover, including idle clock ticks while every
+//    live processor is done but a restart is still due. Plans the kernel
+//    cannot represent (stalls, word faults, multi-crash, non-conservative
+//    recovery protocols) diverge to the scalar fallback, which wraps each
+//    seed's scheduler in a real FaultPlanScheduler — identical to what
+//    BatchRunner's scalar workers do with the same plan.
 #pragma once
 
 #include <atomic>
@@ -37,6 +60,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "registers/lane_register_file.h"
 #include "sched/simulation.h"
 
@@ -78,6 +102,21 @@ struct LaneRunOptions {
   /// refill. In-flight lanes finish their current run first; run() then
   /// returns false without harvesting the unstarted remainder.
   const std::atomic<bool>* cancel = nullptr;
+  /// Shared fault schedule applied to every run, or null for fault-free
+  /// runs. Representable plans (crash/recovery only — see the header
+  /// comment) run on the SoA fault kernel; the rest take the scalar
+  /// fallback, which wraps each seed's spec-derived scheduler in a
+  /// FaultPlanScheduler (plus SimRegisterFaults when the plan carries
+  /// word-fault rates) — the exact rig BatchRunner's scalar workers use
+  /// for the same plan. Mutually exclusive with scalar_run (a custom
+  /// runner owns its whole rig). Borrowed; must outlive run().
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// SIMD width for the SoA kernels: 0 picks the widest compiled width the
+  /// CPU supports (downgradable via $CIL_SIMD_WIDTH); 1/2/4 force that
+  /// width, clamped to what this process can execute. Results are
+  /// bit-identical at every width — the knob exists for the golden-matrix
+  /// tests and for pinning cross-width artifact comparisons.
+  int simd_width = 0;
 };
 
 /// One finished run, as the engine hands it to the harvest callback. Plain
@@ -114,6 +153,12 @@ class LaneEngine {
   /// run() still works, through the per-lane scalar fallback.
   bool soa_supported(const LaneRunOptions& options) const;
 
+  /// The SIMD width the SoA kernels will run at under `options` — after the
+  /// simd_width/$CIL_SIMD_WIDTH override and the runtime CPU clamp — or 1
+  /// when the configuration takes the scalar path (scalar math IS the
+  /// width-1 kernel). What BatchSummary::simd_width reports.
+  int selected_simd_width(const LaneRunOptions& options) const;
+
   /// Sweep seeds [first_seed, first_seed + num_runs), W at a time, calling
   /// `harvest` once per finished run. Returns false iff options.cancel
   /// flipped true before every run was harvested (the remainder is skipped;
@@ -138,10 +183,19 @@ class LaneEngine {
   bool run_soa(std::uint64_t first_seed, std::int64_t num_runs,
                const LaneRunOptions& options, const LaneHarvest& harvest);
   /// The kernel proper, specialized at compile time on whether the pid
-  /// schedule is recorded — the bench path carries no push_back code.
-  template <bool kRecordSchedule>
+  /// schedule is recorded (the bench path carries no push_back code) and
+  /// on whether a fault plan is armed (the fault-free path carries no
+  /// event-cursor code at all).
+  template <bool kRecordSchedule, bool kFaults>
   bool run_soa_impl(std::uint64_t first_seed, std::int64_t num_runs,
                     const LaneRunOptions& options, const LaneHarvest& harvest);
+  /// The throughput kernel for the hot sweep shape (no schedule recording,
+  /// no faults, binary inputs): the whole automaton state bitsliced to one
+  /// bit per lane in 64-bit planes, so a round costs a few dozen word-wide
+  /// boolean ops for all W lanes together. Bit-identical to run_soa_impl.
+  bool run_soa_sliced(std::uint64_t first_seed, std::int64_t num_runs,
+                      const LaneRunOptions& options,
+                      const LaneHarvest& harvest);
   bool run_scalar(std::uint64_t first_seed, std::int64_t num_runs,
                   const LaneRunOptions& options, const LaneHarvest& harvest);
 

@@ -86,6 +86,17 @@ class Protocol {
   /// not the other way around.
   virtual bool lane_soa_two_process() const { return false; }
 
+  /// True iff this protocol's recover() is the conservative re-read the
+  /// lane engine's fault kernel implements for lane_soa_two_process()
+  /// protocols: decode the persisted own-register word; ⊥ means a cold
+  /// restart (the initial write never landed), anything else resumes at
+  /// the read step with the decoded preference. Protocols with modified
+  /// recovery semantics (e.g. the planted warm-recovery ablation) answer
+  /// false, which diverts their fault-plan lanes to the scalar path.
+  virtual bool lane_soa_conservative_recovery() const {
+    return lane_soa_two_process();
+  }
+
   /// Convenience: build the register file from registers(). The validated
   /// spec table (permission bitmasks, width masks) is built once per
   /// protocol instance and shared by every file returned afterwards, so a

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cil::svc {
 
@@ -198,6 +199,10 @@ std::string frame_hello() {
   j["event"] = obs::Json("hello");
   j["service"] = obs::Json("cilcoord.coordd");
   j["proto"] = obs::Json(kWireVersion);
+  // The SIMD width this daemon's lane kernels default to, so clients
+  // comparing sweep artifacts across daemons can see a vector-ISA skew in
+  // the handshake instead of discovering it in the numbers.
+  j["simd_width"] = obs::Json(static_cast<double>(simd::active_width()));
   return finish_frame(std::move(j));
 }
 

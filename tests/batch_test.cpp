@@ -36,6 +36,7 @@
 #include "sched/batch.h"
 #include "sched/schedulers.h"
 #include "sched/simulation.h"
+#include "util/simd.h"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every global allocation bumps a counter, so a test can
@@ -166,6 +167,31 @@ std::string replay_case_pooled(const std::string& name, std::uint64_t seed) {
       (void)sim.run(sched);
     }
     sim.reset({0, 1, 1, 0}, base_options(seed));
+    RandomScheduler inner(seed ^ 0x77);
+    fault::FaultPlanScheduler sched(inner, make_plan(seed));
+    return format_run(name, seed, sim.run(sched));
+  }
+  if (name == "two/crashrec" || name == "two/crashrec-late") {
+    const auto make_plan = [&name](std::uint64_t s) {
+      fault::FaultPlan plan;
+      plan.seed = s;
+      if (name == "two/crashrec") {
+        plan.crashes.push_back({0, 2});
+        plan.recoveries.push_back({0, 8});
+      } else {
+        plan.crashes.push_back({1, 3});
+        plan.recoveries.push_back({1, 48});
+      }
+      return plan;
+    };
+    TwoProcessProtocol protocol;
+    Simulation sim(protocol, {0, 1}, base_options(decoy));
+    {
+      RandomScheduler inner(decoy ^ 0x77);
+      fault::FaultPlanScheduler sched(inner, make_plan(decoy));
+      (void)sim.run(sched);
+    }
+    sim.reset({0, 1}, base_options(seed));
     RandomScheduler inner(seed ^ 0x77);
     fault::FaultPlanScheduler sched(inner, make_plan(seed));
     return format_run(name, seed, sim.run(sched));
@@ -474,6 +500,92 @@ TEST(BatchLane, RunHookSeesEverySeedExactlyOnce) {
   std::sort(seen.begin(), seen.end());
   for (std::size_t i = 0; i < seen.size(); ++i)
     EXPECT_EQ(seen[i], 100 + static_cast<std::uint64_t>(i));
+}
+
+TEST(BatchLane, FaultSweepBitIdentity) {
+  // A shared crash/recovery plan served by BOTH engines: the scalar workers
+  // wrap their schedulers in FaultPlanScheduler per seed, the lane workers
+  // run the SoA fault kernel with per-lane cursors — and the summaries must
+  // be bit-identical. 4 threads x 8 lanes so the TSan CI arm pins the fault
+  // cursors' data-race freedom too.
+  fault::FaultPlan plan;
+  plan.crashes.push_back({0, 2});
+  plan.recoveries.push_back({0, 8});
+
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 1;
+  opts.num_runs = 400;
+  opts.threads = 2;
+  opts.fault_plan = &plan;
+  const BatchSummary scalar = batch.run(opts, random_factory(0x1234));
+
+  opts.engine = BatchEngine::kLane;
+  opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+  opts.threads = 4;
+  opts.lanes = 8;
+  const BatchSummary lane = batch.run(opts, nullptr);
+
+  EXPECT_EQ(lane.num_runs, 400);
+  EXPECT_GT(lane.recoveries, 0);
+  expect_equal_summaries(scalar, lane);
+
+  // And the lane reduction itself is thread/lane-count invariant under the
+  // plan: the per-lane fault cursors cannot leak across shard boundaries.
+  opts.threads = 1;
+  opts.lanes = 1;
+  expect_equal_summaries(lane, batch.run(opts, nullptr));
+}
+
+TEST(BatchLane, ProbeDowngradesToScalarWithNote) {
+  // The lane engine exposes no per-run Simulation, so a probed sweep under
+  // engine=lane must degrade gracefully: scalar results, a note saying so,
+  // simd_width back at 1 — not a crash, and not silently dropped probes.
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = 120;
+  opts.threads = 2;
+  const RunProbe probe = [](const Simulation&, const SimResult& r) {
+    return r.total_steps;
+  };
+  const BatchSummary scalar = batch.run(opts, random_factory(0x1234), probe);
+
+  opts.engine = BatchEngine::kLane;
+  opts.lanes = 8;
+  opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+  const BatchSummary lane = batch.run(opts, random_factory(0x1234), probe);
+
+  EXPECT_FALSE(lane.note.empty());
+  EXPECT_EQ(lane.simd_width, 1);
+  expect_equal_summaries(scalar, lane);
+}
+
+TEST(BatchLane, ReportsSimdWidth) {
+  TwoProcessProtocol protocol;
+  BatchRunner batch(protocol, {0, 1});
+  BatchOptions opts;
+  opts.first_seed = 0;
+  opts.num_runs = 32;
+
+  // engine=scalar never touches the vector kernels.
+  EXPECT_EQ(batch.run(opts, random_factory(0x1234)).simd_width, 1);
+
+  // The SoA path reports the host's active width; an explicit narrower
+  // request is honored and reported back.
+  opts.engine = BatchEngine::kLane;
+  opts.lane_sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
+  EXPECT_EQ(batch.run(opts, nullptr).simd_width, simd::active_width());
+  opts.simd_width = 1;
+  EXPECT_EQ(batch.run(opts, nullptr).simd_width, 1);
+  opts.simd_width = 0;
+
+  // A lane configuration served by the pooled scalar fallback (adaptive
+  // adversary) reports width 1: no vector kernel ran.
+  opts.lane_sched = {LaneSchedSpec::Kind::kAvoid, 0, 17};
+  EXPECT_EQ(batch.run(opts, nullptr).simd_width, 1);
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include "sched/lane_engine.h"
 #include "sched/schedulers.h"
 #include "sched/simulation.h"
+#include "util/simd.h"
 
 namespace cil {
 namespace {
@@ -70,6 +71,27 @@ std::vector<Value> case_inputs(const std::string& proto) {
   if (proto == "unbounded3") return {0, 1, 0};
   if (proto == "unbounded4") return {0, 1, 1, 0};
   return {1, 0, 1};  // bounded3
+}
+
+/// The lane-representable crash/recovery plans of the two/crashrec* cases
+/// (seed left at its default: it only drives register-fault coins, which
+/// these plans don't use, so one shared plan serves every golden seed).
+const fault::FaultPlan* plan_for_case(const std::string& name) {
+  static const fault::FaultPlan crashrec = [] {
+    fault::FaultPlan p;
+    p.crashes.push_back({0, 2});
+    p.recoveries.push_back({0, 8});
+    return p;
+  }();
+  static const fault::FaultPlan crashrec_late = [] {
+    fault::FaultPlan p;
+    p.crashes.push_back({1, 3});
+    p.recoveries.push_back({1, 48});
+    return p;
+  }();
+  if (name == "two/crashrec") return &crashrec;
+  if (name == "two/crashrec-late") return &crashrec_late;
+  return nullptr;
 }
 
 /// Rebuild the run a golden line names — must mirror tools/goldengen.cpp
@@ -122,6 +144,12 @@ SimResult run_case_scalar(const std::string& name, std::uint64_t seed) {
     fault::FaultPlanScheduler sched(inner, plan);
     return sim.run(sched);
   }
+  if (const fault::FaultPlan* plan = plan_for_case(name)) {
+    Simulation sim(*protocol, inputs, base_options(seed));
+    RandomScheduler inner(seed ^ 0x77);
+    fault::FaultPlanScheduler sched(inner, *plan);
+    return sim.run(sched);
+  }
   ADD_FAILURE() << "golden corpus names unknown case: " << name;
   return {};
 }
@@ -132,8 +160,10 @@ std::string replay_case(const std::string& name, std::uint64_t seed) {
 
 /// Lane-engine options that reproduce a golden case: the built-in spec
 /// kinds for random/adversary lines (exercising the SoA kernel for
-/// two/random and the pooled-scheduler fallback for the rest), a custom
-/// scalar_run for the exotic rigs (split adversary, register faults, fault
+/// two/random and the pooled-scheduler fallback for the rest), a shared
+/// FaultPlan for the two/crashrec* lines (exercising the SoA fault
+/// kernel's crash/recovery cursors), and a custom scalar_run for the
+/// exotic rigs (split adversary, register faults, multi-process fault
 /// plans) — exercising the kCustom divergence arm.
 LaneRunOptions lane_case_options(const std::string& name, int lanes) {
   const std::string kind = name.substr(name.find('/') + 1);
@@ -145,6 +175,9 @@ LaneRunOptions lane_case_options(const std::string& name, int lanes) {
     lo.sched = {LaneSchedSpec::Kind::kRandom, 0x1234, 0};
   } else if (kind == "adversary") {
     lo.sched = {LaneSchedSpec::Kind::kAvoid, 0, 17};
+  } else if (const fault::FaultPlan* plan = plan_for_case(name)) {
+    lo.sched = {LaneSchedSpec::Kind::kRandom, 0x77, 0};
+    lo.fault_plan = plan;
   } else {
     lo.scalar_run = [name](std::uint64_t s) { return run_case_scalar(name, s); };
   }
@@ -174,19 +207,24 @@ TEST(EngineGolden, ReplaysEveryCorpusLineBitForBit) {
 }
 
 // The lane-vs-scalar pin: every corpus case, run through the lane engine at
-// W in {1, 4, 8}, produces byte-identical formatted runs per lane — total
-// steps, recoveries, max register bits, decisions, and the exact schedule —
+// W in {1, 4, 8} and every compiled-in SIMD width this host can execute,
+// produces byte-identical formatted runs per lane — total steps,
+// recoveries, max register bits, decisions, and the exact schedule —
 // against a freshly-built scalar Simulation of the same seed. Each width
 // sweeps more runs than lanes, so the SoA kernel's harvest-and-refill path
 // (a finished lane reloading the next seed mid-round) is pinned too, and
 // every divergence arm is exercised: two/random takes the SoA kernel,
-// adversary lines the pooled-scheduler fallback, the exotic rigs the
-// custom scalar_run fallback.
+// two/crashrec* the SoA fault kernel, adversary lines the
+// pooled-scheduler fallback, the exotic rigs the custom scalar_run
+// fallback.
 TEST(EngineGolden, LaneEngineMatchesScalarPerLaneAtEveryWidth) {
   std::ifstream is(CIL_GOLDENS_PATH);
   ASSERT_TRUE(is) << "cannot open " << CIL_GOLDENS_PATH;
+  std::vector<int> simd_widths;
+  for (const int w : {1, 2, 4})
+    if (w <= simd::runtime_max_width()) simd_widths.push_back(w);
   std::string line;
-  int soa_cases = 0, fallback_cases = 0;
+  int soa_cases = 0, fault_soa_cases = 0, fallback_cases = 0;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const std::size_t sp = line.find(' ');
@@ -202,29 +240,41 @@ TEST(EngineGolden, LaneEngineMatchesScalarPerLaneAtEveryWidth) {
 
     for (const int lanes : {1, 4, 8}) {
       LaneEngine engine(*protocol, inputs);
-      const LaneRunOptions lo = lane_case_options(name, lanes);
-      if (engine.soa_supported(lo)) {
+      const bool soa = engine.soa_supported(lane_case_options(name, lanes));
+      if (soa) {
         ++soa_cases;
+        if (plan_for_case(name) != nullptr) ++fault_soa_cases;
       } else {
         ++fallback_cases;
       }
-      // lanes + 3 runs: every lane starts once and at least three lanes
-      // refill, so harvest order != seed order for W > 1.
-      const std::int64_t runs = lanes + 3;
-      const std::vector<SimResult> results =
-          engine.run_collect(seed, runs, lo);
-      ASSERT_EQ(static_cast<std::int64_t>(results.size()), runs);
-      for (std::int64_t j = 0; j < runs; ++j) {
-        const std::uint64_t s = seed + static_cast<std::uint64_t>(j);
-        EXPECT_EQ(format_run(name, s, results[static_cast<std::size_t>(j)]),
-                  replay_case(name, s))
-            << "lane mismatch: " << name << " seed=" << s << " W=" << lanes;
+      // Fallback arms never touch the vector kernels, so sweeping widths
+      // there would replay identical work; one pass suffices.
+      const std::vector<int> widths =
+          soa ? simd_widths : std::vector<int>{0};
+      for (const int width : widths) {
+        LaneRunOptions lo = lane_case_options(name, lanes);
+        lo.simd_width = width;
+        // lanes + 3 runs: every lane starts once and at least three lanes
+        // refill, so harvest order != seed order for W > 1.
+        const std::int64_t runs = lanes + 3;
+        const std::vector<SimResult> results =
+            engine.run_collect(seed, runs, lo);
+        ASSERT_EQ(static_cast<std::int64_t>(results.size()), runs);
+        for (std::int64_t j = 0; j < runs; ++j) {
+          const std::uint64_t s = seed + static_cast<std::uint64_t>(j);
+          EXPECT_EQ(format_run(name, s, results[static_cast<std::size_t>(j)]),
+                    replay_case(name, s))
+              << "lane mismatch: " << name << " seed=" << s << " W=" << lanes
+              << " simd=" << width;
+        }
       }
     }
   }
-  // two/random lines take the SoA kernel; everything else must have
-  // exercised a fallback arm. Both paths must appear, or the pin is vacuous.
+  // two/random lines take the SoA kernel, two/crashrec* its fault arm, and
+  // everything else a fallback arm. All three must appear, or the pin is
+  // vacuous.
   EXPECT_GT(soa_cases, 0);
+  EXPECT_GT(fault_soa_cases, 0);
   EXPECT_GT(fallback_cases, 0);
 }
 

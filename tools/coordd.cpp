@@ -38,7 +38,9 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "svc/server.h"
+#include "svc/wire.h"
 #include "tools/cli_util.h"
+#include "util/simd.h"
 
 using namespace cil;
 
@@ -62,10 +64,22 @@ void raise_fd_limit() {
   (void)::setrlimit(RLIMIT_NOFILE, &lim);
 }
 
+/// --version: wire protocol plus the SIMD dispatch this binary/host pair
+/// resolved to — enough to explain a cross-machine artifact diff from the
+/// shell, without standing up a daemon to read its hello frame.
+int print_version() {
+  const int w = simd::active_width();
+  std::printf("coordd proto=%d simd_width=%d simd_isa=%s max_compiled=%d\n",
+              svc::kWireVersion, w, simd::width_isa(w),
+              simd::kMaxCompiledWidth);
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: coordd [--addr=127.0.0.1] [--port=0] [--port-file=PATH]\n"
+      "usage: coordd [--version]\n"
+      "              [--addr=127.0.0.1] [--port=0] [--port-file=PATH]\n"
       "              [--workers=N] [--max-sessions=N] [--chunk=N]\n"
       "              [--max-write-buffer=BYTES] [--max-line-bytes=BYTES]\n"
       "              [--stats-file=PATH] [--pid-file=PATH]\n"
@@ -125,6 +139,7 @@ obs::Json stats_to_json(const svc::ServerStats& st) {
 
 int main(int argc, char** argv) {
   cli::FlagSet flags(argc, argv);
+  if (flags.take_switch("version")) return print_version();
 
   svc::ServerOptions options;
   std::string port_file;

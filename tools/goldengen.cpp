@@ -115,5 +115,34 @@ int main() {
     fault::FaultPlanScheduler sched(inner, plan);
     print_run("unbounded4/crash+recovery", seed, sim, sched);
   }
+
+  // Two-process crash/recovery plans in the lane-representable subset (one
+  // crash, one matching recovery, no stalls or register faults): the same
+  // lines replay through BOTH engines in engine_golden_test, pinning the
+  // vectorized fault kernel against the scalar event loop.
+  TwoProcessProtocol two;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.crashes.push_back({0, 2});
+    plan.recoveries.push_back({0, 8});
+    Simulation sim(two, {0, 1}, base_options(seed));
+    RandomScheduler inner(seed ^ 0x77);
+    fault::FaultPlanScheduler sched(inner, plan);
+    print_run("two/crashrec", seed, sim, sched);
+  }
+  // A late recovery that often lands after both processes decide: pins the
+  // end-of-run subtlety where a pending recovery idles the clock (and can
+  // still fire, or be swallowed) before the run concludes.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.crashes.push_back({1, 3});
+    plan.recoveries.push_back({1, 48});
+    Simulation sim(two, {0, 1}, base_options(seed));
+    RandomScheduler inner(seed ^ 0x77);
+    fault::FaultPlanScheduler sched(inner, plan);
+    print_run("two/crashrec-late", seed, sim, sched);
+  }
   return 0;
 }

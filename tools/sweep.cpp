@@ -28,6 +28,14 @@
 //                           are bit-identical either way, so
 //                           --verify-against works across engines
 //   --lanes=<W>             (default 8; engine=lane only)
+//   --fault-plan=SPEC       apply a shared fault schedule to every run
+//                           (FaultPlan::serialize form, e.g.
+//                           "fp1;seed=1;crash=0@2;recover=0@8"). Defaults the
+//                           engine to lane — representable crash/recovery
+//                           plans run in the SoA lanes; everything else
+//                           falls back to scalar-identical math. Part of
+//                           the checkpoint identity: resuming a directory
+//                           under a different plan is refused.
 //   --seeds=<count>         (default 200)     --first-seed=<s> (default 1)
 //   --steps=<per-run cap>   (default 1000000) --check-every=<k> (default 1)
 //   --shard-size=<runs>     (default 0: seeds / (4 * workers), min 1)
@@ -50,6 +58,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,9 +72,11 @@
 #include "fabric/checkpoint.h"
 #include "fabric/summary.h"
 #include "fabric/supervisor.h"
+#include "fault/fault_plan.h"
 #include "obs/export.h"
 #include "sched/adversary.h"
 #include "sched/batch.h"
+#include "sched/lane_engine.h"
 #include "sched/schedulers.h"
 #include "tools/cli_util.h"
 #include "util/check.h"
@@ -81,6 +92,7 @@ struct Args {
   std::string adversary = "random";
   std::string engine = "scalar";
   int lanes = 8;
+  std::string fault_plan;  ///< FaultPlan::serialize form; empty = fault-free
   std::int64_t seeds = 200;
   std::uint64_t first_seed = 1;
   std::int64_t steps = 1'000'000;
@@ -105,8 +117,9 @@ bool parse(int argc, char** argv, Args& args) {
   flags.take_string("protocol", args.protocol);
   flags.take_int("n", args.n);
   flags.take_string("adversary", args.adversary);
-  flags.take_string("engine", args.engine);
+  const bool engine_given = flags.take_string("engine", args.engine);
   flags.take_int("lanes", args.lanes);
+  flags.take_string("fault-plan", args.fault_plan);
   flags.take_int("seeds", args.seeds);
   flags.take_uint64("first-seed", args.first_seed);
   flags.take_int("steps", args.steps);
@@ -135,6 +148,11 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "sweep: unknown engine %s\n", args.engine.c_str());
     return false;
   }
+  // Fault sweeps default onto the lane engine (the point of PR 10): the
+  // lanes carry representable crash/recovery plans natively and fall back
+  // to scalar-identical math for the rest. --engine=scalar still forces
+  // the historical path.
+  if (!args.fault_plan.empty() && !engine_given) args.engine = "lane";
   if (args.out.empty()) args.out = args.checkpoint + "/summary.json";
   return true;
 }
@@ -188,32 +206,69 @@ fabric::SweepConfig make_config(const Args& args, std::int64_t shard_size) {
   config.shard_size = shard_size;
   config.max_total_steps = args.steps;
   config.check_every = args.check_every;
+  config.fault_plan = args.fault_plan;
   return config;
 }
 
-BatchSummary run_shard(const Args& args, const Protocol& protocol,
-                       const SeedRange& range, const RunHook& hook) {
+/// Parse + validate --fault-plan, or leave `plan` empty when the flag is.
+/// Throws (caught in main, exit 2) on a malformed spec.
+void parse_plan(const Args& args, const Protocol& protocol,
+                std::optional<fault::FaultPlan>& plan) {
+  if (args.fault_plan.empty()) return;
+  plan = fault::FaultPlan::parse(args.fault_plan);
+  plan->validate(protocol.num_processes());
+}
+
+std::vector<Value> sweep_inputs(const Protocol& protocol) {
   std::vector<Value> inputs;
   for (int i = 0; i < protocol.num_processes(); ++i)
     inputs.push_back(static_cast<Value>(i & 1));
-  BatchRunner runner(protocol, inputs);
+  return inputs;
+}
+
+LaneSchedSpec lane_sched_spec(const Args& args) {
+  return args.adversary == "random"
+             ? LaneSchedSpec{LaneSchedSpec::Kind::kRandom, 0x1234, 0}
+             : LaneSchedSpec{LaneSchedSpec::Kind::kAvoid, 0, 17};
+}
+
+BatchSummary run_shard(const Args& args, const Protocol& protocol,
+                       const fault::FaultPlan* plan, const SeedRange& range,
+                       const RunHook& hook) {
+  BatchRunner runner(protocol, sweep_inputs(protocol));
   BatchOptions bo;
   bo.first_seed = range.first_seed;
   bo.num_runs = range.num_runs;
   bo.threads = args.threads;
   bo.max_total_steps = args.steps;
   bo.check_every = args.check_every;
+  bo.fault_plan = plan;
   if (args.engine == "lane") {
     // Same seed derivations as make_factory, expressed as a LaneSchedSpec;
     // the summary stays bit-identical (pinned by batch_test), so lane
     // artifacts verify cleanly against scalar ones and vice versa.
     bo.engine = BatchEngine::kLane;
     bo.lanes = args.lanes;
-    bo.lane_sched = args.adversary == "random"
-                        ? LaneSchedSpec{LaneSchedSpec::Kind::kRandom, 0x1234, 0}
-                        : LaneSchedSpec{LaneSchedSpec::Kind::kAvoid, 0, 17};
+    bo.lane_sched = lane_sched_spec(args);
   }
   return runner.run(bo, make_factory(args), nullptr, hook);
+}
+
+/// The SIMD width this sweep's lane kernels run at on this host — what the
+/// artifact records, so --verify-against can flag a cross-width comparison.
+/// 1 for engine=scalar and for configurations the lane engine serves
+/// through its scalar fallback.
+int sweep_simd_width(const Args& args, const Protocol& protocol,
+                     const fault::FaultPlan* plan) {
+  if (args.engine != "lane") return 1;
+  LaneEngine probe(protocol, sweep_inputs(protocol));
+  LaneRunOptions lo;
+  lo.lanes = args.lanes;
+  lo.max_total_steps = args.steps;
+  lo.check_every = args.check_every;
+  lo.sched = lane_sched_spec(args);
+  lo.fault_plan = plan;
+  return probe.selected_simd_width(lo);
 }
 
 /// One 64-bit identity per (chaos_seed, shard, attempt): a retried shard
@@ -232,7 +287,7 @@ std::uint64_t chaos_stream_seed(const Args& args, int shard, int attempt) {
 std::string sweep_artifact_json(const fabric::SweepConfig& config,
                                 const fabric::SweepSummary& merged,
                                 const fabric::SweepOutcome* outcome,
-                                int num_shards) {
+                                int num_shards, int simd_width) {
   fabric::ShardSummary top;
   top.range.first_seed =
       merged.empty() ? config.range.first_seed : merged.span().first_seed;
@@ -254,6 +309,10 @@ std::string sweep_artifact_json(const fabric::SweepConfig& config,
   }
   sweep["incomplete_shards"] = std::move(incomplete);
   sweep["retries"] = obs::Json(retries);
+  // Summaries are bit-identical across SIMD widths by contract; recording
+  // the width lets --verify-against say "and that identity held across a
+  // width-1 vs width-4 pair" instead of silently comparing same-width runs.
+  sweep["simd_width"] = obs::Json(simd_width);
   doc["sweep"] = std::move(sweep);
   return doc.dump() + "\n";
 }
@@ -279,7 +338,8 @@ void print_summary(const BatchSummary& s) {
 
 /// --verify-against: both sides must cover the same seed range and agree on
 /// every deterministic field. Returns the process exit code.
-int verify_against(const Args& args, const fabric::ShardSummary& ours) {
+int verify_against(const Args& args, const fabric::ShardSummary& ours,
+                   int our_simd_width) {
   std::string text;
   {
     std::FILE* f = std::fopen(args.verify_against.c_str(), "rb");
@@ -293,8 +353,22 @@ int verify_against(const Args& args, const fabric::ShardSummary& ours) {
     while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
     std::fclose(f);
   }
-  const fabric::ShardSummary theirs =
-      fabric::shard_summary_from_json(obs::Json::parse(text));
+  const obs::Json doc = obs::Json::parse(text);
+  const fabric::ShardSummary theirs = fabric::shard_summary_from_json(doc);
+  // A width skew is not a failure — summaries are width-invariant by
+  // contract — but it is worth a line: a match across widths is the
+  // strongest form of this check, and a mismatch after a kernel change
+  // points straight at the vector path.
+  if (const obs::Json* sweep = doc.find("sweep")) {
+    if (const obs::Json* w = sweep->find("simd_width")) {
+      const int their_width = static_cast<int>(w->as_int());
+      if (their_width != our_simd_width)
+        std::fprintf(stderr,
+                     "sweep: note: comparing across SIMD widths "
+                     "(ours %d vs theirs %d)\n",
+                     our_simd_width, their_width);
+    }
+  }
   if (!(theirs.range == ours.range)) {
     std::fprintf(stderr,
                  "sweep: VERIFY MISMATCH: seed ranges differ "
@@ -327,9 +401,13 @@ int run_serial(const Args& args) {
                  args.adversary.c_str());
     return 2;
   }
+  std::optional<fault::FaultPlan> plan;
+  parse_plan(args, *protocol, plan);
+  const fault::FaultPlan* plan_ptr = plan ? &*plan : nullptr;
+
   fabric::ShardSummary whole;
   whole.range = {args.first_seed, args.seeds};
-  whole.summary = run_shard(args, *protocol, whole.range, nullptr);
+  whole.summary = run_shard(args, *protocol, plan_ptr, whole.range, nullptr);
 
   fabric::SweepSummary merged;
   merged.add(whole);
@@ -337,13 +415,15 @@ int run_serial(const Args& args) {
       make_config(args, std::max<std::int64_t>(args.seeds, 1));
   if (!ensure_out_dir(args.out) ||
       !obs::write_text_file_atomic(
-          args.out, sweep_artifact_json(config, merged, nullptr, 1))) {
+          args.out, sweep_artifact_json(config, merged, nullptr, 1,
+                                        whole.summary.simd_width))) {
     std::fprintf(stderr, "sweep: cannot write %s\n", args.out.c_str());
     return 2;
   }
   print_summary(whole.summary);
   std::printf("summary: %s\n", args.out.c_str());
-  if (!args.verify_against.empty()) return verify_against(args, whole);
+  if (!args.verify_against.empty())
+    return verify_against(args, whole, whole.summary.simd_width);
   return 0;
 }
 
@@ -358,6 +438,10 @@ int run_fleet(const Args& args) {
                  args.adversary.c_str());
     return 2;
   }
+  std::optional<fault::FaultPlan> plan;
+  parse_plan(args, *protocol, plan);
+  const fault::FaultPlan* plan_ptr = plan ? &*plan : nullptr;
+
   const std::int64_t shard_size =
       args.shard_size > 0
           ? args.shard_size
@@ -402,7 +486,7 @@ int run_fleet(const Args& args) {
     }
 #endif
     const BatchSummary summary =
-        run_shard(args, *protocol, task.range, hook);
+        run_shard(args, *protocol, plan_ptr, task.range, hook);
     return store.write_shard(task.index, {task.range, summary}) ? 0 : 4;
   };
 
@@ -410,10 +494,14 @@ int run_fleet(const Args& args) {
       fabric::run_supervised(tasks, sup, store, worker);
 
   const fabric::SweepSummary merged = store.merged();
+  // Shard summaries travel as batch_summary.v1 (schema unchanged), so the
+  // driver recomputes the width its workers ran at: same binary, same
+  // protocol, same options — the probe resolves identically in-process.
+  const int simd_width = sweep_simd_width(args, *protocol, plan_ptr);
   if (!ensure_out_dir(args.out) ||
       !obs::write_text_file_atomic(
           args.out, sweep_artifact_json(config, merged, &outcome,
-                                        store.num_shards()))) {
+                                        store.num_shards(), simd_width))) {
     std::fprintf(stderr, "sweep: cannot write %s\n", args.out.c_str());
     return 2;
   }
@@ -432,7 +520,7 @@ int run_fleet(const Args& args) {
 
   if (!args.verify_against.empty()) {
     if (!outcome.complete()) return 3;
-    return verify_against(args, merged.to_shard());
+    return verify_against(args, merged.to_shard(), simd_width);
   }
   return outcome.complete() ? 0 : 3;
 }
